@@ -1,0 +1,61 @@
+// Ablation: checkpoint compression — spend CPU (zstd-class throughput)
+// to shrink checkpoint payloads. Smaller payloads fit the KV store's
+// per-entry limit (no spill + metadata round trip), move faster across
+// the network on restore, and relieve storage-tier pressure; the cost is
+// per-checkpoint compression time on the critical path.
+//
+// Strongest on the DL workload (98 MiB weight checkpoints every state).
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Ablation", "Checkpoint compression",
+      "DL workload, 100 invocations, 16 nodes, error sweep, avg of 5 runs");
+
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kDlTraining, 100)};
+
+  // Two deployments: the testbed hierarchy (RAM-speed spill tiers) and a
+  // lean deployment whose only spill target is shared NFS — commodity
+  // clusters without PMem/ramdisk provisioning.
+  const auto nfs_only = cluster::StorageHierarchy({
+      {cluster::StorageTier::kKvStore, Duration::usec(500), 900.0, 1200.0,
+       Bytes::gib(8), true, true},
+      {cluster::StorageTier::kNfs, Duration::msec(1), 110.0, 160.0,
+       Bytes::gib(1024), true, true},
+  });
+
+  auto run_with = [&](bool compress, double rate, bool lean_storage) {
+    recovery::StrategyConfig strategy = recovery::StrategyConfig::canary_full();
+    strategy.canary.checkpointing.compress = compress;
+    harness::ScenarioConfig config = scenario(strategy, rate);
+    if (lean_storage) config.storage = nfs_only;
+    return harness::run_repetitions(config, jobs, kReps);
+  };
+
+  TextTable table({"storage", "error %", "makespan off [s]",
+                   "makespan on [s]", "recovery off [s]", "recovery on [s]"});
+  for (const bool lean : {false, true}) {
+    for (const double rate : {0.05, 0.20, 0.40}) {
+      const auto off = run_with(false, rate, lean);
+      const auto on = run_with(true, rate, lean);
+      table.add_row({lean ? "nfs-only" : "testbed",
+                     TextTable::num(rate * 100, 0),
+                     TextTable::num(off.makespan_s.mean()),
+                     TextTable::num(on.makespan_s.mean()),
+                     TextTable::num(off.total_recovery_s.mean()),
+                     TextTable::num(on.total_recovery_s.mean())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: on the testbed's RAM-speed spill tiers the "
+               "per-checkpoint compression CPU (~0.25s) is a net loss. On a "
+               "lean NFS-only deployment the 98 MiB weight write costs "
+               "~0.9s, so shrinking it ~2.8x wins despite the CPU — "
+               "compression is a property of the storage hierarchy, not of "
+               "checkpointing per se.\n";
+  return 0;
+}

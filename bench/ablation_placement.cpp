@@ -1,0 +1,50 @@
+// Ablation: Canary's replica placement rules (paper §IV-C5b — first
+// replica co-located with a job function, further replicas anti-affine to
+// avoid a single point of failure, rack locality) vs. naive least-loaded
+// packing.
+//
+// Under node-level failures, packed replicas die with their node exactly
+// when they are needed, forcing cold-fallback recoveries.
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Ablation", "Replica placement: anti-SPOF + locality vs naive packing",
+      "mixed batch of 300, 16 nodes, error 20%, aggressive replication, "
+      "three node failures, avg of 5 runs");
+
+  const std::vector<faas::JobSpec> jobs = {workloads::make_mixed_batch(300)};
+
+  auto run_with = [&](bool anti_spof) {
+    recovery::StrategyConfig strategy =
+        recovery::StrategyConfig::canary_full(core::ReplicationMode::kAggressive);
+    strategy.canary.replication.anti_spof_placement = anti_spof;
+    harness::ScenarioConfig config = scenario(strategy, 0.20);
+    config.node_failure_offsets = {Duration::sec(5.0), Duration::sec(10.0),
+                                   Duration::sec(15.0)};
+    return harness::run_repetitions(config, jobs, kReps);
+  };
+
+  const auto with_rules = run_with(true);
+  const auto naive = run_with(false);
+
+  TextTable table({"placement", "recovery [s]", "makespan [s]"});
+  table.add_row({"anti-SPOF + locality",
+                 TextTable::num(with_rules.total_recovery_s.mean()),
+                 TextTable::num(with_rules.makespan_s.mean())});
+  table.add_row({"first-fit packing",
+                 TextTable::num(naive.total_recovery_s.mean()),
+                 TextTable::num(naive.makespan_s.mean())});
+  table.print(std::cout);
+
+  std::cout << "\nrecovery-time penalty of naive packing: "
+            << TextTable::num(
+                   harness::overhead_pct(with_rules.total_recovery_s.mean(),
+                                         naive.total_recovery_s.mean()),
+                   1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: proactive failure prediction and mitigation (the paper's
+// future-work extension, §VII) under correlated node failures.
+//
+// The scenario: nodes degrade before dying — a burst of container kills
+// on the victim precedes its node-level failure. With the mitigator
+// enabled, Canary marks the degrading worker suspect, steers replica
+// placement and recovery away from it, and pre-scales the replica pool,
+// so the terminal node failure finds warm homes ready elsewhere.
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Ablation", "Proactive failure mitigation under correlated failures",
+      "mixed batch of 300, 16 nodes, error 10%, two degrading-node "
+      "failures, avg of 5 runs");
+
+  const std::vector<faas::JobSpec> jobs = {workloads::make_mixed_batch(300)};
+
+  auto run_with = [&](bool proactive) {
+    recovery::StrategyConfig strategy = recovery::StrategyConfig::canary_full();
+    strategy.canary.proactive.enabled = proactive;
+    strategy.canary.proactive.suspect_threshold = 2;
+    strategy.canary.proactive.prescale_factor = 2.0;
+    harness::ScenarioConfig config = scenario(strategy, 0.10);
+    harness::ScenarioConfig::CorrelatedNodeFailure first;
+    first.at = Duration::sec(14.0);
+    harness::ScenarioConfig::CorrelatedNodeFailure second;
+    second.at = Duration::sec(26.0);
+    config.correlated_node_failures = {first, second};
+    return harness::run_repetitions(config, jobs, kReps);
+  };
+
+  const auto reactive = run_with(false);
+  const auto proactive = run_with(true);
+
+  TextTable table({"mitigation", "recovery [s]", "makespan [s]", "cost $"});
+  table.add_row({"reactive only",
+                 TextTable::num(reactive.total_recovery_s.mean()),
+                 TextTable::num(reactive.makespan_s.mean()),
+                 TextTable::num(reactive.cost_usd.mean(), 4)});
+  table.add_row({"proactive (predict + pre-scale + steer)",
+                 TextTable::num(proactive.total_recovery_s.mean()),
+                 TextTable::num(proactive.makespan_s.mean()),
+                 TextTable::num(proactive.cost_usd.mean(), 4)});
+  table.print(std::cout);
+
+  std::cout << "\nrecovery-time change from proactive mitigation: "
+            << TextTable::num(
+                   harness::reduction_pct(reactive.total_recovery_s.mean(),
+                                          proactive.total_recovery_s.mean()),
+                   1)
+            << "% (positive = improvement)\n";
+  return 0;
+}

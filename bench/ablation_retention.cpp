@@ -1,0 +1,59 @@
+// Ablation: dynamic latest-n checkpoint retention (paper §IV-C4b: n
+// starts at 3 and adapts to payload size and state frequency) vs. fixed
+// retention values.
+//
+// Larger n costs KV/storage space but tolerates unflushed-checkpoint loss
+// on node failures; smaller n risks falling back further after a node
+// dies. The ablation runs the graph-BFS workload (frequent, mid-sized
+// checkpoints that spill) with node failures and compares recovery time.
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Ablation", "Checkpoint retention policy (dynamic vs fixed n)",
+      "graph-bfs workload, 100 invocations, 16 nodes, error 20%, two node "
+      "failures, avg of 5 runs");
+
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kGraphBfs, 100)};
+
+  auto run_with = [&](unsigned fixed_n, bool dynamic) {
+    recovery::StrategyConfig strategy = recovery::StrategyConfig::canary_full();
+    if (!dynamic) {
+      strategy.canary.checkpointing.initial_retention = fixed_n;
+      strategy.canary.checkpointing.min_retention = fixed_n;
+      strategy.canary.checkpointing.max_retention = fixed_n;
+    }
+    harness::ScenarioConfig config = scenario(strategy, 0.20);
+    config.node_failure_offsets = {Duration::sec(6.0), Duration::sec(12.0)};
+    return harness::run_repetitions(config, jobs, kReps);
+  };
+
+  TextTable table({"retention", "recovery [s]", "makespan [s]", "cost $",
+                   "lost work [s]"});
+  for (const unsigned n : {1u, 2u, 3u, 5u}) {
+    const auto agg = run_with(n, /*dynamic=*/false);
+    table.add_row({"fixed " + std::to_string(n),
+                   TextTable::num(agg.total_recovery_s.mean()),
+                   TextTable::num(agg.makespan_s.mean()),
+                   TextTable::num(agg.cost_usd.mean(), 4),
+                   TextTable::num(agg.lost_work_s.mean())});
+  }
+  const auto dynamic = run_with(0, /*dynamic=*/true);
+  table.add_row({"dynamic (canary)",
+                 TextTable::num(dynamic.total_recovery_s.mean()),
+                 TextTable::num(dynamic.makespan_s.mean()),
+                 TextTable::num(dynamic.cost_usd.mean(), 4),
+                 TextTable::num(dynamic.lost_work_s.mean())});
+  table.print(std::cout);
+  std::cout << "\nreading: retention 1 loses the only (often not yet flushed) "
+               "checkpoint with its node and falls back to a from-scratch "
+               "restart; >= 2 keeps an older flushed checkpoint reachable "
+               "via shared storage, and beyond the flush horizon extra "
+               "copies stop mattering — which is why the paper's dynamic "
+               "policy starts at 3 and adapts rather than growing n.\n";
+  return 0;
+}

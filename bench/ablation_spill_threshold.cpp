@@ -1,0 +1,46 @@
+// Ablation: the KV store's per-entry limit (Algorithm 1's db_limit),
+// which decides when a checkpoint spills from the in-memory KV store to a
+// storage tier.
+//
+// A small limit spills even modest checkpoints (paying tier + metadata
+// writes and a slower restore); a huge limit keeps everything in the KV
+// store (fast, but pressures cache memory — reported as KV logical
+// bytes). The DL workload's 98 MiB weights always spill; the graph-BFS
+// workload's 6 MiB frontier sits right at the paper-era Ignite defaults.
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Ablation", "Checkpoint spill threshold (KV per-entry limit)",
+      "graph-bfs workload, 100 invocations, 16 nodes, error 20%, avg of 5 "
+      "runs");
+
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kGraphBfs, 100)};
+
+  TextTable table({"kv entry limit", "makespan [s]", "recovery [s]",
+                   "cost $"});
+  for (const auto limit :
+       {Bytes::kib(256), Bytes::mib(1), Bytes::mib(4), Bytes::mib(16),
+        Bytes::mib(128)}) {
+    harness::ScenarioConfig config =
+        scenario(recovery::StrategyConfig::canary_full(), 0.20);
+    config.kv.max_entry_size = limit;
+    const auto agg = harness::run_repetitions(config, jobs, kReps);
+    table.add_row({std::to_string(limit.count() / 1024) + " KiB",
+                   TextTable::num(agg.makespan_s.mean()),
+                   TextTable::num(agg.total_recovery_s.mean()),
+                   TextTable::num(agg.cost_usd.mean(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: spilling to the node-local RAM tier writes faster "
+               "than the replicated KV path (4 GiB/s vs ~0.9 GiB/s), so small "
+               "limits are slightly cheaper in failure-free time; the KV "
+               "path's value is durability — it never loses a checkpoint to "
+               "a node failure, where an unflushed spill can (see "
+               "ablation_retention and Fig. 11).\n";
+  return 0;
+}

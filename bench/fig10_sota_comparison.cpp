@@ -1,0 +1,76 @@
+// Figure 10: Canary vs. the state-of-the-art fault-tolerance baselines —
+// request replication (RR, one replica per request) and active-standby
+// (AS).
+//
+// Paper: RR and AS cost up to 2.7x and 2.8x Canary respectively (extra
+// replica/standby instances); Canary's execution time is within ~5% of RR
+// (checkpoint-restore overhead), and AS runs up to 34% longer than Canary
+// because standby takeovers restart functions from the beginning.
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Figure 10", "Canary vs request replication (RR) and active-standby "
+                   "(AS)",
+      "web-service workload, 100 invocations, 16 nodes, error rate 1-50%, "
+      "avg of 5 runs");
+
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kWebService, 100)};
+
+  const recovery::StrategyConfig strategies[] = {
+      recovery::StrategyConfig::canary_full(),
+      recovery::StrategyConfig::request_replication(1),
+      recovery::StrategyConfig::active_standby(),
+  };
+
+  TextTable table({"error %", "canary $", "RR $", "AS $", "canary [s]",
+                   "RR [s]", "AS [s]"});
+  double max_rr_cost_ratio = 0.0;
+  double max_as_cost_ratio = 0.0;
+  double max_as_time_overhead = 0.0;
+  double rr_time_delta_sum = 0.0;
+  int rr_low_rate_points = 0;
+  for (const double rate : error_rates()) {
+    double costs[3], times[3];
+    int idx = 0;
+    for (const auto& strategy : strategies) {
+      // Per-attempt injection (the harness default) exposes replica and
+      // standby instances independently, like the paper's "probability of
+      // active, standby, and replicas functions being killed at the same
+      // time".
+      const auto agg =
+          harness::run_repetitions(scenario(strategy, rate), jobs, kReps);
+      costs[idx] = agg.cost_usd.mean();
+      times[idx] = agg.makespan_s.mean();
+      ++idx;
+    }
+    max_rr_cost_ratio = std::max(max_rr_cost_ratio, costs[1] / costs[0]);
+    max_as_cost_ratio = std::max(max_as_cost_ratio, costs[2] / costs[0]);
+    max_as_time_overhead =
+        std::max(max_as_time_overhead, harness::overhead_pct(times[0], times[2]));
+    // The paper's "within ~5% of RR" holds in RR's favourable regime (low
+    // error rates, where the loser-replica race rarely restarts); at high
+    // rates whole-group restarts make RR strictly slower than Canary.
+    if (rate <= 0.10) {
+      rr_time_delta_sum += harness::overhead_pct(times[1], times[0]);
+      ++rr_low_rate_points;
+    }
+    table.add_row({TextTable::num(rate * 100, 0), TextTable::num(costs[0], 4),
+                   TextTable::num(costs[1], 4), TextTable::num(costs[2], 4),
+                   TextTable::num(times[0]), TextTable::num(times[1]),
+                   TextTable::num(times[2])});
+  }
+  table.print(std::cout);
+
+  print_claim("RR costs up to 2.7x Canary", max_rr_cost_ratio, "x");
+  print_claim("AS costs up to 2.8x Canary", max_as_cost_ratio, "x");
+  print_claim("AS execution time up to 34% above Canary",
+              max_as_time_overhead);
+  print_claim("Canary's time within ~5% of RR (low error rates)",
+              rr_time_delta_sum / std::max(1, rr_low_rate_points));
+  return 0;
+}

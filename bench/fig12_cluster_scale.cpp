@@ -1,0 +1,70 @@
+// Figure 12: scalability with cluster size — 5000 function invocations at
+// a fixed 15% failure rate on 1-16 nodes.
+//
+// Paper: total execution time of the batch decreases for all three
+// scenarios as nodes are added; Canary stays within ~2.75% of the ideal
+// on average and beats retry by up to 17%; the 1->16-node speedups are
+// ~1.2x (ideal), ~1.18x (Canary) and ~1.10x (retry).
+#include "support.hpp"
+
+using namespace canary;
+using namespace canary::bench;
+
+int main() {
+  print_figure_header(
+      "Figure 12", "Cluster-size scaling",
+      "5000 invocations (mixed batch), error rate 15%, 1-16 nodes, avg of 3 "
+      "runs");
+
+  const std::size_t node_counts[] = {1, 2, 4, 8, 16};
+  constexpr double kRate = 0.15;
+  constexpr int kScaleReps = 3;  // 5000-function runs are the heavy ones
+
+  // Submit the batch as ten 500-function jobs, as the paper batches jobs.
+  std::vector<faas::JobSpec> jobs;
+  for (int j = 0; j < 10; ++j) {
+    jobs.push_back(
+        workloads::make_mixed_batch(500, "batch-" + std::to_string(j)));
+  }
+
+  TextTable table({"nodes", "ideal [s]", "retry [s]", "canary [s]",
+                   "canary vs ideal %", "canary vs retry %"});
+  double first[3] = {0, 0, 0}, last[3] = {0, 0, 0};
+  double overhead_sum = 0.0;
+  double max_retry_reduction = 0.0;
+  for (const std::size_t nodes : node_counts) {
+    const auto ideal = harness::run_repetitions(
+        scenario(recovery::StrategyConfig::ideal(), kRate, nodes), jobs,
+        kScaleReps);
+    const auto retry = harness::run_repetitions(
+        scenario(recovery::StrategyConfig::retry(), kRate, nodes), jobs,
+        kScaleReps);
+    const auto canary = harness::run_repetitions(
+        scenario(recovery::StrategyConfig::canary_full(), kRate, nodes), jobs,
+        kScaleReps);
+    const double values[3] = {ideal.makespan_s.mean(), canary.makespan_s.mean(),
+                              retry.makespan_s.mean()};
+    if (nodes == node_counts[0]) {
+      for (int i = 0; i < 3; ++i) first[i] = values[i];
+    }
+    for (int i = 0; i < 3; ++i) last[i] = values[i];
+    const double overhead = harness::overhead_pct(values[0], values[1]);
+    const double reduction = harness::reduction_pct(values[2], values[1]);
+    overhead_sum += overhead;
+    max_retry_reduction = std::max(max_retry_reduction, reduction);
+    table.add_row({std::to_string(nodes), TextTable::num(values[0]),
+                   TextTable::num(values[2]), TextTable::num(values[1]),
+                   TextTable::num(overhead, 1), TextTable::num(reduction, 1)});
+  }
+  table.print(std::cout);
+
+  const auto n = static_cast<double>(std::size(node_counts));
+  print_claim("Canary within ~2.75% of the ideal on average",
+              overhead_sum / n);
+  print_claim("Canary up to 17% faster than retry", max_retry_reduction);
+  std::cout << "  1->16-node speedups (paper 1.20x / 1.18x / 1.10x): ideal "
+            << TextTable::num(first[0] / last[0], 2) << "x, canary "
+            << TextTable::num(first[1] / last[1], 2) << "x, retry "
+            << TextTable::num(first[2] / last[2], 2) << "x\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks of the real workload kernels: BFS traversal, diversity
+// aggregation (sequential vs parallel), LZ compression, and the
+// data-parallel mini-MLP training epoch.
+#include <benchmark/benchmark.h>
+
+#include "workloads/kernels/census.hpp"
+#include "workloads/kernels/compress.hpp"
+#include "workloads/kernels/graph_bfs.hpp"
+#include "workloads/kernels/mini_dl.hpp"
+
+namespace {
+
+using namespace canary::workloads::kernels;
+
+void BM_BfsBinaryTree(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = CsrGraph::binary_tree(n);
+  for (auto _ : state) {
+    BfsRunner bfs(g, 0);
+    bfs.step(n + 1);
+    benchmark::DoNotOptimize(bfs.checksum());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BfsBinaryTree)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BfsCheckpoint(benchmark::State& state) {
+  const auto g = CsrGraph::binary_tree(1 << 20);
+  BfsRunner bfs(g, 0);
+  bfs.step(1 << 19);
+  for (auto _ : state) {
+    const auto bytes = bfs.checkpoint().serialize();
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+BENCHMARK(BM_BfsCheckpoint);
+
+void BM_DiversityIndex(benchmark::State& state) {
+  const auto records = synthesize_census(50000, 42);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto result = diversity_index(records, threads);
+    benchmark::DoNotOptimize(result.national_index);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_DiversityIndex)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LzCompress(benchmark::State& state) {
+  const auto data = make_compressible_data(
+      static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    const auto compressed = lz_compress(data);
+    benchmark::DoNotOptimize(compressed.size());
+  }
+  state.SetBytesProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_LzCompress)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const auto data = make_compressible_data(1 << 17, 7);
+  const auto compressed = lz_compress(data);
+  for (auto _ : state) {
+    const auto restored = lz_decompress(compressed);
+    benchmark::DoNotOptimize(restored.size());
+  }
+  state.SetBytesProcessed((1 << 17) * state.iterations());
+}
+BENCHMARK(BM_LzDecompress);
+
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  const auto data = Dataset::synthesize(2048, 32, 8, 5);
+  MiniMlp model(32, 64, 8, 7);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_epoch(data, 0.05, threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(data.size()) * state.iterations());
+}
+BENCHMARK(BM_MlpTrainEpoch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

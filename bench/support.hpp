@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench regenerates one figure of the paper's evaluation (§V): it
+// sweeps the figure's x-axis, runs the compared strategies with the
+// paper's repetition discipline (averaged repetitions, fixed seeds), and
+// prints (a) the figure's series as an aligned table and (b) the paper's
+// headline claim next to the measured value.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+namespace canary::bench {
+
+/// Error-rate sweep used across Figures 4-10 ("vary the error rate from
+/// 1% to 50%", §V-B).
+inline const std::vector<double>& error_rates() {
+  static const std::vector<double> rates = {0.01, 0.05, 0.10, 0.20,
+                                            0.30, 0.40, 0.50};
+  return rates;
+}
+
+inline void print_figure_header(const std::string& figure,
+                                const std::string& title,
+                                const std::string& setup) {
+  std::cout << "\n=== " << figure << ": " << title << " ===\n"
+            << "setup: " << setup << "\n\n";
+}
+
+inline void print_claim(const std::string& claim, double measured,
+                        const std::string& unit = "%") {
+  std::cout << "  paper: " << claim << "\n  measured: "
+            << TextTable::num(measured, 1) << unit << "\n";
+}
+
+/// Default repetition count. The paper averages 10 runs; 5 keeps every
+/// bench binary in the seconds range while staying within the paper's
+/// <5% run-to-run variance.
+inline constexpr int kReps = 5;
+
+inline harness::ScenarioConfig scenario(recovery::StrategyConfig strategy,
+                                        double error_rate,
+                                        std::size_t nodes = 16,
+                                        std::uint64_t seed = 20220101) {
+  harness::ScenarioConfig config;
+  config.strategy = strategy;
+  config.error_rate = error_rate;
+  config.cluster_nodes = nodes;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace canary::bench

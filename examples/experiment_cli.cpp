@@ -1,0 +1,192 @@
+// Command-line experiment driver: run any scenario the library supports
+// without writing code. This is the "downstream user" entry point for
+// exploring the design space beyond the paper's figures.
+//
+//   ./experiment_cli --workload=web-service --strategy=canary-dr
+//       --error-rate=0.3 --functions=100 --nodes=16 --reps=5
+//       [--node-failures=2] [--sla=60] [--proactive] [--csv]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace canary;
+
+namespace {
+
+struct Options {
+  std::string workload = "web-service";
+  std::string strategy = "canary-dr";
+  double error_rate = 0.2;
+  std::size_t functions = 100;
+  std::size_t nodes = 16;
+  int reps = 5;
+  int node_failures = 0;
+  double sla_seconds = 0.0;
+  bool proactive = false;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool help = false;
+};
+
+void usage() {
+  std::cout <<
+      "usage: experiment_cli [options]\n"
+      "  --workload=K     dl-training | web-service | spark-mining |\n"
+      "                   compression | graph-bfs | mixed | mapreduce\n"
+      "  --strategy=S     ideal | retry | canary-dr | canary-ar | canary-lr |\n"
+      "                   canary-ckpt | canary-repl | rr | as\n"
+      "  --error-rate=F   0.0 - 0.95 (default 0.2)\n"
+      "  --functions=N    functions in the job (default 100)\n"
+      "  --nodes=N        cluster size (default 16)\n"
+      "  --reps=N         repetitions (default 5)\n"
+      "  --node-failures=N  node-level failures during the run\n"
+      "  --sla=SECONDS    job deadline (enables SLA accounting)\n"
+      "  --proactive      enable proactive failure mitigation\n"
+      "  --seed=N         base seed (default 42)\n"
+      "  --csv            emit CSV instead of an aligned table\n";
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--workload", value)) {
+      opts.workload = value;
+    } else if (parse_flag(argv[i], "--strategy", value)) {
+      opts.strategy = value;
+    } else if (parse_flag(argv[i], "--error-rate", value)) {
+      opts.error_rate = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--functions", value)) {
+      opts.functions = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_flag(argv[i], "--nodes", value)) {
+      opts.nodes = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_flag(argv[i], "--reps", value)) {
+      opts.reps = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--node-failures", value)) {
+      opts.node_failures = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--sla", value)) {
+      opts.sla_seconds = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--seed", value)) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(argv[i], "--proactive") == 0) {
+      opts.proactive = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opts.csv = true;
+    } else {
+      opts.help = true;
+    }
+  }
+  return opts;
+}
+
+faas::JobSpec build_job(const Options& opts) {
+  if (opts.workload == "mixed") {
+    return workloads::make_mixed_batch(opts.functions);
+  }
+  if (opts.workload == "mapreduce") {
+    const std::size_t reducers = std::max<std::size_t>(1, opts.functions / 5);
+    return workloads::make_mapreduce_job(opts.functions - reducers, reducers);
+  }
+  for (const auto kind : workloads::kAllWorkloads) {
+    if (opts.workload == workloads::to_string_view(kind)) {
+      return workloads::make_job(kind, opts.functions);
+    }
+  }
+  std::cerr << "unknown workload '" << opts.workload << "'\n";
+  std::exit(2);
+}
+
+recovery::StrategyConfig build_strategy(const Options& opts) {
+  using recovery::StrategyConfig;
+  static const std::map<std::string, StrategyConfig> kStrategies = {
+      {"ideal", StrategyConfig::ideal()},
+      {"retry", StrategyConfig::retry()},
+      {"canary-dr", StrategyConfig::canary_full(core::ReplicationMode::kDynamic)},
+      {"canary-ar",
+       StrategyConfig::canary_full(core::ReplicationMode::kAggressive)},
+      {"canary-lr", StrategyConfig::canary_full(core::ReplicationMode::kLenient)},
+      {"canary-ckpt", StrategyConfig::canary_checkpoint_only()},
+      {"canary-repl", StrategyConfig::canary_replication_only()},
+      {"rr", StrategyConfig::request_replication(1)},
+      {"as", StrategyConfig::active_standby()},
+  };
+  auto it = kStrategies.find(opts.strategy);
+  if (it == kStrategies.end()) {
+    std::cerr << "unknown strategy '" << opts.strategy << "'\n";
+    std::exit(2);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  if (opts.help) {
+    usage();
+    return 1;
+  }
+
+  auto job = build_job(opts);
+  if (opts.sla_seconds > 0.0) job.sla = Duration::sec(opts.sla_seconds);
+  const std::vector<faas::JobSpec> jobs = {std::move(job)};
+
+  harness::ScenarioConfig config;
+  config.strategy = build_strategy(opts);
+  config.strategy.canary.proactive.enabled = opts.proactive;
+  config.strategy.canary.sla_aware = opts.sla_seconds > 0.0;
+  config.error_rate = opts.error_rate;
+  config.cluster_nodes = opts.nodes;
+  config.seed = opts.seed;
+  for (int n = 0; n < opts.node_failures; ++n) {
+    config.node_failure_offsets.push_back(Duration::sec(8.0 * (n + 1)));
+  }
+
+  const auto agg = harness::run_repetitions(config, jobs, opts.reps);
+
+  TextTable table({"metric", "mean", "stddev", "min", "max"});
+  auto row = [&](const std::string& name, const SampleSet& samples,
+                 int precision = 2) {
+    table.add_row({name, TextTable::num(samples.mean(), precision),
+                   TextTable::num(samples.stddev(), precision),
+                   TextTable::num(samples.min(), precision),
+                   TextTable::num(samples.max(), precision)});
+  };
+  row("makespan [s]", agg.makespan_s);
+  row("total recovery [s]", agg.total_recovery_s);
+  row("mean recovery/failure [s]", agg.mean_recovery_s);
+  row("lost work [s]", agg.lost_work_s);
+  row("failures", agg.failures, 1);
+  row("cost [$]", agg.cost_usd, 4);
+  row("replica cost [$]", agg.replica_cost_usd, 4);
+  if (opts.sla_seconds > 0.0) row("SLA violations", agg.sla_violations, 1);
+
+  std::cout << "workload=" << opts.workload << " strategy=" << opts.strategy
+            << " error=" << opts.error_rate << " functions=" << opts.functions
+            << " nodes=" << opts.nodes << " reps=" << opts.reps << "\n";
+  if (agg.incomplete_runs > 0) {
+    std::cout << "WARNING: " << agg.incomplete_runs
+              << " repetition(s) ended with incomplete jobs\n";
+  }
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

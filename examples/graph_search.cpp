@@ -1,0 +1,89 @@
+// Graph-search example (the paper's SeBS 501.graph-bfs workload: BFS over
+// a binary tree with checkpoints every million traversed vertices).
+//
+// Part 1 runs a real BFS over a multi-million-vertex binary tree in
+// 1M-vertex checkpointed steps, kills it mid-traversal, restores from the
+// serialized frontier checkpoint, and verifies the traversal completes
+// with the same visited-set checksum as an uninterrupted run.
+//
+// Part 2 runs the simulated graph-bfs workload through the platform and
+// additionally demonstrates a node-level failure survived via
+// shared-storage checkpoints.
+//
+//   ./graph_search [vertices_millions=8] [error_rate=0.25]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/kernels/graph_bfs.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace canary;
+using namespace canary::workloads::kernels;
+
+int main(int argc, char** argv) {
+  const std::uint64_t millions =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoi(argv[1])) : 8;
+  const double error_rate = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const std::uint64_t vertices = millions * 1'000'000;
+
+  std::cout << "Canary graph-search example (" << millions
+            << "M vertices, error rate " << error_rate * 100 << "%)\n\n";
+
+  std::cout << "--- Part 1: real checkpointed BFS ---\n";
+  const auto graph = CsrGraph::binary_tree(vertices);
+
+  BfsRunner reference(graph, 0);
+  while (!reference.done()) reference.step(1'000'000);
+
+  BfsRunner victim(graph, 0);
+  std::string latest_checkpoint;
+  std::uint64_t checkpoints = 0;
+  // Traverse in 1M-vertex states, checkpointing after each (the paper's
+  // granularity); die at 60% of the traversal.
+  const std::uint64_t kill_at = vertices * 6 / 10;
+  while (victim.traversed() < kill_at && !victim.done()) {
+    victim.step(1'000'000);
+    latest_checkpoint = victim.checkpoint().serialize();
+    ++checkpoints;
+  }
+  std::cout << "  traversed " << victim.traversed() << " vertices, "
+            << checkpoints << " checkpoints (latest "
+            << latest_checkpoint.size() / 1024 << " KiB), container killed!\n";
+
+  auto restored =
+      BfsRunner::restore(graph, BfsCheckpoint::deserialize(latest_checkpoint));
+  while (!restored.done()) restored.step(1'000'000);
+  const bool match = restored.traversed() == reference.traversed() &&
+                     restored.checksum() == reference.checksum();
+  std::cout << "  restored traversal finished: " << restored.traversed()
+            << " vertices, checksum "
+            << (match ? "MATCHES" : "DIFFERS from")
+            << " the uninterrupted run\n\n";
+
+  std::cout << "--- Part 2: simulated platform, graph-bfs workload "
+               "(with a node failure) ---\n";
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kGraphBfs, 60)};
+  TextTable table({"strategy", "makespan [s]", "recovery [s]", "cost [$]"});
+  for (const auto& strategy : {recovery::StrategyConfig::ideal(),
+                               recovery::StrategyConfig::retry(),
+                               recovery::StrategyConfig::canary_full()}) {
+    harness::ScenarioConfig config;
+    config.strategy = strategy;
+    config.error_rate = error_rate;
+    config.seed = 5;
+    config.node_failure_offsets = {Duration::sec(8.0)};
+    const auto agg = harness::run_repetitions(config, jobs, 5);
+    table.add_row({std::string(strategy.label()),
+                   TextTable::num(agg.makespan_s.mean()),
+                   TextTable::num(agg.total_recovery_s.mean()),
+                   TextTable::num(agg.cost_usd.mean(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnode-level failures are survived because small checkpoints "
+               "live in the replicated KV store and spilled ones are "
+               "asynchronously flushed to shared storage (paper §V-D6).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Workflow example: MapReduce and multi-stage pipelines on the simulated
+// FaaS platform (paper §I-II: "the reducers are launched after successful
+// mapper execution"; "modern applications are composed of complex
+// workflows where different components depend on the timely completion of
+// each sub-component").
+//
+// A mapper failure under retry delays the entire reduce stage by a full
+// re-execution; Canary's checkpoint + replica recovery keeps the trigger
+// chain close to the failure-free schedule. The example also puts an SLA
+// on the workflow and reports deadline violations.
+//
+//   ./mapreduce_pipeline [error_rate=0.3] [mappers=24] [reducers=6]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace canary;
+
+int main(int argc, char** argv) {
+  const double error_rate = argc > 1 ? std::atof(argv[1]) : 0.30;
+  const std::size_t mappers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+  const std::size_t reducers =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 6;
+
+  std::cout << "Canary workflow example: " << mappers << " mappers -> "
+            << reducers << " reducers, error rate " << error_rate * 100
+            << "%\n\n";
+
+  auto mapreduce = workloads::make_mapreduce_job(mappers, reducers);
+  mapreduce.sla = Duration::sec(45.0);
+  const std::vector<faas::JobSpec> jobs = {mapreduce};
+
+  TextTable table({"strategy", "makespan [s]", "recovery [s]", "cost [$]",
+                   "SLA violations"});
+  for (const auto& strategy : {recovery::StrategyConfig::ideal(),
+                               recovery::StrategyConfig::retry(),
+                               recovery::StrategyConfig::canary_full()}) {
+    harness::ScenarioConfig config;
+    config.strategy = strategy;
+    config.strategy.canary.sla_aware = true;
+    config.error_rate = error_rate;
+    config.cluster_nodes = 8;
+    config.seed = 17;
+    const auto agg = harness::run_repetitions(config, jobs, 5);
+    table.add_row({std::string(strategy.label()),
+                   TextTable::num(agg.makespan_s.mean()),
+                   TextTable::num(agg.total_recovery_s.mean()),
+                   TextTable::num(agg.cost_usd.mean(), 4),
+                   TextTable::num(agg.sla_violations.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthree-stage pipeline (4 functions per stage):\n";
+  const std::vector<faas::JobSpec> pipeline_jobs = {
+      workloads::make_pipeline_job(3, 4)};
+  TextTable pipe({"strategy", "makespan [s]", "recovery [s]"});
+  for (const auto& strategy : {recovery::StrategyConfig::ideal(),
+                               recovery::StrategyConfig::retry(),
+                               recovery::StrategyConfig::canary_full()}) {
+    harness::ScenarioConfig config;
+    config.strategy = strategy;
+    config.error_rate = error_rate;
+    config.cluster_nodes = 8;
+    config.seed = 23;
+    const auto agg = harness::run_repetitions(config, pipeline_jobs, 5);
+    pipe.add_row({std::string(strategy.label()),
+                  TextTable::num(agg.makespan_s.mean()),
+                  TextTable::num(agg.total_recovery_s.mean())});
+  }
+  pipe.print(std::cout);
+  std::cout << "\nupstream failures cascade into every dependent stage under "
+               "retry; checkpoint + replica recovery bounds the cascade to "
+               "one state redo.\n";
+  return 0;
+}

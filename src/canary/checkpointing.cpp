@@ -1,0 +1,222 @@
+#include "canary/checkpointing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace canary::core {
+
+CheckpointingModule::CheckpointingModule(
+    sim::Simulator& simulator, cluster::Cluster& cluster,
+    const cluster::StorageHierarchy& storage,
+    const cluster::NetworkModel& network, kv::KvStore& store,
+    MetadataStore& metadata, sim::MetricsRecorder& metrics,
+    CheckpointingConfig config)
+    : sim_(simulator),
+      cluster_(cluster),
+      storage_(storage),
+      network_(network),
+      store_(store),
+      metadata_(metadata),
+      metrics_(metrics),
+      config_(config) {}
+
+std::string CheckpointingModule::kv_key(FunctionId fn, std::size_t state_idx) {
+  return "ckpt/" + to_string(fn) + "/" + std::to_string(state_idx);
+}
+
+Bytes CheckpointingModule::effective_payload(const faas::FunctionSpec& spec,
+                                             std::size_t idx) const {
+  const Bytes nominal = spec.states[idx].checkpoint_payload;
+  double scaled =
+      static_cast<double>(nominal.count()) * config_.explicit_payload_factor;
+  if (config_.compress) scaled /= config_.compression_ratio;
+  return Bytes::of(static_cast<std::uint64_t>(scaled));
+}
+
+Duration CheckpointingModule::compression_time(const faas::FunctionSpec& spec,
+                                               std::size_t idx) const {
+  if (!config_.compress) return Duration::zero();
+  // CPU cost is paid on the uncompressed (registered) bytes.
+  const double mib = static_cast<double>(spec.states[idx].checkpoint_payload
+                                             .count()) *
+                     config_.explicit_payload_factor / (1024.0 * 1024.0);
+  return Duration::sec(mib / config_.compress_mib_per_sec);
+}
+
+Duration CheckpointingModule::decompression_time(Bytes compressed) const {
+  if (!config_.compress) return Duration::zero();
+  const double mib =
+      compressed.to_mib() * config_.compression_ratio;  // output bytes
+  return Duration::sec(mib / config_.decompress_mib_per_sec);
+}
+
+Duration CheckpointingModule::state_epilogue(const faas::Invocation& inv,
+                                             std::size_t idx) const {
+  if (!config_.enabled) return Duration::zero();
+  const Bytes payload = effective_payload(*inv.spec, idx);
+  const Duration compress = compression_time(*inv.spec, idx);
+  if (payload.count() == 0) {
+    // State-only checkpoint: just the state record into the KV store.
+    return storage_.write_time(cluster::StorageTier::kKvStore,
+                               config_.metadata_size);
+  }
+  if (payload <= store_.config().max_entry_size) {
+    return compress +
+           storage_.write_time(cluster::StorageTier::kKvStore, payload);
+  }
+  // Spill path: bulk write to the fastest tier with capacity plus the
+  // location record into the KV store (Algorithm 1 lines 5-8).
+  const auto tier = storage_.spill_tier_for(payload);
+  const Duration bulk = tier ? storage_.write_time(*tier, payload)
+                             : storage_.write_time(
+                                   cluster::StorageTier::kNfs, payload);
+  return compress + bulk +
+         storage_.write_time(cluster::StorageTier::kKvStore,
+                             config_.metadata_size);
+}
+
+unsigned CheckpointingModule::retention_for(
+    const faas::FunctionSpec& spec) const {
+  if (spec.states.empty()) return config_.initial_retention;
+  bool oversized = false;
+  Duration total = Duration::zero();
+  for (std::size_t i = 0; i < spec.states.size(); ++i) {
+    total += spec.states[i].duration;
+    if (effective_payload(spec, i) > store_.config().max_entry_size) {
+      oversized = true;
+    }
+  }
+  // Large payloads: keep fewer to bound memory/tier pressure.
+  if (oversized) return config_.min_retention;
+  const Duration mean = total / static_cast<std::int64_t>(spec.states.size());
+  // Frequent small states: keep more so a lagging async flush still
+  // leaves a usable recent checkpoint.
+  if (mean < config_.fast_state_threshold) return config_.max_retention;
+  if (mean < config_.medium_state_threshold) {
+    return std::min(config_.max_retention, config_.initial_retention + 1);
+  }
+  return config_.initial_retention;
+}
+
+void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
+                                             std::size_t idx) {
+  if (!config_.enabled) return;
+  const Bytes payload = effective_payload(*inv.spec, idx);
+  const std::string key = kv_key(inv.id, idx);
+
+  CheckpointInfoRow row;
+  row.checkpoint = ids_.next();
+  row.job = inv.job;
+  row.function = inv.id;
+  row.state_index = idx;
+  row.payload = payload;
+  row.stored_on = inv.node;
+  row.kv_key = key;
+  row.created = sim_.now();
+
+  std::ostringstream meta;
+  meta << "job=" << to_string(inv.job) << ";fn=" << to_string(inv.id)
+       << ";state=" << idx << ";bytes=" << payload.count();
+
+  if (payload <= store_.config().max_entry_size) {
+    row.location = cluster::StorageTier::kKvStore;
+    // The KV store is replicated (and persistent in the testbed config),
+    // so in-KV checkpoints survive node failures immediately.
+    row.flushed_to_shared = true;
+    const Status put = store_.put(key, meta.str(), payload);
+    CANARY_CHECK(put.ok(), "KV put within the entry limit must succeed");
+  } else {
+    const auto tier = storage_.spill_tier_for(payload);
+    row.location = tier.value_or(cluster::StorageTier::kNfs);
+    const auto& tier_profile = storage_.profile(row.location);
+    row.flushed_to_shared = tier_profile.shared;
+    meta << ";loc=" << to_string_view(row.location);
+    const Status put = store_.put(key, meta.str(), config_.metadata_size);
+    CANARY_CHECK(put.ok(), "KV metadata put must succeed");
+    metrics_.count("checkpoint_spills");
+  }
+  metrics_.count("checkpoints_written");
+  metrics_.sample("checkpoint_payload_mib", payload.to_mib());
+
+  // A recommit of the same state (after a restore) replaces the old row.
+  for (const auto* existing : metadata_.checkpoints_of(inv.id)) {
+    if (existing->state_index == idx) {
+      metadata_.remove_checkpoint(existing->checkpoint);
+      break;
+    }
+  }
+  const CheckpointId row_id = row.checkpoint;
+  const bool needs_flush = !row.flushed_to_shared;
+  metadata_.insert_checkpoint(std::move(row));
+
+  // Retention: keep the latest n checkpoints (Algorithm 1 lines 14-16).
+  const unsigned retention = retention_for(*inv.spec);
+  auto rows = metadata_.checkpoints_of(inv.id);
+  while (rows.size() > retention) {
+    const auto* oldest = rows.front();
+    (void)store_.remove(oldest->kv_key);
+    metadata_.remove_checkpoint(oldest->checkpoint);
+    rows.erase(rows.begin());
+  }
+
+  if (needs_flush) {
+    // Asynchronous flush to shared storage; until it completes the spilled
+    // checkpoint dies with its node.
+    const Duration flush_time =
+        config_.async_flush_delay +
+        storage_.write_time(cluster::StorageTier::kNfs, payload);
+    sim_.schedule_after(flush_time, [this, row_id] {
+      auto* pending = metadata_.mutable_checkpoint(row_id);
+      if (pending == nullptr) return;  // evicted by retention meanwhile
+      if (!cluster_.node(pending->stored_on).alive()) return;  // lost
+      pending->flushed_to_shared = true;
+    });
+  }
+}
+
+RestorePlan CheckpointingModule::restore_plan(FunctionId fn,
+                                              NodeId target_node) const {
+  RestorePlan plan;
+  if (!config_.enabled) return plan;
+  auto rows = metadata_.checkpoints_of(fn);
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    const CheckpointInfoRow& row = **it;
+    Duration read = Duration::zero();
+    if (row.location == cluster::StorageTier::kKvStore) {
+      if (!store_.contains(row.kv_key)) continue;  // lost with cache nodes
+      read = storage_.read_time(cluster::StorageTier::kKvStore, row.payload);
+    } else {
+      const auto& tier_profile = storage_.profile(row.location);
+      const bool source_alive = cluster_.node(row.stored_on).alive();
+      if (tier_profile.shared) {
+        read = storage_.read_time(row.location, row.payload);
+      } else if (source_alive) {
+        read = storage_.read_time(row.location, row.payload) +
+               network_.transfer_time(row.stored_on, target_node, row.payload);
+      } else if (row.flushed_to_shared) {
+        read = storage_.read_time(cluster::StorageTier::kNfs, row.payload);
+      } else {
+        continue;  // only copy died with its node and was never flushed
+      }
+      // The location record still comes out of the KV store first.
+      read += storage_.read_time(cluster::StorageTier::kKvStore,
+                                 config_.metadata_size);
+    }
+    plan.from_state = row.state_index + 1;
+    plan.restore_time = read + decompression_time(row.payload);
+    plan.checkpoint = row.checkpoint;
+    return plan;
+  }
+  return plan;  // no usable checkpoint: restart from the first state
+}
+
+void CheckpointingModule::drop_function(FunctionId fn) {
+  for (const auto* row : metadata_.checkpoints_of(fn)) {
+    (void)store_.remove(row->kv_key);
+  }
+  metadata_.remove_checkpoints_of(fn);
+}
+
+}  // namespace canary::core

@@ -1,0 +1,294 @@
+#include "canary/core.hpp"
+
+#include "common/logging.hpp"
+
+namespace canary::core {
+
+CoreModule::CoreModule(faas::Platform& platform, kv::KvStore& store,
+                       const cluster::StorageHierarchy& storage,
+                       CanaryConfig config)
+    : platform_(platform),
+      config_(config),
+      validator_(platform.config().limits),
+      checkpointing_(platform.simulator(), platform.cluster(), storage,
+                     platform.network(), store, metadata_, platform.metrics(),
+                     config.checkpointing),
+      runtime_manager_(platform, platform.cluster(), metadata_),
+      replication_(platform, runtime_manager_, metadata_, platform.metrics(),
+                   config.replication),
+      mitigator_(platform.simulator(), config.proactive) {
+  replication_.set_advisor(&mitigator_);
+  refresh_worker_table();
+}
+
+void CoreModule::install() {
+  CANARY_CHECK(!installed_, "CoreModule installed twice");
+  installed_ = true;
+  platform_.set_recovery_handler(this);
+  platform_.set_hooks(this);
+  platform_.add_observer(this);
+}
+
+void CoreModule::refresh_worker_table() {
+  for (const NodeId id : platform_.cluster().node_ids()) {
+    const auto& node = platform_.cluster().node(id);
+    WorkerInfoRow row;
+    row.node = id;
+    row.cpu = node.spec().cpu;
+    row.memory = node.spec().memory;
+    row.container_slots = node.spec().container_slots;
+    row.rack = node.spec().rack;
+    row.alive = node.alive();
+    metadata_.upsert_worker(row);
+  }
+}
+
+Result<JobId> CoreModule::submit_job(faas::JobSpec spec) {
+  CANARY_CHECK(installed_, "call install() before submitting jobs");
+  const ValidationResult verdict = validator_.validate(spec, in_flight_);
+  switch (verdict.verdict) {
+    case Verdict::kReject:
+      platform_.metrics().count("requests_rejected");
+      return Error::invalid_argument(verdict.reason);
+    case Verdict::kQueue:
+      platform_.metrics().count("requests_queued");
+      queue_.push_back(std::move(spec));
+      return JobId::invalid();
+    case Verdict::kAccept:
+      break;
+  }
+  in_flight_ += spec.functions.size();
+  return platform_.submit_job(std::move(spec));
+}
+
+void CoreModule::drain_queue() {
+  while (!queue_.empty()) {
+    const ValidationResult verdict =
+        validator_.validate(queue_.front(), in_flight_);
+    if (verdict.verdict != Verdict::kAccept) return;
+    faas::JobSpec spec = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ += spec.functions.size();
+    auto submitted = platform_.submit_job(std::move(spec));
+    if (!submitted.ok()) {
+      CANARY_LOG_WARN("queued job rejected at submission: "
+                      << submitted.error().message);
+    }
+  }
+}
+
+// ---- RecoveryHandler ------------------------------------------------------
+
+bool CoreModule::sla_urgent(const faas::Invocation& inv) const {
+  if (!config_.sla_aware) return false;
+  auto it = deadlines_.find(inv.job);
+  if (it == deadlines_.end()) return false;
+  // Remaining nominal work plus a cold restart's overhead against the
+  // remaining slack: if a cold recovery would blow the deadline, the
+  // function is urgent.
+  const auto& rt = faas::profile(inv.spec->runtime);
+  const Duration remaining =
+      inv.spec->total_state_work() - inv.work_done + inv.spec->finalize;
+  const TimePoint done_if_cold = platform_.simulator().now() +
+                                 rt.cold_launch + rt.init + remaining;
+  return done_if_cold > it->second;
+}
+
+void CoreModule::recover_cold(const faas::Invocation& inv) {
+  // No replica ready (mass failure burst or replication disabled): fall
+  // back to a cold container but still restore from the checkpoint.
+  // Avoid the failed worker if it is predicted to be failing.
+  std::optional<NodeId> prefer;
+  if (platform_.cluster().node(inv.node).alive() &&
+      !mitigator_.is_suspect(inv.node)) {
+    prefer = inv.node;
+  }
+  const NodeId target = prefer.value_or(
+      platform_.cluster()
+          .least_loaded(inv.spec->effective_memory())
+          .value_or(inv.node));
+  const RestorePlan plan = checkpointing_.restore_plan(inv.id, target);
+  faas::StartSpec start;
+  start.from_state = plan.from_state;
+  start.node_pref = target;
+  start.extra_setup = plan.restore_time;
+  platform_.metrics().count("cold_fallback_recoveries");
+  platform_.start_attempt(inv.id, start);
+}
+
+void CoreModule::on_failure(const faas::Invocation& inv,
+                            const faas::FailureInfo& info) {
+  (void)info;
+  replication_.on_failure_observed(inv);
+  refresh_worker_table();
+
+  const faas::RuntimeImage image = inv.spec->runtime;
+  const std::optional<NodeId> prefer =
+      platform_.cluster().node(inv.node).alive() &&
+              !mitigator_.is_suspect(inv.node)
+          ? std::optional(inv.node)
+          : std::nullopt;
+
+  auto replica = runtime_manager_.acquire(image, prefer);
+  if (replica) {
+    // Fast path: migrate onto the warm replicated runtime and restore the
+    // latest checkpoint there.
+    const RestorePlan plan =
+        checkpointing_.restore_plan(inv.id, replica->worker);
+    faas::StartSpec start;
+    start.from_state = plan.from_state;
+    start.container = replica->container;
+    start.extra_setup = config_.migration_overhead + plan.restore_time;
+    platform_.metrics().count("replica_recoveries");
+    replication_.on_replica_consumed(image);
+    platform_.start_attempt(inv.id, start);
+    return;
+  }
+
+  // SLA-aware path: a deadline-threatened function may claim a replica
+  // that is still launching — waiting out the remaining init is cheaper
+  // than a full cold start plus init, provided the replica has a real
+  // head start (at least a third of the startup already behind it).
+  if (sla_urgent(inv)) {
+    const auto& rt = faas::profile(image);
+    const Duration min_age = (rt.cold_launch + rt.init) * (1.0 / 3.0);
+    if (auto pending = runtime_manager_.promise_launching(image, min_age)) {
+      promised_[pending->container] = inv.id;
+      platform_.metrics().count("sla_promised_recoveries");
+      replication_.on_replica_consumed(image);
+      return;  // dispatch happens in on_container_ready
+    }
+  }
+
+  replication_.reconcile(image);  // provision replicas for the next failure
+  recover_cold(inv);
+}
+
+// ---- ExecutionHooks ---------------------------------------------------------
+
+Duration CoreModule::state_epilogue(const faas::Invocation& inv,
+                                    std::size_t state_idx) {
+  return checkpointing_.state_epilogue(inv, state_idx);
+}
+
+void CoreModule::on_state_committed(const faas::Invocation& inv,
+                                    std::size_t state_idx) {
+  checkpointing_.on_state_committed(inv, state_idx);
+}
+
+// ---- PlatformObserver -------------------------------------------------------
+
+void CoreModule::on_job_submitted(JobId job) {
+  const auto& spec = platform_.job_spec(job);
+  JobInfoRow row;
+  row.job = job;
+  row.name = spec.name;
+  row.account = spec.account;
+  row.function_count = spec.functions.size();
+  row.submitted = platform_.simulator().now();
+  if (!spec.functions.empty()) {
+    row.checkpoint_retention =
+        checkpointing_.retention_for(spec.functions.front());
+  }
+  metadata_.insert_job(row);
+
+  const auto& functions = platform_.job_functions(job);
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    FunctionInfoRow fn_row;
+    fn_row.function = functions[i];
+    fn_row.job = job;
+    fn_row.runtime = spec.functions[i].runtime;
+    metadata_.insert_function(fn_row);
+  }
+  if (spec.sla > Duration::zero()) {
+    deadlines_[job] = platform_.simulator().now() + spec.sla;
+  }
+  replication_.on_job_submitted(job);
+}
+
+void CoreModule::on_attempt_started(const faas::Invocation& inv) {
+  if (auto* row = metadata_.mutable_function(inv.id)) {
+    row->worker = inv.node;
+    row->container = inv.container;
+    row->attempts = inv.attempt;
+  }
+  replication_.on_attempt_started(inv);
+}
+
+void CoreModule::on_function_completed(const faas::Invocation& inv) {
+  if (auto* row = metadata_.mutable_function(inv.id)) {
+    row->completed = true;
+  }
+  // The final critical data is persisted by the application itself; the
+  // recovery checkpoints are no longer needed.
+  checkpointing_.drop_function(inv.id);
+  replication_.on_function_completed(inv);
+  CANARY_CHECK(in_flight_ > 0, "in-flight function count underflow");
+  --in_flight_;
+  drain_queue();
+}
+
+void CoreModule::on_function_failed(const faas::Invocation& inv,
+                                    const faas::FailureInfo& info) {
+  if (info.kind == faas::FailureKind::kNodeFailure) {
+    refresh_worker_table();
+    return;  // the node is already gone; nothing left to predict
+  }
+  // Feed the failure predictor; a newly-suspect worker triggers an
+  // immediate pre-scale of the failed function's runtime pool.
+  if (mitigator_.observe_failure(info.node)) {
+    platform_.metrics().count("nodes_marked_suspect");
+    replication_.reconcile(inv.spec->runtime);
+  }
+}
+
+void CoreModule::on_container_ready(const faas::Container& c) {
+  if (c.purpose != faas::ContainerPurpose::kRuntimeReplica) return;
+  // A replica promised to an SLA-urgent function dispatches the moment it
+  // turns warm; everything else becomes an active pool replica.
+  auto promised = promised_.find(c.id);
+  if (promised != promised_.end()) {
+    const FunctionId fn = promised->second;
+    promised_.erase(promised);
+    const auto& inv = platform_.invocation(fn);
+    if (!inv.completed()) {
+      const RestorePlan plan = checkpointing_.restore_plan(fn, c.node);
+      faas::StartSpec start;
+      start.from_state = plan.from_state;
+      start.container = c.id;
+      start.extra_setup = config_.migration_overhead + plan.restore_time;
+      platform_.metrics().count("sla_promised_dispatches");
+      platform_.start_attempt(fn, start);
+    }
+    return;
+  }
+  runtime_manager_.mark_active(c.id);
+}
+
+void CoreModule::on_container_destroyed(const faas::Container& c) {
+  if (c.purpose != faas::ContainerPurpose::kRuntimeReplica) return;
+  // A promised replica that died before turning warm must not strand its
+  // waiting function: recover it cold.
+  auto promised = promised_.find(c.id);
+  if (promised != promised_.end()) {
+    const FunctionId fn = promised->second;
+    promised_.erase(promised);
+    runtime_manager_.mark_dead(c.id);
+    const auto& inv = platform_.invocation(fn);
+    if (!inv.completed() && inv.phase == faas::Phase::kFailed) {
+      recover_cold(inv);
+    }
+    replication_.on_replica_destroyed(c.image);
+    return;
+  }
+  auto* row = metadata_.replica_by_container(c.id);
+  const bool was_live =
+      row != nullptr && (row->status == ReplicaStatus::kLaunching ||
+                         row->status == ReplicaStatus::kActive);
+  runtime_manager_.mark_dead(c.id);
+  if (was_live) replication_.on_replica_destroyed(c.image);
+}
+
+void CoreModule::on_job_completed(JobId job) { (void)job; }
+
+}  // namespace canary::core

@@ -1,0 +1,122 @@
+// Core Module (paper §IV-C1) — the orchestrator of the Canary framework.
+//
+// Receives job requests through a listener interface, validates them via
+// the Request Validator, creates the database entries, and coordinates
+// the Checkpointing, Replication and Runtime Manager modules. On function
+// failure it identifies the failed function's runtime, gathers the latest
+// checkpoint, selects the best replicated runtime, and redeploys the
+// function there with its state restored; with no replica available it
+// falls back to a cold container (still restoring the checkpoint), which
+// degenerates to the retry strategy's launch cost — exactly the paper's
+// lenient-replication worst case.
+//
+// CoreModule plugs into the Platform as its RecoveryHandler (replacing
+// retry), its ExecutionHooks (checkpoint overhead + records), and a
+// PlatformObserver (bookkeeping).
+#pragma once
+
+#include <deque>
+
+#include <unordered_map>
+
+#include "canary/checkpointing.hpp"
+#include "canary/metadata.hpp"
+#include "canary/proactive.hpp"
+#include "canary/replication.hpp"
+#include "canary/request_validator.hpp"
+#include "canary/runtime_manager.hpp"
+#include "cluster/storage.hpp"
+#include "faas/events.hpp"
+#include "faas/platform.hpp"
+#include "kvstore/kvstore.hpp"
+
+namespace canary::core {
+
+struct CanaryConfig {
+  CheckpointingConfig checkpointing;
+  ReplicationConfig replication;
+  /// Proactive failure prediction/mitigation (future-work extension).
+  ProactiveConfig proactive;
+  /// SLA-aware recovery (future-work extension): deadline-threatened
+  /// functions may reserve a replica that is still launching instead of
+  /// falling back to a cold container.
+  bool sla_aware = false;
+  /// Reassignment/routing overhead when migrating a failed function onto
+  /// a replicated runtime (in addition to checkpoint restore time).
+  Duration migration_overhead = Duration::msec(50);
+};
+
+class CoreModule final : public faas::RecoveryHandler,
+                         public faas::ExecutionHooks,
+                         public faas::PlatformObserver {
+ public:
+  CoreModule(faas::Platform& platform, kv::KvStore& store,
+             const cluster::StorageHierarchy& storage, CanaryConfig config);
+
+  /// Register this module as the platform's recovery handler, execution
+  /// hooks, and observer. Call once before submitting jobs.
+  void install();
+
+  /// Listener interface: validate and submit (or queue) a job. Returns
+  /// the platform JobId, or JobId::invalid() when the job was queued
+  /// because launching it now would exceed the concurrency limit — it is
+  /// submitted automatically as capacity frees (§IV-C2).
+  Result<JobId> submit_job(faas::JobSpec spec);
+
+  std::size_t queued_jobs() const { return queue_.size(); }
+  std::size_t in_flight_functions() const { return in_flight_; }
+
+  MetadataStore& metadata() { return metadata_; }
+  CheckpointingModule& checkpointing() { return checkpointing_; }
+  ReplicationModule& replication() { return replication_; }
+  RuntimeManagerModule& runtime_manager() { return runtime_manager_; }
+  const ProactiveMitigator& proactive() const { return mitigator_; }
+
+  // ---- RecoveryHandler --------------------------------------------------
+  void on_failure(const faas::Invocation& inv,
+                  const faas::FailureInfo& info) override;
+
+  // ---- ExecutionHooks ----------------------------------------------------
+  Duration state_epilogue(const faas::Invocation& inv,
+                          std::size_t state_idx) override;
+  void on_state_committed(const faas::Invocation& inv,
+                          std::size_t state_idx) override;
+
+  // ---- PlatformObserver ---------------------------------------------------
+  void on_job_submitted(JobId job) override;
+  void on_attempt_started(const faas::Invocation& inv) override;
+  void on_function_completed(const faas::Invocation& inv) override;
+  void on_function_failed(const faas::Invocation& inv,
+                          const faas::FailureInfo& info) override;
+  void on_container_ready(const faas::Container& c) override;
+  void on_container_destroyed(const faas::Container& c) override;
+  void on_job_completed(JobId job) override;
+
+ private:
+  void refresh_worker_table();
+  void drain_queue();
+  /// Cold-path recovery: restore the checkpoint onto a fresh container.
+  void recover_cold(const faas::Invocation& inv);
+  /// Whether the function's job deadline is threatened if recovery pays a
+  /// full cold start.
+  bool sla_urgent(const faas::Invocation& inv) const;
+
+  faas::Platform& platform_;
+  CanaryConfig config_;
+  MetadataStore metadata_;
+  RequestValidator validator_;
+  CheckpointingModule checkpointing_;
+  RuntimeManagerModule runtime_manager_;
+  ReplicationModule replication_;
+  ProactiveMitigator mitigator_;
+
+  std::deque<faas::JobSpec> queue_;
+  std::size_t in_flight_ = 0;
+  bool installed_ = false;
+  /// Job deadlines for SLA-aware recovery.
+  std::unordered_map<JobId, TimePoint> deadlines_;
+  /// Launching replicas promised to SLA-urgent functions.
+  std::unordered_map<ContainerId, FunctionId> promised_;
+};
+
+}  // namespace canary::core

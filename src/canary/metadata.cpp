@@ -1,0 +1,146 @@
+#include "canary/metadata.hpp"
+
+#include <algorithm>
+
+#include "common/result.hpp"
+
+namespace canary::core {
+
+void MetadataStore::upsert_worker(WorkerInfoRow row) {
+  workers_[row.node] = std::move(row);
+}
+
+const WorkerInfoRow* MetadataStore::worker(NodeId node) const {
+  auto it = workers_.find(node);
+  return it == workers_.end() ? nullptr : &it->second;
+}
+
+void MetadataStore::insert_job(JobInfoRow row) {
+  CANARY_CHECK(jobs_.find(row.job) == jobs_.end(), "duplicate job row");
+  jobs_.emplace(row.job, std::move(row));
+}
+
+const JobInfoRow* MetadataStore::job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+JobInfoRow* MetadataStore::mutable_job(JobId id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void MetadataStore::insert_function(FunctionInfoRow row) {
+  CANARY_CHECK(functions_.find(row.function) == functions_.end(),
+               "duplicate function row");
+  functions_.emplace(row.function, std::move(row));
+}
+
+FunctionInfoRow* MetadataStore::mutable_function(FunctionId id) {
+  auto it = functions_.find(id);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+const FunctionInfoRow* MetadataStore::function(FunctionId id) const {
+  auto it = functions_.find(id);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FunctionInfoRow*> MetadataStore::functions_of_job(
+    JobId id) const {
+  std::vector<const FunctionInfoRow*> rows;
+  for (const auto& [fid, row] : functions_) {
+    if (row.job == id) rows.push_back(&row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FunctionInfoRow* a, const FunctionInfoRow* b) {
+              return a->function < b->function;
+            });
+  return rows;
+}
+
+void MetadataStore::insert_checkpoint(CheckpointInfoRow row) {
+  const CheckpointId id = row.checkpoint;
+  const FunctionId fn = row.function;
+  CANARY_CHECK(checkpoints_.find(id) == checkpoints_.end(),
+               "duplicate checkpoint row");
+  checkpoints_.emplace(id, std::move(row));
+  checkpoints_by_fn_[fn].push_back(id);
+}
+
+void MetadataStore::remove_checkpoint(CheckpointId id) {
+  auto it = checkpoints_.find(id);
+  if (it == checkpoints_.end()) return;
+  auto& per_fn = checkpoints_by_fn_[it->second.function];
+  per_fn.erase(std::remove(per_fn.begin(), per_fn.end(), id), per_fn.end());
+  checkpoints_.erase(it);
+}
+
+CheckpointInfoRow* MetadataStore::mutable_checkpoint(CheckpointId id) {
+  auto it = checkpoints_.find(id);
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+std::vector<const CheckpointInfoRow*> MetadataStore::checkpoints_of(
+    FunctionId fn) const {
+  std::vector<const CheckpointInfoRow*> rows;
+  auto it = checkpoints_by_fn_.find(fn);
+  if (it == checkpoints_by_fn_.end()) return rows;
+  rows.reserve(it->second.size());
+  for (const CheckpointId id : it->second) {
+    auto row = checkpoints_.find(id);
+    if (row != checkpoints_.end()) rows.push_back(&row->second);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CheckpointInfoRow* a, const CheckpointInfoRow* b) {
+              return a->state_index < b->state_index;
+            });
+  return rows;
+}
+
+std::size_t MetadataStore::checkpoint_count(FunctionId fn) const {
+  auto it = checkpoints_by_fn_.find(fn);
+  return it == checkpoints_by_fn_.end() ? 0 : it->second.size();
+}
+
+void MetadataStore::remove_checkpoints_of(FunctionId fn) {
+  auto it = checkpoints_by_fn_.find(fn);
+  if (it == checkpoints_by_fn_.end()) return;
+  for (const CheckpointId id : it->second) checkpoints_.erase(id);
+  checkpoints_by_fn_.erase(it);
+}
+
+void MetadataStore::insert_replica(ReplicationInfoRow row) {
+  CANARY_CHECK(replicas_.find(row.replica) == replicas_.end(),
+               "duplicate replica row");
+  replicas_.emplace(row.replica, std::move(row));
+}
+
+ReplicationInfoRow* MetadataStore::mutable_replica(ReplicaId id) {
+  auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+ReplicationInfoRow* MetadataStore::replica_by_container(ContainerId id) {
+  for (auto& [rid, row] : replicas_) {
+    if (row.container == id && row.status != ReplicaStatus::kDead) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ReplicationInfoRow*> MetadataStore::replicas_of(
+    faas::RuntimeImage image) const {
+  std::vector<const ReplicationInfoRow*> rows;
+  for (const auto& [rid, row] : replicas_) {
+    if (row.runtime == image) rows.push_back(&row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ReplicationInfoRow* a, const ReplicationInfoRow* b) {
+              return a->replica < b->replica;
+            });
+  return rows;
+}
+
+}  // namespace canary::core

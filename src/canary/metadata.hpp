@@ -1,0 +1,122 @@
+// The Core Module's database tables (paper §IV-C1).
+//
+// "The five main tables created in the database are worker_info, job_info,
+// function_info, checkpoint_info, and replication_info." The paper keeps
+// them in CouchDB; here they are typed in-memory tables with the same
+// schema and the lookups the Core Module performs during recovery
+// (failed function -> runtime -> replica -> latest checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/storage.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "faas/runtime.hpp"
+
+namespace canary::core {
+
+struct WorkerInfoRow {
+  NodeId node;
+  cluster::CpuClass cpu = cluster::CpuClass::kXeonGold6242;
+  Bytes memory = Bytes::zero();
+  std::uint32_t container_slots = 0;
+  std::uint32_t rack = 0;
+  bool alive = true;
+  std::string role = "invoker";
+};
+
+struct JobInfoRow {
+  JobId job;
+  std::string name;
+  AccountId account;
+  std::size_t function_count = 0;
+  TimePoint submitted;
+  unsigned checkpoint_retention = 3;
+  unsigned replication_factor = 1;
+};
+
+struct FunctionInfoRow {
+  FunctionId function;
+  JobId job;
+  faas::RuntimeImage runtime = faas::RuntimeImage::kPython3;
+  NodeId worker;         // current/last hosting worker
+  ContainerId container; // current/last container
+  int attempts = 0;
+  bool completed = false;
+};
+
+struct CheckpointInfoRow {
+  CheckpointId checkpoint;
+  JobId job;
+  FunctionId function;
+  std::size_t state_index = 0;  // index of the committed state
+  Bytes payload = Bytes::zero();
+  cluster::StorageTier location = cluster::StorageTier::kKvStore;
+  NodeId stored_on;  // hosting node for node-local tiers
+  bool flushed_to_shared = false;
+  std::string kv_key;
+  TimePoint created;
+};
+
+enum class ReplicaStatus { kLaunching, kActive, kConsumed, kDead };
+
+struct ReplicationInfoRow {
+  ReplicaId replica;
+  faas::RuntimeImage runtime = faas::RuntimeImage::kPython3;
+  NodeId worker;
+  ContainerId container;
+  ReplicaStatus status = ReplicaStatus::kLaunching;
+  TimePoint created;
+};
+
+class MetadataStore {
+ public:
+  // -- worker_info -------------------------------------------------------
+  void upsert_worker(WorkerInfoRow row);
+  const WorkerInfoRow* worker(NodeId node) const;
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // -- job_info ----------------------------------------------------------
+  void insert_job(JobInfoRow row);
+  const JobInfoRow* job(JobId id) const;
+  JobInfoRow* mutable_job(JobId id);
+
+  // -- function_info -----------------------------------------------------
+  void insert_function(FunctionInfoRow row);
+  FunctionInfoRow* mutable_function(FunctionId id);
+  const FunctionInfoRow* function(FunctionId id) const;
+  std::vector<const FunctionInfoRow*> functions_of_job(JobId id) const;
+
+  // -- checkpoint_info ---------------------------------------------------
+  void insert_checkpoint(CheckpointInfoRow row);
+  void remove_checkpoint(CheckpointId id);
+  CheckpointInfoRow* mutable_checkpoint(CheckpointId id);
+  /// Rows for `fn`, ordered oldest-first by state index.
+  std::vector<const CheckpointInfoRow*> checkpoints_of(FunctionId fn) const;
+  std::size_t checkpoint_count(FunctionId fn) const;
+  void remove_checkpoints_of(FunctionId fn);
+
+  // -- replication_info --------------------------------------------------
+  void insert_replica(ReplicationInfoRow row);
+  ReplicationInfoRow* mutable_replica(ReplicaId id);
+  ReplicationInfoRow* replica_by_container(ContainerId id);
+  std::vector<const ReplicationInfoRow*> replicas_of(
+      faas::RuntimeImage image) const;
+
+ private:
+  std::unordered_map<NodeId, WorkerInfoRow> workers_;
+  std::unordered_map<JobId, JobInfoRow> jobs_;
+  std::unordered_map<FunctionId, FunctionInfoRow> functions_;
+  std::unordered_map<CheckpointId, CheckpointInfoRow> checkpoints_;
+  std::unordered_map<FunctionId, std::vector<CheckpointId>> checkpoints_by_fn_;
+  std::unordered_map<ReplicaId, ReplicationInfoRow> replicas_;
+};
+
+}  // namespace canary::core

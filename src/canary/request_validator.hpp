@@ -1,0 +1,44 @@
+// Request Validator Module (paper §IV-C2).
+//
+// Prevents request failures before the platform processes a job: verifies
+// the requested resources against the FaaS platform's limits and checks
+// that launching the job's functions would not exceed the account's
+// maximum concurrent function limit. Jobs that would trip the concurrency
+// limit are queued by the Core Module until capacity frees up; jobs that
+// can never run (per-function memory beyond the platform maximum) are
+// rejected outright.
+#pragma once
+
+#include <string>
+
+#include "faas/function.hpp"
+#include "faas/platform.hpp"
+
+namespace canary::core {
+
+enum class Verdict {
+  kAccept,  // safe to submit now
+  kQueue,   // valid but would exceed concurrency right now
+  kReject,  // can never be satisfied (request failure prevented)
+};
+
+struct ValidationResult {
+  Verdict verdict = Verdict::kAccept;
+  std::string reason;
+};
+
+class RequestValidator {
+ public:
+  explicit RequestValidator(const faas::PlatformLimits& limits)
+      : limits_(limits) {}
+
+  /// `in_flight` is the number of functions currently running or pending
+  /// for this account, tracked by the Core Module.
+  ValidationResult validate(const faas::JobSpec& job,
+                            std::size_t in_flight) const;
+
+ private:
+  faas::PlatformLimits limits_;
+};
+
+}  // namespace canary::core

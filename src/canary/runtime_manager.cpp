@@ -1,0 +1,125 @@
+#include "canary/runtime_manager.hpp"
+
+#include <algorithm>
+
+namespace canary::core {
+
+ReplicaId RuntimeManagerModule::register_replica(faas::RuntimeImage image,
+                                                 NodeId node,
+                                                 ContainerId container) {
+  ReplicationInfoRow row;
+  row.replica = ids_.next();
+  row.runtime = image;
+  row.worker = node;
+  row.container = container;
+  row.status = ReplicaStatus::kLaunching;
+  row.created = platform_.simulator().now();
+  const ReplicaId id = row.replica;
+  metadata_.insert_replica(std::move(row));
+  return id;
+}
+
+void RuntimeManagerModule::mark_active(ContainerId container) {
+  auto* row = metadata_.replica_by_container(container);
+  if (row != nullptr && row->status == ReplicaStatus::kLaunching) {
+    row->status = ReplicaStatus::kActive;
+  }
+}
+
+void RuntimeManagerModule::mark_dead(ContainerId container) {
+  auto* row = metadata_.replica_by_container(container);
+  if (row != nullptr && row->status != ReplicaStatus::kConsumed) {
+    row->status = ReplicaStatus::kDead;
+  }
+}
+
+std::optional<ReplicationInfoRow> RuntimeManagerModule::acquire(
+    faas::RuntimeImage image, std::optional<NodeId> prefer) {
+  ReplicationInfoRow* best = nullptr;
+  int best_score = 0;
+  for (const auto* row_view : metadata_.replicas_of(image)) {
+    auto* row = metadata_.mutable_replica(row_view->replica);
+    if (row->status != ReplicaStatus::kActive) continue;
+    if (!cluster_.node(row->worker).alive()) continue;
+    // Locality score: same node beats same rack beats anywhere.
+    int score = 1;
+    if (prefer && cluster_.contains(*prefer)) {
+      if (row->worker == *prefer) {
+        score = 3;
+      } else if (cluster_.rack_distance(row->worker, *prefer) == 0) {
+        score = 2;
+      }
+    }
+    if (best == nullptr || score > best_score) {
+      best = row;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  best->status = ReplicaStatus::kConsumed;
+  return *best;
+}
+
+std::size_t RuntimeManagerModule::active_count(
+    faas::RuntimeImage image) const {
+  std::size_t count = 0;
+  for (const auto* row : metadata_.replicas_of(image)) {
+    if (row->status == ReplicaStatus::kActive) ++count;
+  }
+  return count;
+}
+
+std::size_t RuntimeManagerModule::pending_count(
+    faas::RuntimeImage image) const {
+  std::size_t count = 0;
+  for (const auto* row : metadata_.replicas_of(image)) {
+    if (row->status == ReplicaStatus::kLaunching) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> RuntimeManagerModule::replica_nodes(
+    faas::RuntimeImage image) const {
+  std::vector<NodeId> nodes;
+  for (const auto* row : metadata_.replicas_of(image)) {
+    if (row->status == ReplicaStatus::kActive ||
+        row->status == ReplicaStatus::kLaunching) {
+      nodes.push_back(row->worker);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::optional<ReplicationInfoRow> RuntimeManagerModule::promise_launching(
+    faas::RuntimeImage image, Duration min_age) {
+  ReplicationInfoRow* best = nullptr;
+  const TimePoint now = platform_.simulator().now();
+  for (const auto* row_view : metadata_.replicas_of(image)) {
+    auto* row = metadata_.mutable_replica(row_view->replica);
+    if (row->status != ReplicaStatus::kLaunching) continue;
+    if (!cluster_.node(row->worker).alive()) continue;
+    if (now - row->created < min_age) continue;
+    // Oldest launching replica = closest to warm = shortest wait.
+    if (best == nullptr || row->created < best->created) best = row;
+  }
+  if (best == nullptr) return std::nullopt;
+  best->status = ReplicaStatus::kConsumed;
+  return *best;
+}
+
+std::optional<ContainerId> RuntimeManagerModule::retire_one(
+    faas::RuntimeImage image) {
+  ReplicationInfoRow* newest = nullptr;
+  for (const auto* row_view : metadata_.replicas_of(image)) {
+    auto* row = metadata_.mutable_replica(row_view->replica);
+    if (row->status != ReplicaStatus::kActive) continue;
+    if (newest == nullptr || row->created > newest->created) newest = row;
+  }
+  if (newest == nullptr) return std::nullopt;
+  newest->status = ReplicaStatus::kDead;
+  return newest->container;
+}
+
+}  // namespace canary::core

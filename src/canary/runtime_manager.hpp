@@ -1,0 +1,69 @@
+// Runtime Manager Module (paper §IV-C3).
+//
+// Tracks every runtime replica deployed in the cluster and their
+// locations, and maps failed functions to the best replicated runtime:
+// the Core Module asks `acquire()` for a warm replica of the failed
+// function's runtime, preferring the failed function's node (checkpoint
+// locality), then its rack, so recovery time stays minimal on
+// heterogeneous resources (§IV-C5b).
+#pragma once
+
+#include <optional>
+
+#include "canary/metadata.hpp"
+#include "cluster/cluster.hpp"
+#include "faas/platform.hpp"
+
+namespace canary::core {
+
+class RuntimeManagerModule {
+ public:
+  RuntimeManagerModule(faas::Platform& platform, cluster::Cluster& cluster,
+                       MetadataStore& metadata)
+      : platform_(platform), cluster_(cluster), metadata_(metadata) {}
+
+  /// Record a replica whose container launch was just initiated.
+  ReplicaId register_replica(faas::RuntimeImage image, NodeId node,
+                             ContainerId container);
+
+  /// The replica's container reached the Warm state.
+  void mark_active(ContainerId container);
+
+  /// The replica's container was destroyed (node failure or retirement).
+  void mark_dead(ContainerId container);
+
+  /// Best active replica for `image`: same node as `prefer`, then same
+  /// rack, then lowest replica id. The replica is marked consumed — its
+  /// container now belongs to the recovering function.
+  std::optional<ReplicationInfoRow> acquire(faas::RuntimeImage image,
+                                            std::optional<NodeId> prefer);
+
+  /// Replicas that are warm and unconsumed.
+  std::size_t active_count(faas::RuntimeImage image) const;
+  /// Replicas still launching/initializing.
+  std::size_t pending_count(faas::RuntimeImage image) const;
+  /// Nodes currently hosting live (active or pending) replicas of `image`.
+  std::vector<NodeId> replica_nodes(faas::RuntimeImage image) const;
+
+  /// Pick one active replica to retire (most recently created first, so
+  /// long-warm replicas are kept). Marks it dead and returns the
+  /// container for the caller to destroy.
+  std::optional<ContainerId> retire_one(faas::RuntimeImage image);
+
+  /// Reserve a replica that is still launching/initializing for an
+  /// SLA-urgent recovery: marked consumed immediately so nobody else
+  /// claims it; the caller dispatches once the container turns warm.
+  /// Only replicas at least `min_age` into their startup qualify — a
+  /// freshly-launched replica offers no head start over a cold container
+  /// and is worth more staying in the pool.
+  std::optional<ReplicationInfoRow> promise_launching(
+      faas::RuntimeImage image, Duration min_age = Duration::zero());
+
+ private:
+  faas::Platform& platform_;
+  cluster::Cluster& cluster_;
+  MetadataStore& metadata_;
+  IdGenerator<ReplicaId> ids_;
+};
+
+}  // namespace canary::core

@@ -1,0 +1,111 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/result.hpp"
+
+namespace canary::cluster {
+
+Cluster::Cluster(std::vector<NodeSpec> specs) {
+  CANARY_CHECK(!specs.empty(), "cluster needs at least one node");
+  nodes_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    nodes_.emplace_back(NodeId{i + 1}, specs[i]);
+  }
+}
+
+Cluster Cluster::testbed(std::size_t node_count) {
+  static constexpr CpuClass kClasses[] = {
+      CpuClass::kXeonGold6126, CpuClass::kXeonGold6240R,
+      CpuClass::kXeonGold6242};
+  std::vector<NodeSpec> specs;
+  specs.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    NodeSpec spec;
+    spec.cpu = kClasses[i % 3];
+    spec.rack = static_cast<std::uint32_t>(i / 4);
+    specs.push_back(spec);
+  }
+  return Cluster(std::move(specs));
+}
+
+std::size_t Cluster::alive_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.alive(); }));
+}
+
+std::size_t Cluster::index_of(NodeId id) const {
+  CANARY_CHECK(id.valid() && id.value() <= nodes_.size(), "unknown node id");
+  return id.value() - 1;
+}
+
+Node& Cluster::node(NodeId id) { return nodes_[index_of(id)]; }
+const Node& Cluster::node(NodeId id) const { return nodes_[index_of(id)]; }
+
+bool Cluster::contains(NodeId id) const {
+  return id.valid() && id.value() <= nodes_.size();
+}
+
+std::vector<NodeId> Cluster::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& n : nodes_) ids.push_back(n.id());
+  return ids;
+}
+
+std::vector<NodeId> Cluster::alive_node_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& n : nodes_) {
+    if (n.alive()) ids.push_back(n.id());
+  }
+  return ids;
+}
+
+std::optional<NodeId> Cluster::least_loaded(Bytes memory) const {
+  return least_loaded_excluding(memory, {});
+}
+
+std::optional<NodeId> Cluster::least_loaded_excluding(
+    Bytes memory, const std::vector<NodeId>& excluded) const {
+  const Node* best = nullptr;
+  for (const auto& n : nodes_) {
+    if (!n.can_host(memory)) continue;
+    if (std::find(excluded.begin(), excluded.end(), n.id()) != excluded.end()) {
+      continue;
+    }
+    if (best == nullptr || n.used_slots() < best->used_slots()) best = &n;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id();
+}
+
+std::optional<NodeId> Cluster::weighted_random_alive(Rng& rng) const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.alive()) total += n.fail_weight();
+  }
+  if (total <= 0.0) return std::nullopt;
+  double pick = rng.uniform(0.0, total);
+  for (const auto& n : nodes_) {
+    if (!n.alive()) continue;
+    pick -= n.fail_weight();
+    if (pick <= 0.0) return n.id();
+  }
+  // Floating-point slack: fall back to the last alive node.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    if (it->alive()) return it->id();
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Cluster::rack_distance(NodeId a, NodeId b) const {
+  const auto ra = node(a).spec().rack;
+  const auto rb = node(b).spec().rack;
+  return ra == rb ? 0 : 1;
+}
+
+void Cluster::fail_node(NodeId id) { node(id).mark_failed(); }
+void Cluster::restore_node(NodeId id) { node(id).mark_restored(); }
+
+}  // namespace canary::cluster

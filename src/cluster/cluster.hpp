@@ -1,0 +1,63 @@
+// Cluster topology: a set of worker nodes grouped into racks.
+//
+// Mirrors the paper's testbed (§V-C1): 16 servers, heterogeneous Xeon
+// classes, connected by 10G Ethernet. Placement helpers used by the FaaS
+// scheduler and by Canary's replica placement (§IV-C5b: first replica
+// co-located with a job function, further replicas anti-affine to avoid a
+// single point of failure; decisions are locality aware).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "cluster/node.hpp"
+
+namespace canary::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<NodeSpec> specs);
+
+  /// Builds an n-node cluster mirroring the Chameleon testbed: CPU
+  /// classes interleaved 6126 / 6240R / 6242, four nodes per rack.
+  static Cluster testbed(std::size_t node_count);
+
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t alive_count() const;
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  bool contains(NodeId id) const;
+
+  std::vector<NodeId> node_ids() const;
+  std::vector<NodeId> alive_node_ids() const;
+
+  /// Least-loaded alive node that can host `memory`; ties broken by lowest
+  /// id for determinism. nullopt when the cluster is saturated.
+  std::optional<NodeId> least_loaded(Bytes memory) const;
+
+  /// Least-loaded alive candidate excluding `excluded`; used for
+  /// anti-affine replica placement.
+  std::optional<NodeId> least_loaded_excluding(
+      Bytes memory, const std::vector<NodeId>& excluded) const;
+
+  /// Sample an alive node with probability proportional to its hardware
+  /// failure weight; used by the failure injector to model older hardware
+  /// failing more often. nullopt when no node is alive.
+  std::optional<NodeId> weighted_random_alive(Rng& rng) const;
+
+  /// Number of inter-rack hops between two nodes (0 = same rack).
+  std::uint32_t rack_distance(NodeId a, NodeId b) const;
+
+  void fail_node(NodeId id);
+  void restore_node(NodeId id);
+
+ private:
+  std::size_t index_of(NodeId id) const;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace canary::cluster

@@ -1,0 +1,26 @@
+#include "cluster/network.hpp"
+
+#include <algorithm>
+
+namespace canary::cluster {
+
+Duration NetworkModel::latency(NodeId a, NodeId b) const {
+  if (a == b) return Duration::zero();
+  return cluster_->rack_distance(a, b) == 0 ? profile_.same_rack_latency
+                                            : profile_.cross_rack_latency;
+}
+
+Duration NetworkModel::transfer_time(NodeId a, NodeId b, Bytes payload,
+                                     unsigned concurrent_flows) const {
+  if (a == b) return Duration::zero();
+  concurrent_flows = std::max(1u, concurrent_flows);
+  // Flows share bandwidth fairly but never drop below the congestion
+  // floor (TCP keeps some goodput even under heavy incast).
+  const double share = std::max(1.0 / static_cast<double>(concurrent_flows),
+                                profile_.congestion_floor);
+  const double eff_mib_s = profile_.bandwidth_mib_per_sec * share;
+  const double seconds = payload.to_mib() / eff_mib_s;
+  return latency(a, b) + Duration::sec(seconds);
+}
+
+}  // namespace canary::cluster

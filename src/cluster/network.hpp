@@ -1,0 +1,44 @@
+// Interconnect model: 10G Ethernet with rack locality (paper §V-C1).
+//
+// Transfer time = propagation latency (higher across racks) + payload
+// size over effective bandwidth. Used for checkpoint movement between
+// nodes, replica warm-up traffic, and restoring checkpoints from shared
+// storage on a remote node.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "cluster/cluster.hpp"
+
+namespace canary::cluster {
+
+struct NetworkProfile {
+  Duration same_rack_latency = Duration::usec(80);
+  Duration cross_rack_latency = Duration::usec(220);
+  double bandwidth_mib_per_sec = 1100.0;  // ~10GbE effective
+  /// Fraction of nominal bandwidth available under contention; applied by
+  /// callers that model simultaneous bulk transfers.
+  double congestion_floor = 0.35;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(const Cluster* cluster, NetworkProfile profile)
+      : cluster_(cluster), profile_(profile) {}
+
+  const NetworkProfile& profile() const { return profile_; }
+
+  /// One-way latency between two nodes (zero for loopback).
+  Duration latency(NodeId a, NodeId b) const;
+
+  /// Time to move `payload` from node `a` to node `b` assuming
+  /// `concurrent_flows` bulk transfers share the path (>= 1).
+  Duration transfer_time(NodeId a, NodeId b, Bytes payload,
+                         unsigned concurrent_flows = 1) const;
+
+ private:
+  const Cluster* cluster_;
+  NetworkProfile profile_;
+};
+
+}  // namespace canary::cluster

@@ -1,0 +1,86 @@
+// Worker-node model.
+//
+// The paper's testbed is 16 bare-metal Chameleon servers with two Xeon
+// Gold 6126/6240R/6242 processors and 192 GB RAM (§V-C1). We model each
+// node with a CPU class (heterogeneous speed and failure proneness — §I:
+// "older hardware is more prone to failure", "slower computing devices
+// ... can significantly increase application recovery time"), a memory
+// budget, and a bounded number of container slots.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace canary::cluster {
+
+enum class CpuClass {
+  kXeonGold6126,   // Skylake, 2017 — oldest/slowest in the testbed
+  kXeonGold6240R,  // Cascade Lake, 2020
+  kXeonGold6242,   // Cascade Lake, 2019
+};
+
+std::string_view to_string_view(CpuClass c);
+
+/// Relative duration multiplier for work executed on this CPU class
+/// (1.0 = nominal). Older parts run slower.
+double speed_factor(CpuClass c);
+
+/// Relative weight for failure targeting; older hardware fails more often
+/// (paper §I cites [29], [30]).
+double failure_weight(CpuClass c);
+
+struct NodeSpec {
+  CpuClass cpu = CpuClass::kXeonGold6242;
+  Bytes memory = Bytes::gib(192);
+  std::uint32_t container_slots = 64;
+  std::uint32_t rack = 0;
+};
+
+/// Mutable node state: capacity accounting plus liveness. Containers
+/// reserve a slot and a memory allocation for their lifetime.
+class Node {
+ public:
+  Node(NodeId id, NodeSpec spec) : id_(id), spec_(spec) {}
+
+  NodeId id() const { return id_; }
+  const NodeSpec& spec() const { return spec_; }
+  double speed() const { return speed_factor(spec_.cpu); }
+  double fail_weight() const { return failure_weight(spec_.cpu); }
+
+  bool alive() const { return alive_; }
+  void mark_failed() { alive_ = false; }
+  void mark_restored() {
+    alive_ = true;
+    used_slots_ = 0;
+    used_memory_ = Bytes::zero();
+  }
+
+  std::uint32_t used_slots() const { return used_slots_; }
+  std::uint32_t free_slots() const {
+    return alive_ ? spec_.container_slots - used_slots_ : 0;
+  }
+  Bytes used_memory() const { return used_memory_; }
+
+  bool can_host(Bytes memory) const {
+    return alive_ && used_slots_ < spec_.container_slots &&
+           used_memory_.count() + memory.count() <= spec_.memory.count();
+  }
+
+  /// Reserve one container slot plus `memory`. Fails (does not abort) when
+  /// the node is dead or full, so schedulers can probe.
+  Status reserve(Bytes memory);
+  void release(Bytes memory);
+
+ private:
+  NodeId id_;
+  NodeSpec spec_;
+  bool alive_ = true;
+  std::uint32_t used_slots_ = 0;
+  Bytes used_memory_ = Bytes::zero();
+};
+
+}  // namespace canary::cluster

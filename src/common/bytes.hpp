@@ -1,0 +1,42 @@
+// Byte-count strong type used for checkpoint payloads, memory allocations
+// and storage-tier transfer sizes.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace canary {
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  static constexpr Bytes of(std::uint64_t b) { return Bytes{b}; }
+  static constexpr Bytes kib(std::uint64_t k) { return Bytes{k * 1024}; }
+  static constexpr Bytes mib(std::uint64_t m) { return Bytes{m * 1024 * 1024}; }
+  static constexpr Bytes gib(std::uint64_t g) {
+    return Bytes{g * 1024ULL * 1024ULL * 1024ULL};
+  }
+  static constexpr Bytes zero() { return Bytes{0}; }
+
+  constexpr std::uint64_t count() const { return bytes_; }
+  constexpr double to_mib() const {
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0);
+  }
+  constexpr double to_gib() const {
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+  constexpr Bytes operator+(Bytes o) const { return Bytes{bytes_ + o.bytes_}; }
+  constexpr Bytes& operator+=(Bytes o) { bytes_ += o.bytes_; return *this; }
+  constexpr Bytes operator*(std::uint64_t f) const { return Bytes{bytes_ * f}; }
+
+ private:
+  constexpr explicit Bytes(std::uint64_t b) : bytes_(b) {}
+  std::uint64_t bytes_ = 0;
+};
+
+inline std::string to_string(Bytes b) { return std::to_string(b.count()) + "B"; }
+
+}  // namespace canary

@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace canary {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Serialise whole lines so parallel repetitions do not interleave.
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(level), file, line,
+               msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace canary

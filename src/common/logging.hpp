@@ -1,0 +1,36 @@
+// Leveled logging to stderr. Disabled below the compile/runtime threshold;
+// experiments run with kWarn so hot paths stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace canary {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold. Tests flip this to kTrace to assert on
+/// messages; the harness leaves it at kWarn.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+#define CANARY_LOG(level, expr)                                         \
+  do {                                                                  \
+    if (level >= ::canary::log_threshold()) {                           \
+      std::ostringstream canary_log_oss;                                \
+      canary_log_oss << expr;                                           \
+      ::canary::detail::log_emit(level, __FILE__, __LINE__,             \
+                                 canary_log_oss.str());                 \
+    }                                                                   \
+  } while (0)
+
+#define CANARY_LOG_DEBUG(expr) CANARY_LOG(::canary::LogLevel::kDebug, expr)
+#define CANARY_LOG_INFO(expr) CANARY_LOG(::canary::LogLevel::kInfo, expr)
+#define CANARY_LOG_WARN(expr) CANARY_LOG(::canary::LogLevel::kWarn, expr)
+#define CANARY_LOG_ERROR(expr) CANARY_LOG(::canary::LogLevel::kError, expr)
+
+}  // namespace canary

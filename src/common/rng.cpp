@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace canary {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng Rng::child(std::uint64_t stream) const {
+  // Mix the parent seed with the stream id through SplitMix64 twice so
+  // adjacent streams are decorrelated.
+  std::uint64_t sm = seed_ ^ (0xa0761d6478bd642fULL * (stream + 1));
+  std::uint64_t derived = splitmix64(sm);
+  derived ^= splitmix64(sm);
+  return Rng(derived);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next_u64();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + (v % range);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; uniform01() < 1 so the log argument is > 0.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace canary

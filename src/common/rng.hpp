@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every simulation run is seeded explicitly; repetitions derive child
+// seeds with SplitMix64 so that rep k of experiment E is bit-identical
+// across machines and thread schedules. The generator is xoshiro256**,
+// which is fast, has 256-bit state, and passes BigCrush — <random>'s
+// mt19937 is avoided because its seeding is easy to get wrong and its
+// distributions are not reproducible across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace canary {
+
+/// SplitMix64 step; used for seed expansion and child-seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with reproducible distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child stream (e.g. one per function invocation)
+  /// keyed by `stream`. Deterministic in (parent seed, stream).
+  Rng child(std::uint64_t stream) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Zero-mean unit-variance normal via Box-Muller (no cached spare, so
+  /// the stream stays position-independent).
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t seed_;
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace canary

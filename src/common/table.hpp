@@ -1,0 +1,32 @@
+// Plain-text aligned table writer used by the benchmark harness to print
+// the rows/series of each reproduced figure, plus CSV emission for
+// re-plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace canary {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace canary

@@ -1,0 +1,89 @@
+// Simulated-time primitives.
+//
+// All simulation timestamps and durations are integer microseconds wrapped
+// in strong types so they cannot be mixed with byte counts, ids, or each
+// other accidentally. Arithmetic is defined only where it is meaningful
+// (TimePoint - TimePoint = Duration, TimePoint + Duration = TimePoint, ...).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace canary {
+
+/// A span of simulated time, in microseconds. May be negative in
+/// intermediate arithmetic but never when scheduling.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration usec(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration msec(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration sec(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_usec() const { return usec_; }
+  constexpr double to_seconds() const { return static_cast<double>(usec_) / 1e6; }
+  constexpr double to_msec() const { return static_cast<double>(usec_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{usec_ + o.usec_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{usec_ - o.usec_}; }
+  constexpr Duration& operator+=(Duration o) { usec_ += o.usec_; return *this; }
+  constexpr Duration& operator-=(Duration o) { usec_ -= o.usec_; return *this; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(usec_) * f)};
+  }
+  constexpr Duration operator/(std::int64_t d) const { return Duration{usec_ / d}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(usec_) / static_cast<double>(o.usec_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : usec_(v) {}
+  std::int64_t usec_ = 0;
+};
+
+/// An absolute instant on the simulation clock (microseconds since the
+/// start of the run).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint from_usec(std::int64_t v) { return TimePoint{v}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_usec() const { return usec_; }
+  constexpr double to_seconds() const { return static_cast<double>(usec_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{usec_ + d.count_usec()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::usec(usec_ - o.usec_);
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : usec_(v) {}
+  std::int64_t usec_ = 0;
+};
+
+inline std::string to_string(Duration d) {
+  return std::to_string(d.to_seconds()) + "s";
+}
+inline std::string to_string(TimePoint t) {
+  return std::to_string(t.to_seconds()) + "s";
+}
+
+}  // namespace canary

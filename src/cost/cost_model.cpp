@@ -1,0 +1,28 @@
+#include "cost/cost_model.hpp"
+
+namespace canary::cost {
+
+double CostModel::cost_usd(const faas::UsageLedger& ledger) const {
+  return ledger.total_gb_seconds() * pricing_.usd_per_gb_second;
+}
+
+CostBreakdown CostModel::breakdown(const faas::UsageLedger& ledger) const {
+  CostBreakdown result;
+  result.function_usd =
+      ledger.gb_seconds_for(faas::ContainerPurpose::kFunction) *
+      pricing_.usd_per_gb_second;
+  result.replica_usd =
+      ledger.gb_seconds_for(faas::ContainerPurpose::kRuntimeReplica) *
+      pricing_.usd_per_gb_second;
+  result.rr_usd =
+      ledger.gb_seconds_for(faas::ContainerPurpose::kRequestReplica) *
+      pricing_.usd_per_gb_second;
+  result.standby_usd =
+      ledger.gb_seconds_for(faas::ContainerPurpose::kStandby) *
+      pricing_.usd_per_gb_second;
+  result.total_usd = result.function_usd + result.replica_usd +
+                     result.rr_usd + result.standby_usd;
+  return result;
+}
+
+}  // namespace canary::cost

@@ -1,0 +1,129 @@
+// Function and job specifications.
+//
+// A function executes a sequence of states (paper §II-A: "a function can
+// consume input data and process the data in a single or multiple phases
+// called states"); each state has a nominal duration and a checkpoint
+// payload size that Canary's Checkpointing Module would persist after the
+// state commits. Eq. (1) decomposes a function's execution into launch
+// (lch_f), initialization (ini_f), workload execution (exec_f — the state
+// sequence), and the remainder fin_f.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "faas/runtime.hpp"
+
+namespace canary::faas {
+
+struct StateSpec {
+  /// Nominal compute time for this state on a speed-1.0 node.
+  Duration duration;
+  /// Application state + critical data the Checkpointing Module persists
+  /// after this state commits (e.g. model weights after an epoch).
+  Bytes checkpoint_payload = Bytes::zero();
+};
+
+struct FunctionSpec {
+  std::string name;
+  RuntimeImage runtime = RuntimeImage::kPython3;
+  /// Memory request; zero means "use the runtime image default".
+  Bytes memory = Bytes::zero();
+  std::vector<StateSpec> states;
+  /// fin_f: from the last state update to function completion.
+  Duration finalize = Duration::zero();
+  /// Trigger dependencies (paper §II-A: "a function can invoke other
+  /// functions which work on the data produced by the previous
+  /// functions"): indices of functions *within the same job* that must
+  /// complete before this function is triggered. Empty = triggered at
+  /// job submission. MapReduce-style stages chain through this.
+  std::vector<std::size_t> depends_on;
+
+  Bytes effective_memory() const {
+    return memory.count() > 0 ? memory : profile(runtime).memory;
+  }
+  /// Total nominal state work (exec_f without checkpoint overheads).
+  Duration total_state_work() const {
+    Duration total = Duration::zero();
+    for (const auto& s : states) total += s.duration;
+    return total;
+  }
+};
+
+struct JobSpec {
+  std::string name;
+  AccountId account = AccountId{1};
+  /// Completion deadline relative to submission; zero = best effort.
+  /// Used by SLA-aware recovery (Canary's future-work extension): the
+  /// Core Module prioritises the recovery of deadline-threatened
+  /// functions.
+  Duration sla = Duration::zero();
+  std::vector<FunctionSpec> functions;
+};
+
+/// Execution phase of a function invocation, following Fig. 1's execution
+/// flow (job launch, container launch, container initialization, execution
+/// startup, state updates, function completion).
+enum class Phase {
+  kPending,       // submitted, waiting for concurrency/capacity
+  kLaunching,     // container launch (lch_f)
+  kInitializing,  // runtime initialization (ini_f)
+  kStarting,      // dispatch/migration/restore onto a ready container
+  kExecuting,     // state updates
+  kFinalizing,    // fin_f
+  kCompleted,
+  kFailed,        // currently failed, awaiting recovery decision
+};
+
+std::string_view to_string_view(Phase phase);
+
+/// Public, read-only view of one function invocation's progress. Owned by
+/// the Platform; recovery handlers and observers receive const references.
+struct Invocation {
+  FunctionId id;
+  JobId job;
+  const FunctionSpec* spec = nullptr;
+
+  Phase phase = Phase::kPending;
+  int attempt = 0;           // 1-based once started
+  std::size_t next_state = 0;  // index of the next state to execute
+  NodeId node;               // current/last hosting node
+  ContainerId container;     // current/last container
+
+  TimePoint submit_time;
+  TimePoint first_dispatch_time = TimePoint::max();
+  TimePoint completion_time = TimePoint::max();
+
+  /// Nominal work completed in the current lineage (restored floor plus
+  /// states completed since). Microsecond units of speed-1.0 time.
+  Duration work_done = Duration::zero();
+
+  int failures = 0;
+  /// Total time spent regaining lost progress (see DESIGN.md metrics).
+  Duration recovery_time = Duration::zero();
+  /// Nominal work discarded by failures (re-executed from scratch or from
+  /// a checkpoint).
+  Duration lost_work = Duration::zero();
+
+  bool completed() const { return phase == Phase::kCompleted; }
+};
+
+inline std::string_view to_string_view(Phase phase) {
+  switch (phase) {
+    case Phase::kPending: return "pending";
+    case Phase::kLaunching: return "launching";
+    case Phase::kInitializing: return "initializing";
+    case Phase::kStarting: return "starting";
+    case Phase::kExecuting: return "executing";
+    case Phase::kFinalizing: return "finalizing";
+    case Phase::kCompleted: return "completed";
+    case Phase::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace canary::faas

@@ -1,0 +1,839 @@
+#include "faas/platform.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace canary::faas {
+
+struct Platform::InvocationInternal : Invocation {
+  std::size_t index_in_job = 0;
+  sim::EventHandle progress_event;
+  sim::EventHandle kill_event;
+  sim::EventHandle timeout_event;
+  std::vector<RecoveryMarker> markers;
+  TimePoint state_start;
+  TimePoint state_planned_end;
+  /// work_done captured at the last failure; used to compute lost work
+  /// once the restore point of the next attempt is known.
+  Duration last_failure_work = Duration::zero();
+  bool counted_running = false;
+};
+
+struct Platform::JobRecord {
+  JobSpec spec;
+  std::vector<FunctionId> functions;
+  std::size_t remaining = 0;
+  TimePoint submitted;
+  TimePoint completed = TimePoint::max();
+  /// Trigger graph: dependents[i] lists the function indices unblocked by
+  /// function i's completion; unmet_deps[i] counts i's open dependencies.
+  std::vector<std::vector<std::size_t>> dependents;
+  std::vector<std::size_t> unmet_deps;
+};
+
+namespace {
+/// Builds the trigger graph (reverse adjacency + indegrees) and verifies
+/// it is acyclic with in-range dependency indices (Kahn's algorithm).
+bool build_trigger_graph(const JobSpec& spec,
+                         std::vector<std::vector<std::size_t>>& dependents,
+                         std::vector<std::size_t>& unmet_deps) {
+  const std::size_t n = spec.functions.size();
+  dependents.assign(n, {});
+  unmet_deps.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t dep : spec.functions[i].depends_on) {
+      if (dep >= n || dep == i) return false;
+      dependents[dep].push_back(i);
+      ++unmet_deps[i];
+    }
+  }
+  std::vector<std::size_t> indegree = unmet_deps;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t done = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const std::size_t next : dependents[done]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  return processed == n;
+}
+}  // namespace
+
+namespace {
+Duration work_floor(const FunctionSpec& spec, std::size_t from_state) {
+  Duration floor = Duration::zero();
+  for (std::size_t i = 0; i < from_state && i < spec.states.size(); ++i) {
+    floor += spec.states[i].duration;
+  }
+  return floor;
+}
+}  // namespace
+
+Platform::~Platform() = default;
+
+Platform::Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
+                   cluster::NetworkModel& network, PlatformConfig config,
+                   sim::MetricsRecorder& metrics)
+    : sim_(simulator),
+      cluster_(cluster),
+      network_(network),
+      config_(config),
+      metrics_(metrics) {}
+
+void Platform::add_observer(PlatformObserver* observer) {
+  observers_.push_back(observer);
+}
+
+Platform::InvocationInternal& Platform::internal(FunctionId id) {
+  auto it = invocations_.find(id);
+  CANARY_CHECK(it != invocations_.end(), "unknown function id");
+  return *it->second;
+}
+
+const Platform::InvocationInternal& Platform::internal(FunctionId id) const {
+  auto it = invocations_.find(id);
+  CANARY_CHECK(it != invocations_.end(), "unknown function id");
+  return *it->second;
+}
+
+Result<JobId> Platform::submit_job(JobSpec spec) {
+  if (spec.functions.empty()) {
+    return Error::invalid_argument("job has no functions");
+  }
+  if (spec.functions.size() > config_.limits.max_functions_per_job) {
+    return Error::resource_exhausted("job exceeds max functions per job");
+  }
+  for (const auto& fn : spec.functions) {
+    if (fn.effective_memory() > config_.limits.max_function_memory) {
+      return Error::resource_exhausted("function '" + fn.name +
+                                       "' exceeds the memory limit");
+    }
+  }
+
+  const JobId job_id = job_ids_.next();
+  auto record = std::make_unique<JobRecord>();
+  record->spec = std::move(spec);
+  record->submitted = sim_.now();
+  record->remaining = record->spec.functions.size();
+  if (!build_trigger_graph(record->spec, record->dependents,
+                           record->unmet_deps)) {
+    return Error::invalid_argument(
+        "job trigger graph has a cycle or an out-of-range dependency");
+  }
+
+  for (std::size_t i = 0; i < record->spec.functions.size(); ++i) {
+    const auto& fn = record->spec.functions[i];
+    const FunctionId fid = function_ids_.next();
+    auto inv = std::make_unique<InvocationInternal>();
+    inv->id = fid;
+    inv->job = job_id;
+    inv->spec = &fn;
+    inv->index_in_job = i;
+    inv->submit_time = sim_.now();
+    invocations_.emplace(fid, std::move(inv));
+    record->functions.push_back(fid);
+    // Functions with open dependencies wait for their trigger; the rest
+    // queue immediately.
+    if (record->unmet_deps[i] == 0) pending_.push_back(fid);
+  }
+  jobs_.emplace(job_id, std::move(record));
+
+  for (auto* obs : observers_) obs->on_job_submitted(job_id);
+  pump_pending_queue();
+  return job_id;
+}
+
+const Invocation& Platform::invocation(FunctionId id) const {
+  return internal(id);
+}
+
+const JobSpec& Platform::job_spec(JobId id) const {
+  auto it = jobs_.find(id);
+  CANARY_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->spec;
+}
+
+const std::vector<FunctionId>& Platform::job_functions(JobId id) const {
+  auto it = jobs_.find(id);
+  CANARY_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->functions;
+}
+
+bool Platform::job_completed(JobId id) const {
+  auto it = jobs_.find(id);
+  CANARY_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->remaining == 0;
+}
+
+bool Platform::all_jobs_completed() const {
+  return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
+    return kv.second->remaining == 0;
+  });
+}
+
+TimePoint Platform::job_submit_time(JobId id) const {
+  auto it = jobs_.find(id);
+  CANARY_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->submitted;
+}
+
+TimePoint Platform::job_completion_time(JobId id) const {
+  auto it = jobs_.find(id);
+  CANARY_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->completed;
+}
+
+std::vector<JobId> Platform::all_job_ids() const {
+  std::vector<JobId> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, record] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<FunctionId> Platform::all_function_ids() const {
+  std::vector<FunctionId> ids;
+  ids.reserve(invocations_.size());
+  for (const auto& [id, inv] : invocations_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void Platform::pump_pending_queue() {
+  if (pump_scheduled_ || pending_.empty()) return;
+  if (running_count_ >= config_.limits.max_concurrent_invocations) return;
+  pump_scheduled_ = true;
+  // The controller admits one invocation per scheduler tick, which models
+  // a serial controller loop and staggers mass submissions.
+  sim_.schedule_after(config_.scheduler_overhead, [this] {
+    pump_scheduled_ = false;
+    if (pending_.empty() ||
+        running_count_ >= config_.limits.max_concurrent_invocations) {
+      return;
+    }
+    const FunctionId id = pending_.front();
+    pending_.pop_front();
+    auto& inv = internal(id);
+    inv.counted_running = true;
+    ++running_count_;
+    start_attempt(id, StartSpec{});
+    pump_pending_queue();
+  });
+}
+
+void Platform::retry_capacity_waiters() {
+  while (!capacity_waiters_.empty()) {
+    auto [id, spec] = capacity_waiters_.front();
+    auto& inv = internal(id);
+    const Bytes memory = inv.spec->effective_memory();
+    std::optional<NodeId> node = pick_node(memory, spec.node_pref);
+    if (!node) return;  // still saturated; keep FIFO order
+    capacity_waiters_.pop_front();
+    start_cold(inv, *node, spec);
+  }
+}
+
+std::optional<NodeId> Platform::pick_node(Bytes memory,
+                                          std::optional<NodeId> pref) const {
+  if (pref && cluster_.contains(*pref) && cluster_.node(*pref).can_host(memory)) {
+    return pref;
+  }
+  return cluster_.least_loaded(memory);
+}
+
+void Platform::start_attempt(FunctionId id, StartSpec spec) {
+  auto& inv = internal(id);
+  CANARY_CHECK(inv.phase != Phase::kCompleted, "function already completed");
+  CANARY_CHECK(spec.from_state <= inv.spec->states.size(),
+               "restore point beyond the state sequence");
+
+  if (inv.phase == Phase::kFailed) {
+    // Work between the restore point and the failure point is lost and
+    // will be redone (the in-flight partial state was accounted at kill).
+    const Duration floor = work_floor(*inv.spec, spec.from_state);
+    if (inv.last_failure_work > floor) {
+      inv.lost_work += inv.last_failure_work - floor;
+    }
+  }
+
+  if (spec.container) {
+    auto it = containers_.find(*spec.container);
+    CANARY_CHECK(it != containers_.end(), "unknown container");
+    Container& c = *it->second;
+    CANARY_CHECK(c.warm_idle(), "container is not warm-idle");
+    CANARY_CHECK(cluster_.node(c.node).alive(), "container's node is down");
+    start_warm(inv, c, spec);
+    return;
+  }
+
+  // Warm pool: adopt an idle same-runtime function container if reuse is
+  // enabled, skipping its cold start entirely.
+  if (config_.reuse_containers) {
+    const auto pooled = find_warm_container(inv.spec->runtime, spec.node_pref,
+                                            ContainerPurpose::kFunction);
+    if (pooled) {
+      metrics_.count("pool_reuses");
+      start_warm(inv, *containers_.at(*pooled), spec);
+      return;
+    }
+  }
+
+  const Bytes memory = inv.spec->effective_memory();
+  std::optional<NodeId> node = pick_node(memory, spec.node_pref);
+  if (!node) {
+    inv.phase = Phase::kPending;
+    spec.container.reset();
+    capacity_waiters_.emplace_back(id, spec);
+    metrics_.count("capacity_waits");
+    return;
+  }
+  start_cold(inv, *node, spec);
+}
+
+ContainerId Platform::create_container(NodeId node, RuntimeImage image,
+                                       Bytes memory,
+                                       ContainerPurpose purpose) {
+  const ContainerId cid = container_ids_.next();
+  auto c = std::make_unique<Container>();
+  c->id = cid;
+  c->node = node;
+  c->image = image;
+  c->memory = memory;
+  c->purpose = purpose;
+  c->state = ContainerState::kLaunching;
+  c->created = sim_.now();
+  ledger_.open(*c);
+  containers_.emplace(cid, std::move(c));
+  ++inflight_launches_[node];
+  return cid;
+}
+
+double Platform::launch_contention_multiplier(NodeId node) const {
+  auto it = inflight_launches_.find(node);
+  const unsigned inflight = it == inflight_launches_.end() ? 0 : it->second;
+  if (inflight <= 1) return 1.0;
+  const double mult =
+      1.0 + config_.cold_start_contention * static_cast<double>(inflight - 1);
+  return std::min(mult, config_.contention_cap);
+}
+
+Duration Platform::epilogue_nominal(const Invocation& inv,
+                                    std::size_t state_idx) {
+  return hooks_ ? hooks_->state_epilogue(inv, state_idx) : Duration::zero();
+}
+
+Duration Platform::attempt_busy_estimate(const InvocationInternal& inv,
+                                         const StartSpec& spec, double speed,
+                                         bool cold) const {
+  const auto& rt = profile(inv.spec->runtime);
+  Duration est = Duration::zero();
+  if (cold) {
+    est += (rt.cold_launch + rt.init) * speed;
+  } else {
+    est += rt.warm_dispatch * speed;
+  }
+  est += spec.extra_setup;
+  auto* self = const_cast<Platform*>(this);
+  for (std::size_t i = spec.from_state; i < inv.spec->states.size(); ++i) {
+    est += (inv.spec->states[i].duration + self->epilogue_nominal(inv, i)) *
+           speed;
+  }
+  est += inv.spec->finalize * speed;
+  return est;
+}
+
+void Platform::arm_kill_timer(InvocationInternal& inv,
+                              Duration busy_estimate) {
+  inv.kill_event.cancel();
+  inv.timeout_event.cancel();
+  if (config_.limits.function_timeout < Duration::max()) {
+    const FunctionId timeout_id = inv.id;
+    const int timeout_attempt = inv.attempt;
+    inv.timeout_event = sim_.schedule_after(
+        config_.limits.function_timeout, [this, timeout_id, timeout_attempt] {
+          auto& target = internal(timeout_id);
+          if (target.attempt != timeout_attempt) return;
+          if (target.phase == Phase::kCompleted ||
+              target.phase == Phase::kFailed) {
+            return;
+          }
+          metrics_.count("timeouts");
+          handle_kill(target, FailureKind::kTimeout);
+        });
+  }
+  if (failure_policy_ == nullptr) return;
+  const auto offset = failure_policy_->plan_kill(inv, inv.attempt, busy_estimate);
+  if (!offset) return;
+  const FunctionId id = inv.id;
+  const int attempt = inv.attempt;
+  inv.kill_event = sim_.schedule_after(*offset, [this, id, attempt] {
+    auto& target = internal(id);
+    if (target.attempt != attempt) return;
+    if (target.phase == Phase::kCompleted || target.phase == Phase::kFailed) {
+      return;
+    }
+    handle_kill(target, FailureKind::kContainerKill);
+  });
+}
+
+void Platform::start_cold(InvocationInternal& inv, NodeId node,
+                          StartSpec spec) {
+  auto& host = cluster_.node(node);
+  const Bytes memory = inv.spec->effective_memory();
+  const Status reserved = host.reserve(memory);
+  if (!reserved.ok()) {
+    inv.phase = Phase::kPending;
+    capacity_waiters_.emplace_back(inv.id, spec);
+    return;
+  }
+
+  ++inv.attempt;
+  const int attempt = inv.attempt;
+  inv.next_state = spec.from_state;
+  inv.work_done = work_floor(*inv.spec, spec.from_state);
+  inv.node = node;
+  inv.phase = Phase::kLaunching;
+
+  const ContainerId cid = create_container(node, inv.spec->runtime, memory,
+                                           ContainerPurpose::kFunction);
+  containers_.at(cid)->assigned = inv.id;
+  containers_.at(cid)->state = ContainerState::kLaunching;
+  inv.container = cid;
+  metrics_.count("cold_starts");
+
+  const double speed = host.speed();
+  arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/true));
+
+  const auto& rt = profile(inv.spec->runtime);
+  const Duration launch =
+      rt.cold_launch * speed * launch_contention_multiplier(node);
+  const Duration init = rt.init * speed;
+  const Duration setup = spec.extra_setup;
+  const FunctionId id = inv.id;
+
+  auto guard = [this, id, attempt, cid]() -> InvocationInternal* {
+    auto& target = internal(id);
+    if (target.attempt != attempt) return nullptr;
+    auto it = containers_.find(cid);
+    if (it == containers_.end() || !it->second->alive()) return nullptr;
+    return &target;
+  };
+
+  inv.progress_event = sim_.schedule_after(launch, [this, guard, cid, init,
+                                                    setup, attempt] {
+    // A container destroyed mid-launch already released its in-flight
+    // launch slot in destroy_container().
+    auto it = containers_.find(cid);
+    if (it == containers_.end() || !it->second->alive()) return;
+    auto launches = inflight_launches_.find(it->second->node);
+    if (launches != inflight_launches_.end() && launches->second > 0) {
+      --launches->second;
+    }
+    auto* target = guard();
+    if (target == nullptr) return;
+    containers_.at(cid)->state = ContainerState::kInitializing;
+    target->phase = Phase::kInitializing;
+    target->progress_event =
+        sim_.schedule_after(init, [this, guard, cid, setup, attempt] {
+          auto* target = guard();
+          if (target == nullptr) return;
+          containers_.at(cid)->state = ContainerState::kBusy;
+          target->phase = Phase::kStarting;
+          target->progress_event =
+              sim_.schedule_after(setup, [this, guard, attempt] {
+                auto* target = guard();
+                if (target == nullptr) return;
+                begin_execution(*target, attempt);
+              });
+        });
+  });
+}
+
+void Platform::start_warm(InvocationInternal& inv, Container& c,
+                          StartSpec spec) {
+  ++inv.attempt;
+  const int attempt = inv.attempt;
+  inv.next_state = spec.from_state;
+  inv.work_done = work_floor(*inv.spec, spec.from_state);
+  inv.node = c.node;
+  inv.container = c.id;
+  inv.phase = Phase::kStarting;
+  c.state = ContainerState::kBusy;
+  c.assigned = inv.id;
+  c.idle_since = TimePoint::max();
+  // Cost attribution: any prior interval (replica/standby warm-up, or a
+  // previous function's execution on a reused pool container) is closed;
+  // from adoption on, occupancy bills as this function's execution.
+  ledger_.close(c.id, sim_.now());
+  c.purpose = ContainerPurpose::kFunction;
+  ledger_.open_at(c, sim_.now());
+  metrics_.count("warm_starts");
+
+  const double speed = cluster_.node(c.node).speed();
+  arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/false));
+
+  const auto& rt = profile(inv.spec->runtime);
+  const Duration setup = rt.warm_dispatch * speed + spec.extra_setup;
+  const FunctionId id = inv.id;
+  const ContainerId cid = c.id;
+  inv.progress_event = sim_.schedule_after(setup, [this, id, attempt, cid] {
+    auto& target = internal(id);
+    if (target.attempt != attempt) return;
+    auto it = containers_.find(cid);
+    if (it == containers_.end() || !it->second->alive()) return;
+    begin_execution(target, attempt);
+  });
+}
+
+void Platform::begin_execution(InvocationInternal& inv, int attempt) {
+  CANARY_CHECK(inv.attempt == attempt, "stale execution event");
+  inv.phase = Phase::kExecuting;
+  if (inv.first_dispatch_time == TimePoint::max()) {
+    inv.first_dispatch_time = sim_.now();
+  }
+  for (auto* obs : observers_) obs->on_attempt_started(inv);
+  resolve_recovery_markers(inv);
+  schedule_next_state(inv);
+}
+
+void Platform::schedule_next_state(InvocationInternal& inv) {
+  const double speed = cluster_.node(inv.node).speed();
+  const FunctionId id = inv.id;
+  const int attempt = inv.attempt;
+
+  if (inv.next_state >= inv.spec->states.size()) {
+    inv.phase = Phase::kFinalizing;
+    const Duration fin = inv.spec->finalize * speed;
+    inv.progress_event = sim_.schedule_after(fin, [this, id, attempt] {
+      auto& target = internal(id);
+      if (target.attempt != attempt || target.phase != Phase::kFinalizing) {
+        return;
+      }
+      complete_function(target);
+    });
+    return;
+  }
+
+  const std::size_t idx = inv.next_state;
+  const StateSpec& state = inv.spec->states[idx];
+  const Duration epilogue = epilogue_nominal(inv, idx);
+  const Duration dur = (state.duration + epilogue) * speed;
+  inv.state_start = sim_.now();
+  inv.state_planned_end = sim_.now() + dur;
+  inv.progress_event = sim_.schedule_after(dur, [this, id, attempt, idx] {
+    auto& target = internal(id);
+    if (target.attempt != attempt || target.phase != Phase::kExecuting) {
+      return;
+    }
+    target.work_done += target.spec->states[idx].duration;
+    target.next_state = idx + 1;
+    if (hooks_ != nullptr) hooks_->on_state_committed(target, idx);
+    resolve_recovery_markers(target);
+    schedule_next_state(target);
+  });
+}
+
+void Platform::complete_function(InvocationInternal& inv) {
+  inv.phase = Phase::kCompleted;
+  inv.completion_time = sim_.now();
+  inv.kill_event.cancel();
+  inv.timeout_event.cancel();
+  inv.progress_event.cancel();
+  resolve_recovery_markers(inv);
+
+  if (inv.container.valid()) {
+    auto it = containers_.find(inv.container);
+    if (it != containers_.end() && it->second->alive()) {
+      if (config_.reuse_containers &&
+          cluster_.node(it->second->node).alive()) {
+        // Return the container to the warm pool: billing pauses, and an
+        // idle timer reclaims it if nothing adopts it.
+        Container& c = *it->second;
+        c.state = ContainerState::kWarm;
+        c.assigned = FunctionId::invalid();
+        c.idle_since = sim_.now();
+        ledger_.close(c.id, sim_.now());
+        metrics_.count("containers_pooled");
+        const ContainerId cid = c.id;
+        const TimePoint idle_mark = c.idle_since;
+        sim_.schedule_after(config_.warm_pool_idle_timeout,
+                            [this, cid, idle_mark] {
+                              auto pooled = containers_.find(cid);
+                              if (pooled == containers_.end()) return;
+                              if (!pooled->second->warm_idle()) return;
+                              if (pooled->second->idle_since != idle_mark) {
+                                return;  // re-pooled since; newer timer owns it
+                              }
+                              destroy_container(cid);
+                            });
+      } else {
+        destroy_container(inv.container);
+      }
+    }
+  }
+  if (inv.counted_running) {
+    inv.counted_running = false;
+    CANARY_CHECK(running_count_ > 0, "running count underflow");
+    --running_count_;
+  }
+  metrics_.count("functions_completed");
+  for (auto* obs : observers_) obs->on_function_completed(inv);
+
+  auto job_it = jobs_.find(inv.job);
+  CANARY_CHECK(job_it != jobs_.end(), "invocation belongs to unknown job");
+  auto& job = *job_it->second;
+  CANARY_CHECK(job.remaining > 0, "job function count underflow");
+  // Trigger the dependents whose last dependency just completed.
+  for (const std::size_t next : job.dependents[inv.index_in_job]) {
+    CANARY_CHECK(job.unmet_deps[next] > 0, "dependency count underflow");
+    if (--job.unmet_deps[next] == 0) {
+      pending_.push_back(job.functions[next]);
+    }
+  }
+  if (--job.remaining == 0) {
+    job.completed = sim_.now();
+    for (auto* obs : observers_) obs->on_job_completed(inv.job);
+  }
+  pump_pending_queue();
+  retry_capacity_waiters();
+}
+
+void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
+  if (inv.phase == Phase::kCompleted || inv.phase == Phase::kFailed ||
+      inv.phase == Phase::kPending) {
+    return;
+  }
+  inv.progress_event.cancel();
+  inv.kill_event.cancel();
+  inv.timeout_event.cancel();
+
+  // In-flight partial state work is lost outright.
+  if (inv.phase == Phase::kExecuting &&
+      inv.next_state < inv.spec->states.size()) {
+    const Duration planned = inv.state_planned_end - inv.state_start;
+    if (planned > Duration::zero()) {
+      const double frac =
+          std::min(1.0, (sim_.now() - inv.state_start) / planned);
+      const Duration partial = inv.spec->states[inv.next_state].duration * frac;
+      inv.lost_work += partial;
+      inv.markers.push_back({inv.work_done + partial, sim_.now()});
+    } else {
+      inv.markers.push_back({inv.work_done, sim_.now()});
+    }
+  } else {
+    inv.markers.push_back({inv.work_done, sim_.now()});
+  }
+  inv.last_failure_work = inv.work_done;
+
+  ++inv.failures;
+  inv.phase = Phase::kFailed;
+  metrics_.count("failures");
+
+  FailureInfo info;
+  info.kind = kind;
+  info.node = inv.node;
+  info.container = inv.container;
+
+  if (inv.container.valid()) {
+    auto it = containers_.find(inv.container);
+    if (it != containers_.end() && it->second->alive()) {
+      destroy_container(inv.container);
+    }
+  }
+  for (auto* obs : observers_) obs->on_function_failed(inv, info);
+
+  const FunctionId id = inv.id;
+  const int attempt = inv.attempt;
+  sim_.schedule_after(config_.failure_detect_delay, [this, id, attempt, info] {
+    auto& target = internal(id);
+    if (target.attempt != attempt || target.phase != Phase::kFailed) return;
+    if (recovery_ != nullptr) recovery_->on_failure(target, info);
+  });
+}
+
+void Platform::resolve_recovery_markers(InvocationInternal& inv) {
+  const TimePoint now = sim_.now();
+  auto it = inv.markers.begin();
+  while (it != inv.markers.end()) {
+    if (it->floor <= inv.work_done) {
+      const Duration recovery = now - it->fail_time;
+      inv.recovery_time += recovery;
+      metrics_.sample_duration("recovery_time", recovery);
+      metrics_.count("recoveries");
+      it = inv.markers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Platform::kill_function(FunctionId id, FailureKind kind) {
+  handle_kill(internal(id), kind);
+}
+
+void Platform::discard_function(FunctionId id) {
+  auto& inv = internal(id);
+  if (inv.phase == Phase::kCompleted) return;
+  inv.progress_event.cancel();
+  inv.kill_event.cancel();
+  inv.timeout_event.cancel();
+  inv.markers.clear();  // a discarded loser owes no recovery
+  if (inv.phase == Phase::kPending) {
+    // Remove from whichever queue holds it.
+    auto pending = std::find(pending_.begin(), pending_.end(), id);
+    if (pending != pending_.end()) pending_.erase(pending);
+    auto waiter = std::find_if(
+        capacity_waiters_.begin(), capacity_waiters_.end(),
+        [id](const auto& entry) { return entry.first == id; });
+    if (waiter != capacity_waiters_.end()) capacity_waiters_.erase(waiter);
+  }
+  metrics_.count("functions_discarded");
+  complete_function(inv);
+}
+
+void Platform::fail_node(NodeId node) {
+  cluster_.fail_node(node);
+  metrics_.count("node_failures");
+
+  std::vector<ContainerId> on_node;
+  for (const auto& [cid, c] : containers_) {
+    if (c->node == node && c->alive()) on_node.push_back(cid);
+  }
+  std::sort(on_node.begin(), on_node.end());
+  for (const ContainerId cid : on_node) {
+    auto& c = *containers_.at(cid);
+    if (!c.alive()) continue;  // may have died while killing its sibling
+    // Any container with an assigned function — launching, initializing,
+    // or executing — takes its invocation down with it; only unassigned
+    // warm replicas/standbys are plain teardowns.
+    if (c.assigned.valid() &&
+        internal(c.assigned).container == cid &&
+        !internal(c.assigned).completed()) {
+      handle_kill(internal(c.assigned), FailureKind::kNodeFailure);
+    } else {
+      destroy_container(cid);
+    }
+  }
+}
+
+Result<ContainerId> Platform::launch_warm_container(
+    NodeId node, RuntimeImage image, ContainerPurpose purpose,
+    std::function<void(ContainerId)> on_ready) {
+  if (!cluster_.contains(node)) return Error::invalid_argument("unknown node");
+  auto& host = cluster_.node(node);
+  const Bytes memory = profile(image).memory;
+  const Status reserved = host.reserve(memory);
+  if (!reserved.ok()) return reserved.error();
+
+  const ContainerId cid = create_container(node, image, memory, purpose);
+  const double speed = host.speed();
+  const auto& rt = profile(image);
+  const Duration launch =
+      rt.cold_launch * speed * launch_contention_multiplier(node);
+  const Duration init = rt.init * speed;
+
+  sim_.schedule_after(launch, [this, cid, init, node,
+                               on_ready = std::move(on_ready)]() mutable {
+    auto it = containers_.find(cid);
+    if (it == containers_.end() || !it->second->alive()) return;
+    auto launches = inflight_launches_.find(node);
+    if (launches != inflight_launches_.end() && launches->second > 0) {
+      --launches->second;
+    }
+    it->second->state = ContainerState::kInitializing;
+    sim_.schedule_after(init, [this, cid, on_ready = std::move(on_ready)] {
+      auto inner = containers_.find(cid);
+      if (inner == containers_.end() || !inner->second->alive()) return;
+      inner->second->state = ContainerState::kWarm;
+      for (auto* obs : observers_) obs->on_container_ready(*inner->second);
+      if (on_ready) on_ready(cid);
+    });
+  });
+  return cid;
+}
+
+std::optional<ContainerId> Platform::find_warm_container(
+    RuntimeImage image, std::optional<NodeId> prefer_node,
+    std::optional<ContainerPurpose> purpose) const {
+  const Container* best = nullptr;
+  for (const auto& [cid, c] : containers_) {
+    if (!c->warm_idle() || c->image != image) continue;
+    if (purpose && c->purpose != *purpose) continue;
+    if (!cluster_.node(c->node).alive()) continue;
+    const bool preferred = prefer_node && c->node == *prefer_node;
+    const bool best_preferred =
+        best != nullptr && prefer_node && best->node == *prefer_node;
+    if (best == nullptr || (preferred && !best_preferred) ||
+        (preferred == best_preferred && c->id < best->id)) {
+      best = c.get();
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+void Platform::destroy_warm_container(ContainerId id) {
+  auto it = containers_.find(id);
+  CANARY_CHECK(it != containers_.end(), "unknown container");
+  CANARY_CHECK(it->second->warm_idle(), "container is not warm-idle");
+  destroy_container(id);
+}
+
+const Container& Platform::container(ContainerId id) const {
+  auto it = containers_.find(id);
+  CANARY_CHECK(it != containers_.end(), "unknown container");
+  return *it->second;
+}
+
+std::vector<const Container*> Platform::containers_on(NodeId node) const {
+  std::vector<const Container*> result;
+  for (const auto& [cid, c] : containers_) {
+    if (c->node == node && c->alive()) result.push_back(c.get());
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Container* a, const Container* b) { return a->id < b->id; });
+  return result;
+}
+
+std::size_t Platform::warm_container_count(RuntimeImage image) const {
+  std::size_t count = 0;
+  for (const auto& [cid, c] : containers_) {
+    if (c->warm_idle() && c->image == image &&
+        cluster_.node(c->node).alive()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Platform::destroy_container(ContainerId id) {
+  auto it = containers_.find(id);
+  CANARY_CHECK(it != containers_.end(), "unknown container");
+  Container& c = *it->second;
+  if (!c.alive()) return;
+  if (c.state == ContainerState::kLaunching) {
+    auto launches = inflight_launches_.find(c.node);
+    if (launches != inflight_launches_.end() && launches->second > 0) {
+      --launches->second;
+    }
+  }
+  c.state = ContainerState::kDead;
+  c.destroyed = sim_.now();
+  ledger_.close(id, sim_.now());
+  if (cluster_.contains(c.node) && cluster_.node(c.node).alive()) {
+    cluster_.node(c.node).release(c.memory);
+  }
+  for (auto* obs : observers_) obs->on_container_destroyed(c);
+  retry_capacity_waiters();
+}
+
+void Platform::finalize_usage() { ledger_.close_all_open(sim_.now()); }
+
+}  // namespace canary::faas

@@ -1,0 +1,228 @@
+// The FaaS platform (OpenWhisk substitute).
+//
+// Owns jobs, function invocations and containers; drives their lifecycle
+// on the discrete-event simulator; enforces account limits; and delegates
+// policy to the extension points in events.hpp:
+//   * FailurePolicy decides whether/when each attempt's container is
+//     killed (the evaluation's error-rate-driven random kills);
+//   * RecoveryHandler reacts to failures — RetryHandler reproduces the
+//     platform default, canary::CoreModule replaces it;
+//   * ExecutionHooks lets Canary's Checkpointing Module add per-state
+//     checkpoint overhead and record restore points.
+//
+// Scheduling is least-loaded-node with capacity probing; concurrent cold
+// starts on one node contend (image pull / containerd contention), which
+// is what makes mass retry storms slow in Fig. 4/11.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/network.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "faas/container.hpp"
+#include "faas/events.hpp"
+#include "faas/function.hpp"
+#include "faas/usage.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace canary::faas {
+
+struct PlatformLimits {
+  /// Maximum concurrently running invocations per account (concurrency
+  /// failures happen beyond this; the Request Validator queues instead).
+  unsigned max_concurrent_invocations = 1000;
+  /// Maximum memory a single function may request (request failures).
+  Bytes max_function_memory = Bytes::gib(8);
+  std::size_t max_functions_per_job = 4096;
+  /// Per-attempt execution timeout (§II's "network timeouts" failure
+  /// class): an attempt running longer than this is killed with
+  /// FailureKind::kTimeout and handled by the recovery strategy.
+  /// Duration::max() disables enforcement.
+  Duration function_timeout = Duration::max();
+};
+
+struct PlatformConfig {
+  PlatformLimits limits;
+  /// Controller overhead to schedule one invocation.
+  Duration scheduler_overhead = Duration::msec(15);
+  /// Delay between a container dying and the failure being detected and
+  /// reported to the recovery handler.
+  Duration failure_detect_delay = Duration::msec(300);
+  /// Cold-launch slowdown per additional concurrent launch on the same
+  /// node, capped at `contention_cap` (multiplier on cold_launch).
+  double cold_start_contention = 0.12;
+  double contention_cap = 4.0;
+  /// Container reuse (the paper's future work: "consolidating multiple
+  /// functions in a single container to reduce the cold start latency"):
+  /// completed functions return their container to a warm pool instead of
+  /// tearing it down, and new invocations of the same runtime adopt pool
+  /// containers. Idle pool containers are destroyed after
+  /// `warm_pool_idle_timeout`. Billing pauses while a pool container
+  /// idles (providers do not charge users for the warm pool).
+  bool reuse_containers = false;
+  Duration warm_pool_idle_timeout = Duration::sec(60.0);
+};
+
+/// How a (re)start should run: from which state, on which container/node,
+/// and how much setup time (checkpoint restore, state migration) precedes
+/// execution.
+struct StartSpec {
+  std::size_t from_state = 0;
+  std::optional<ContainerId> container;  // warm container to adopt
+  std::optional<NodeId> node_pref;
+  Duration extra_setup = Duration::zero();
+};
+
+class Platform {
+ public:
+  Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
+           cluster::NetworkModel& network, PlatformConfig config,
+           sim::MetricsRecorder& metrics);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+  ~Platform();  // out-of-line: members hold unique_ptrs to internal types
+
+  // ---- policy installation -------------------------------------------
+  void set_failure_policy(FailurePolicy* policy) { failure_policy_ = policy; }
+  void set_recovery_handler(RecoveryHandler* handler) { recovery_ = handler; }
+  void set_hooks(ExecutionHooks* hooks) { hooks_ = hooks; }
+  void add_observer(PlatformObserver* observer);
+
+  // ---- job/function API ----------------------------------------------
+  /// Validate against platform limits and enqueue every function of the
+  /// job. Functions start as account concurrency and node capacity allow.
+  Result<JobId> submit_job(JobSpec spec);
+
+  const Invocation& invocation(FunctionId id) const;
+  const JobSpec& job_spec(JobId id) const;
+  const std::vector<FunctionId>& job_functions(JobId id) const;
+  bool job_completed(JobId id) const;
+  bool all_jobs_completed() const;
+  TimePoint job_submit_time(JobId id) const;
+  TimePoint job_completion_time(JobId id) const;
+  std::vector<JobId> all_job_ids() const;
+
+  std::vector<FunctionId> all_function_ids() const;
+
+  // ---- primitives used by recovery handlers ---------------------------
+  /// (Re)start a function according to `spec`. With a warm container the
+  /// launch+init phases are skipped (that is the replication win); without
+  /// one a cold container is created. Recovering invocations bypass the
+  /// account concurrency queue — they already hold their slot.
+  void start_attempt(FunctionId id, StartSpec spec);
+
+  /// Launch a warm container (runtime replica / standby). `on_ready` fires
+  /// when it reaches the Warm state; if the node dies first the callback
+  /// is dropped and observers see the container's destruction.
+  Result<ContainerId> launch_warm_container(
+      NodeId node, RuntimeImage image, ContainerPurpose purpose,
+      std::function<void(ContainerId)> on_ready);
+
+  /// Idle warm container running `image` (optionally restricted by
+  /// purpose), preferring `prefer_node`, else the lowest id.
+  std::optional<ContainerId> find_warm_container(
+      RuntimeImage image, std::optional<NodeId> prefer_node,
+      std::optional<ContainerPurpose> purpose) const;
+
+  /// Tear down an idle warm container (replica retirement).
+  void destroy_warm_container(ContainerId id);
+
+  const Container& container(ContainerId id) const;
+  std::vector<const Container*> containers_on(NodeId node) const;
+  std::size_t warm_container_count(RuntimeImage image) const;
+
+  // ---- failure entry points -------------------------------------------
+  /// Kill the container currently hosting `id` (injected failure).
+  void kill_function(FunctionId id, FailureKind kind);
+  /// Discard an invocation without running it to completion: its container
+  /// (if any) is torn down and it counts as done for job completion. Used
+  /// by the request-replication baseline, where the first replica to
+  /// respond wins and "the rest are discarded".
+  void discard_function(FunctionId id);
+  /// Node-level failure: every hosted container dies; busy invocations
+  /// fail, warm replicas are destroyed.
+  void fail_node(NodeId node);
+
+  // ---- accounting ------------------------------------------------------
+  const UsageLedger& usage() const { return ledger_; }
+  /// Close open usage intervals at the current simulated time.
+  void finalize_usage();
+
+  sim::Simulator& simulator() { return sim_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  const cluster::NetworkModel& network() const { return network_; }
+  const PlatformConfig& config() const { return config_; }
+  sim::MetricsRecorder& metrics() { return metrics_; }
+
+ private:
+  struct InvocationInternal;
+  struct JobRecord;
+  struct RecoveryMarker {
+    Duration floor;      // nominal work to regain
+    TimePoint fail_time;
+  };
+
+  InvocationInternal& internal(FunctionId id);
+  const InvocationInternal& internal(FunctionId id) const;
+
+  void pump_pending_queue();
+  void retry_capacity_waiters();
+  std::optional<NodeId> pick_node(Bytes memory,
+                                  std::optional<NodeId> pref) const;
+
+  ContainerId create_container(NodeId node, RuntimeImage image, Bytes memory,
+                               ContainerPurpose purpose);
+  void destroy_container(ContainerId id);
+  double launch_contention_multiplier(NodeId node) const;
+
+  void start_cold(InvocationInternal& inv, NodeId node, StartSpec spec);
+  void start_warm(InvocationInternal& inv, Container& c, StartSpec spec);
+  void arm_kill_timer(InvocationInternal& inv, Duration busy_estimate);
+  Duration attempt_busy_estimate(const InvocationInternal& inv,
+                                 const StartSpec& spec, double speed,
+                                 bool cold) const;
+  Duration epilogue_nominal(const Invocation& inv, std::size_t state_idx);
+
+  void begin_execution(InvocationInternal& inv, int attempt);
+  void schedule_next_state(InvocationInternal& inv);
+  void complete_function(InvocationInternal& inv);
+  void handle_kill(InvocationInternal& inv, FailureKind kind);
+  void resolve_recovery_markers(InvocationInternal& inv);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  cluster::NetworkModel& network_;
+  PlatformConfig config_;
+  sim::MetricsRecorder& metrics_;
+
+  FailurePolicy* failure_policy_ = nullptr;
+  RecoveryHandler* recovery_ = nullptr;
+  ExecutionHooks* hooks_ = nullptr;
+  std::vector<PlatformObserver*> observers_;
+
+  IdGenerator<JobId> job_ids_;
+  IdGenerator<FunctionId> function_ids_;
+  IdGenerator<ContainerId> container_ids_;
+
+  std::unordered_map<JobId, std::unique_ptr<JobRecord>> jobs_;
+  std::unordered_map<FunctionId, std::unique_ptr<InvocationInternal>> invocations_;
+  std::unordered_map<ContainerId, std::unique_ptr<Container>> containers_;
+  std::unordered_map<NodeId, unsigned> inflight_launches_;
+
+  std::deque<FunctionId> pending_;  // waiting on account concurrency
+  std::deque<std::pair<FunctionId, StartSpec>> capacity_waiters_;
+  unsigned running_count_ = 0;
+  bool pump_scheduled_ = false;
+
+  UsageLedger ledger_;
+};
+
+}  // namespace canary::faas

@@ -1,0 +1,44 @@
+#include "faas/runtime.hpp"
+
+#include "common/result.hpp"
+
+namespace canary::faas {
+
+namespace {
+// Startup figures follow public serverless cold-start measurements
+// (python/nodejs sub-second, JVM close to a second) and the paper's custom
+// image composition: the DL image pays a TensorFlow import of several
+// seconds, the Spark image a JVM + SparkContext start.
+constexpr RuntimeProfile kProfiles[] = {
+    {RuntimeImage::kPython3, "python3", Duration::msec(450),
+     Duration::msec(350), Duration::msec(8), Bytes::mib(256)},
+    {RuntimeImage::kNodeJs14, "nodejs14", Duration::msec(380),
+     Duration::msec(250), Duration::msec(5), Bytes::mib(256)},
+    {RuntimeImage::kJava8, "java8", Duration::msec(820), Duration::msec(900),
+     Duration::msec(12), Bytes::mib(512)},
+    {RuntimeImage::kDlTrain, "dl-train", Duration::msec(900),
+     Duration::msec(6500), Duration::msec(15), Bytes::gib(4)},
+    {RuntimeImage::kDbQuery, "db-query", Duration::msec(500),
+     Duration::msec(700), Duration::msec(8), Bytes::mib(512)},
+    {RuntimeImage::kSparkDiversity, "spark-diversity", Duration::msec(1100),
+     Duration::msec(4200), Duration::msec(20), Bytes::gib(4)},
+    {RuntimeImage::kCompressionPy, "compression-py", Duration::msec(470),
+     Duration::msec(400), Duration::msec(8), Bytes::gib(1)},
+    {RuntimeImage::kGraphBfsPy, "graph-bfs-py", Duration::msec(480),
+     Duration::msec(1300), Duration::msec(8), Bytes::gib(2)},
+};
+}  // namespace
+
+const RuntimeProfile& profile(RuntimeImage image) {
+  for (const auto& p : kProfiles) {
+    if (p.image == image) return p;
+  }
+  CANARY_CHECK(false, "unknown runtime image");
+  return kProfiles[0];  // unreachable
+}
+
+std::string_view to_string_view(RuntimeImage image) {
+  return profile(image).name;
+}
+
+}  // namespace canary::faas

@@ -1,0 +1,54 @@
+// Container runtime images and their startup profiles.
+//
+// FaaS platforms ship pre-built runtime images per language (paper §I);
+// the evaluation uses Python, Node.js and Java runtimes plus the custom
+// per-workload images from the artifact appendix (hpdsl/canary:dltrain,
+// :dbquery, :sparkdiversity, ...). Cold-start latency, runtime
+// initialization time and warm-dispatch latency are the quantities that
+// replication removes from the recovery path, so they are first-class
+// here.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace canary::faas {
+
+enum class RuntimeImage {
+  kPython3,
+  kNodeJs14,
+  kJava8,
+  kDlTrain,         // OpenWhisk python3 action + tensorflow/tensorflow:2.4.1
+  kDbQuery,         // python3 + psycopg2
+  kSparkDiversity,  // java + Spark 3.0.0 jar
+  kCompressionPy,   // python3 + zip tooling (SeBS 311.compression)
+  kGraphBfsPy,      // python3 + igraph (SeBS 501.graph-bfs)
+};
+
+inline constexpr RuntimeImage kAllRuntimeImages[] = {
+    RuntimeImage::kPython3,        RuntimeImage::kNodeJs14,
+    RuntimeImage::kJava8,          RuntimeImage::kDlTrain,
+    RuntimeImage::kDbQuery,        RuntimeImage::kSparkDiversity,
+    RuntimeImage::kCompressionPy,  RuntimeImage::kGraphBfsPy,
+};
+
+struct RuntimeProfile {
+  RuntimeImage image;
+  std::string_view name;
+  /// Container creation + image start on a warm node (no image pull).
+  Duration cold_launch;
+  /// Language runtime + dependency initialization inside the container
+  /// (JVM start, TensorFlow import, Spark context, ...).
+  Duration init;
+  /// Dispatch latency onto an already-initialized warm container.
+  Duration warm_dispatch;
+  /// Default memory allocation for functions on this image.
+  Bytes memory;
+};
+
+const RuntimeProfile& profile(RuntimeImage image);
+std::string_view to_string_view(RuntimeImage image);
+
+}  // namespace canary::faas

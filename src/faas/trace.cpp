@@ -1,0 +1,134 @@
+#include "faas/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace canary::faas {
+
+std::string_view to_string_view(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kJobSubmitted: return "job-submitted";
+    case TraceEventKind::kAttemptStarted: return "attempt-started";
+    case TraceEventKind::kFunctionCompleted: return "function-completed";
+    case TraceEventKind::kFunctionFailed: return "function-failed";
+    case TraceEventKind::kContainerReady: return "container-ready";
+    case TraceEventKind::kContainerDestroyed: return "container-destroyed";
+    case TraceEventKind::kJobCompleted: return "job-completed";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::format() const {
+  std::ostringstream oss;
+  oss << "[" << when.to_seconds() << "s] " << to_string_view(kind);
+  if (job.valid()) oss << " job=" << to_string(job);
+  if (function.valid()) oss << " fn=" << to_string(function);
+  if (container.valid()) oss << " container=" << to_string(container);
+  if (node.valid()) oss << " node=" << to_string(node);
+  if (attempt > 0) oss << " attempt=" << attempt;
+  if (kind == TraceEventKind::kFunctionFailed) {
+    oss << " cause="
+        << (failure == FailureKind::kNodeFailure ? "node-failure"
+                                                 : "container-kill");
+  }
+  return oss.str();
+}
+
+void TraceLog::push(TraceEvent event) {
+  event.when = sim_.now();
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TraceLog::on_job_submitted(JobId job) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kJobSubmitted;
+  event.job = job;
+  push(event);
+}
+
+void TraceLog::on_attempt_started(const Invocation& inv) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kAttemptStarted;
+  event.job = inv.job;
+  event.function = inv.id;
+  event.container = inv.container;
+  event.node = inv.node;
+  event.attempt = inv.attempt;
+  push(event);
+}
+
+void TraceLog::on_function_completed(const Invocation& inv) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kFunctionCompleted;
+  event.job = inv.job;
+  event.function = inv.id;
+  event.attempt = inv.attempt;
+  push(event);
+}
+
+void TraceLog::on_function_failed(const Invocation& inv,
+                                  const FailureInfo& info) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kFunctionFailed;
+  event.job = inv.job;
+  event.function = inv.id;
+  event.container = info.container;
+  event.node = info.node;
+  event.attempt = inv.attempt;
+  event.failure = info.kind;
+  push(event);
+}
+
+void TraceLog::on_container_ready(const Container& c) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kContainerReady;
+  event.container = c.id;
+  event.node = c.node;
+  push(event);
+}
+
+void TraceLog::on_container_destroyed(const Container& c) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kContainerDestroyed;
+  event.container = c.id;
+  event.node = c.node;
+  push(event);
+}
+
+void TraceLog::on_job_completed(JobId job) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kJobCompleted;
+  event.job = job;
+  push(event);
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceLog::count(TraceEventKind kind) const {
+  std::size_t total = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind) ++total;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceLog::history_of(FunctionId function) const {
+  std::vector<TraceEvent> history;
+  for (const auto& event : events_) {
+    if (event.function == function) history.push_back(event);
+  }
+  return history;
+}
+
+void TraceLog::dump(std::ostream& os) const {
+  for (const auto& event : events_) os << event.format() << '\n';
+}
+
+}  // namespace canary::faas

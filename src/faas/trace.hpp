@@ -1,0 +1,80 @@
+// Execution trace: a bounded, structured log of platform lifecycle
+// events. Install as a PlatformObserver to capture what happened during a
+// run — the equivalent of the OpenWhisk activation log that log-based
+// fault-tolerance systems mine (paper §VI-C), and the first tool to reach
+// for when an experiment behaves unexpectedly.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "faas/events.hpp"
+#include "sim/simulator.hpp"
+
+namespace canary::faas {
+
+enum class TraceEventKind {
+  kJobSubmitted,
+  kAttemptStarted,
+  kFunctionCompleted,
+  kFunctionFailed,
+  kContainerReady,
+  kContainerDestroyed,
+  kJobCompleted,
+};
+
+std::string_view to_string_view(TraceEventKind kind);
+
+struct TraceEvent {
+  TimePoint when;
+  TraceEventKind kind;
+  JobId job;
+  FunctionId function;
+  ContainerId container;
+  NodeId node;
+  int attempt = 0;
+  FailureKind failure = FailureKind::kContainerKill;
+
+  std::string format() const;
+};
+
+class TraceLog final : public PlatformObserver {
+ public:
+  /// Keeps the newest `capacity` events; older ones are dropped.
+  TraceLog(sim::Simulator& simulator, std::size_t capacity = 65536)
+      : sim_(simulator), capacity_(capacity) {}
+
+  // PlatformObserver
+  void on_job_submitted(JobId job) override;
+  void on_attempt_started(const Invocation& inv) override;
+  void on_function_completed(const Invocation& inv) override;
+  void on_function_failed(const Invocation& inv,
+                          const FailureInfo& info) override;
+  void on_container_ready(const Container& c) override;
+  void on_container_destroyed(const Container& c) override;
+  void on_job_completed(JobId job) override;
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Count of retained events of `kind`.
+  std::size_t count(TraceEventKind kind) const;
+  /// Retained events touching `function`, in order.
+  std::vector<TraceEvent> history_of(FunctionId function) const;
+
+  /// One line per event.
+  void dump(std::ostream& os) const;
+
+ private:
+  void push(TraceEvent event);
+
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace canary::faas

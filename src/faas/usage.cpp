@@ -1,0 +1,53 @@
+#include "faas/usage.hpp"
+
+namespace canary::faas {
+
+void UsageLedger::open(const Container& c) { open_at(c, c.created); }
+
+void UsageLedger::open_at(const Container& c, TimePoint start) {
+  UsageRecord rec;
+  rec.container = c.id;
+  rec.node = c.node;
+  rec.image = c.image;
+  rec.memory = c.memory;
+  rec.purpose = c.purpose;
+  rec.start = start;
+  rec.end = TimePoint::max();
+  records_.push_back(rec);
+}
+
+void UsageLedger::close(ContainerId id, TimePoint end) {
+  // Scan from the back: the open record for a container is its newest.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->container == id && it->end == TimePoint::max()) {
+      it->end = end;
+      return;
+    }
+  }
+}
+
+void UsageLedger::close_all_open(TimePoint end) {
+  for (auto& rec : records_) {
+    if (rec.end == TimePoint::max()) rec.end = end;
+  }
+}
+
+double UsageLedger::total_gb_seconds() const {
+  double total = 0.0;
+  for (const auto& rec : records_) {
+    if (rec.end == TimePoint::max()) continue;
+    total += rec.gb_seconds();
+  }
+  return total;
+}
+
+double UsageLedger::gb_seconds_for(ContainerPurpose purpose) const {
+  double total = 0.0;
+  for (const auto& rec : records_) {
+    if (rec.end == TimePoint::max()) continue;
+    if (rec.purpose == purpose) total += rec.gb_seconds();
+  }
+  return total;
+}
+
+}  // namespace canary::faas

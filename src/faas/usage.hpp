@@ -1,0 +1,54 @@
+// Usage ledger: container occupancy intervals for the dollar-cost model.
+//
+// The paper prices execution at $0.000017 per second per GB allocated
+// (IBM Cloud Functions, §V-D4) and aggregates the cost of concurrent
+// functions and replicated runtimes. Every container contributes one
+// interval from creation to destruction; the purpose tag attributes cost
+// to primary execution vs. replication/standby overhead.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "faas/container.hpp"
+
+namespace canary::faas {
+
+struct UsageRecord {
+  ContainerId container;
+  NodeId node;
+  RuntimeImage image;
+  Bytes memory;
+  ContainerPurpose purpose;
+  TimePoint start;
+  TimePoint end;
+
+  Duration duration() const { return end - start; }
+  double gb_seconds() const {
+    return duration().to_seconds() * memory.to_gib();
+  }
+};
+
+class UsageLedger {
+ public:
+  void open(const Container& c);
+  /// Open an interval starting at `start` instead of the container's
+  /// creation time — used when a warm replica/standby is adopted by a
+  /// function and its remaining occupancy re-attributes to execution.
+  void open_at(const Container& c, TimePoint start);
+  void close(ContainerId id, TimePoint end);
+  /// Close any still-open interval at `end` (simulation teardown).
+  void close_all_open(TimePoint end);
+
+  const std::vector<UsageRecord>& records() const { return records_; }
+
+  double total_gb_seconds() const;
+  double gb_seconds_for(ContainerPurpose purpose) const;
+
+ private:
+  std::vector<UsageRecord> records_;
+};
+
+}  // namespace canary::faas

@@ -1,0 +1,107 @@
+#include "failure/injector.hpp"
+
+#include <cmath>
+
+namespace canary::failure {
+
+std::optional<Duration> FailureInjector::plan_kill(const faas::Invocation& inv,
+                                                   int attempt,
+                                                   Duration busy_estimate) {
+  if (config_.error_rate <= 0.0) return std::nullopt;
+
+  if (config_.mode == InjectionMode::kHazardRate) {
+    auto [it, inserted] = first_busy_.try_emplace(inv.id, busy_estimate);
+    const Duration reference = it->second;
+    double exposure = 1.0;
+    if (reference > Duration::zero()) exposure = busy_estimate / reference;
+    const double p_fail =
+        1.0 - std::pow(1.0 - config_.error_rate, exposure);
+    Rng draw = rng_.child(inv.id.value() * 1315423911ULL +
+                          static_cast<std::uint64_t>(attempt));
+    if (!draw.bernoulli(p_fail)) return std::nullopt;
+    ++planned_kills_;
+    return busy_estimate * draw.uniform01();
+  }
+
+  if (config_.mode == InjectionMode::kPerAttempt) {
+    // Derive the draw from a per-(function, attempt) child stream so a
+    // function's fate does not depend on the order in which other
+    // functions start.
+    Rng draw = rng_.child(inv.id.value() * 1315423911ULL +
+                          static_cast<std::uint64_t>(attempt));
+    if (!draw.bernoulli(config_.error_rate)) return std::nullopt;
+    ++planned_kills_;
+    return busy_estimate * draw.uniform01();
+  }
+
+  auto [it, inserted] = plans_.try_emplace(inv.id);
+  Plan& plan = it->second;
+  if (inserted) {
+    Rng draw = rng_.child(inv.id.value());
+    plan.fail = draw.bernoulli(config_.error_rate);
+    plan.fraction = draw.uniform01();
+  }
+  if (!plan.fail || plan.consumed) return std::nullopt;
+  if (attempt != config_.kill_on_attempt) return std::nullopt;
+  plan.consumed = true;
+  ++planned_kills_;
+  return busy_estimate * plan.fraction;
+}
+
+void FailureInjector::schedule_node_failure(sim::Simulator& simulator,
+                                            faas::Platform& platform,
+                                            kv::KvStore* store,
+                                            TimePoint when) {
+  simulator.schedule_at(when, [this, &platform, store] {
+    auto victim = platform.cluster().weighted_random_alive(rng_);
+    if (!victim) return;
+    // Keep at least one node alive so the workload can finish.
+    if (platform.cluster().alive_count() <= 1) return;
+    ++node_kills_;
+    platform.fail_node(*victim);
+    if (store != nullptr) store->fail_node(*victim);
+  });
+}
+
+void FailureInjector::schedule_correlated_node_failure(
+    sim::Simulator& simulator, faas::Platform& platform, kv::KvStore* store,
+    TimePoint when, int precursor_kills, Duration precursor_window) {
+  const TimePoint pick_at =
+      when.count_usec() > precursor_window.count_usec()
+          ? TimePoint::from_usec(when.count_usec() -
+                                 precursor_window.count_usec())
+          : TimePoint::origin();
+  simulator.schedule_at(pick_at, [this, &simulator, &platform, store, when,
+                                  precursor_kills, precursor_window] {
+    auto victim = platform.cluster().weighted_random_alive(rng_);
+    if (!victim || platform.cluster().alive_count() <= 1) return;
+    const NodeId node = *victim;
+    // Degradation phase: container kills on the victim, evenly spread.
+    for (int k = 0; k < precursor_kills; ++k) {
+      const Duration offset =
+          precursor_window * (static_cast<double>(k + 1) /
+                              static_cast<double>(precursor_kills + 1));
+      simulator.schedule_after(offset, [&platform, node] {
+        if (!platform.cluster().node(node).alive()) return;
+        // Kill the busiest container's function on the degrading node.
+        for (const auto* c : platform.containers_on(node)) {
+          if (c->state == faas::ContainerState::kBusy && c->assigned.valid()) {
+            platform.kill_function(c->assigned,
+                                   faas::FailureKind::kContainerKill);
+            return;
+          }
+        }
+      });
+    }
+    // Terminal failure.
+    simulator.schedule_at(when, [this, &platform, store, node] {
+      if (!platform.cluster().node(node).alive()) return;
+      if (platform.cluster().alive_count() <= 1) return;
+      ++node_kills_;
+      platform.fail_node(node);
+      if (store != nullptr) store->fail_node(node);
+    });
+  });
+}
+
+}  // namespace canary::failure

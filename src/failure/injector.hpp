@@ -1,0 +1,93 @@
+// Failure injection (paper §V-B): "We simulate failures by randomly
+// killing containers that host functions based on the defined error rate,
+// and vary the error rate from 1% to 50%."
+//
+// The error rate is the percentage of functions that fail during a
+// workload. In the default OncePerFunction mode each function is selected
+// with probability `error_rate` and its container killed exactly once, at
+// a uniformly random point of the attempt's busy window (launch through
+// finalize) — failures "at random times during the job execution"
+// (§V-D2). PerAttempt mode re-samples on every attempt and is used for
+// the RR/AS baselines where each replica instance fails independently.
+//
+// Node-level failures (§V-D6) take down a whole worker: every hosted
+// container dies and, unless the KV store replicates or persists them,
+// the checkpoints cached on that node are lost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "faas/events.hpp"
+#include "faas/platform.hpp"
+#include "kvstore/kvstore.hpp"
+
+namespace canary::failure {
+
+enum class InjectionMode {
+  kOncePerFunction,  // error rate = fraction of functions that fail once
+  kPerAttempt,       // every attempt fails independently with error rate
+  /// Kill probability scales with how long the container is actually up:
+  /// a full-length first attempt fails with probability `error_rate`, and
+  /// an attempt of duration d fails with 1 - (1-e)^(d / first_attempt).
+  /// This is the fixed-hazard model of a real cluster — retry attempts
+  /// that redo the whole function stay exposed for the full duration,
+  /// while checkpoint-resumed attempts are short and rarely re-killed.
+  kHazardRate,
+};
+
+struct InjectorConfig {
+  double error_rate = 0.0;
+  InjectionMode mode = InjectionMode::kOncePerFunction;
+  /// In OncePerFunction mode, the attempt on which the planned kill fires
+  /// (1 = first attempt). Other attempts run clean.
+  int kill_on_attempt = 1;
+};
+
+class FailureInjector : public faas::FailurePolicy {
+ public:
+  FailureInjector(Rng rng, InjectorConfig config)
+      : rng_(rng), config_(config) {}
+
+  std::optional<Duration> plan_kill(const faas::Invocation& inv, int attempt,
+                                    Duration busy_estimate) override;
+
+  /// Schedule a node-level failure at `when`: a victim is drawn weighted
+  /// by hardware failure proneness, the platform kills its containers,
+  /// and the KV store drops the victim's cached entries.
+  void schedule_node_failure(sim::Simulator& simulator,
+                             faas::Platform& platform, kv::KvStore* store,
+                             TimePoint when);
+
+  /// Correlated node failure: the victim is chosen `precursor_window`
+  /// before `when` and exhibits `precursor_kills` container failures
+  /// spread over the window before dying outright — the degradation
+  /// signature Canary's proactive mitigation predicts on.
+  void schedule_correlated_node_failure(sim::Simulator& simulator,
+                                        faas::Platform& platform,
+                                        kv::KvStore* store, TimePoint when,
+                                        int precursor_kills,
+                                        Duration precursor_window);
+
+  std::uint64_t planned_kills() const { return planned_kills_; }
+  std::uint64_t node_kills() const { return node_kills_; }
+
+ private:
+  struct Plan {
+    bool fail = false;
+    double fraction = 0.0;
+    bool consumed = false;
+  };
+
+  Rng rng_;
+  InjectorConfig config_;
+  std::unordered_map<FunctionId, Plan> plans_;
+  /// First-attempt busy duration per function; the hazard-rate reference.
+  std::unordered_map<FunctionId, Duration> first_busy_;
+  std::uint64_t planned_kills_ = 0;
+  std::uint64_t node_kills_ = 0;
+};
+
+}  // namespace canary::failure

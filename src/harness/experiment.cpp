@@ -1,0 +1,55 @@
+#include "harness/experiment.hpp"
+
+#include <future>
+
+namespace canary::harness {
+
+void Aggregate::add(const RunResult& run) {
+  makespan_s.add(run.makespan_s);
+  total_recovery_s.add(run.total_recovery_s);
+  mean_recovery_s.add(run.mean_recovery_s);
+  cost_usd.add(run.cost_usd);
+  replica_cost_usd.add(run.cost.replica_usd);
+  failures.add(run.failures);
+  lost_work_s.add(run.lost_work_s);
+  sla_violations.add(run.sla_violations);
+  for (const auto& [name, value] : run.counters) counter_sums[name] += value;
+  if (!run.completed) ++incomplete_runs;
+}
+
+double Aggregate::counter_mean(const std::string& name) const {
+  auto it = counter_sums.find(name);
+  if (it == counter_sums.end() || makespan_s.count() == 0) return 0.0;
+  return it->second / static_cast<double>(makespan_s.count());
+}
+
+Aggregate run_repetitions(ScenarioConfig config,
+                          const std::vector<faas::JobSpec>& jobs, int reps) {
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    ScenarioConfig rep_config = config;
+    // Decorrelate repetitions while keeping the whole experiment
+    // reproducible from the base seed.
+    std::uint64_t sm = config.seed + static_cast<std::uint64_t>(rep);
+    rep_config.seed = splitmix64(sm);
+    futures.push_back(std::async(std::launch::async, [rep_config, &jobs] {
+      return ScenarioRunner::run(rep_config, jobs);
+    }));
+  }
+  Aggregate agg;
+  for (auto& f : futures) agg.add(f.get());
+  return agg;
+}
+
+double reduction_pct(double baseline, double ours) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - ours) / baseline * 100.0;
+}
+
+double overhead_pct(double baseline, double ours) {
+  if (baseline <= 0.0) return 0.0;
+  return (ours - baseline) / baseline * 100.0;
+}
+
+}  // namespace canary::harness

@@ -1,0 +1,44 @@
+// Repetition driver: the paper runs every experiment 10 times and reports
+// averages (variance < 5%, §V-B). Repetitions differ only in their seed
+// and execute in parallel across hardware threads; each run is fully
+// self-contained and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/scenario.hpp"
+
+namespace canary::harness {
+
+struct Aggregate {
+  SampleSet makespan_s;
+  SampleSet total_recovery_s;
+  SampleSet mean_recovery_s;
+  SampleSet cost_usd;
+  SampleSet replica_cost_usd;
+  SampleSet failures;
+  SampleSet lost_work_s;
+  SampleSet sla_violations;
+  std::size_t incomplete_runs = 0;
+  /// Per-run-mean of every metrics counter (e.g. "replica_recoveries").
+  std::map<std::string, double> counter_sums;
+
+  void add(const RunResult& run);
+  double counter_mean(const std::string& name) const;
+};
+
+/// Run `reps` repetitions of `config` over `jobs`, seeds derived from
+/// config.seed, in parallel. Deterministic in (config, jobs, reps).
+Aggregate run_repetitions(ScenarioConfig config,
+                          const std::vector<faas::JobSpec>& jobs, int reps);
+
+/// Percentage improvement of `ours` over `baseline` (positive = lower).
+double reduction_pct(double baseline, double ours);
+/// Percentage overhead of `ours` over `baseline` (positive = higher).
+double overhead_pct(double baseline, double ours);
+
+}  // namespace canary::harness

@@ -1,0 +1,148 @@
+#include "harness/scenario.hpp"
+
+#include <optional>
+
+#include "canary/core.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/network.hpp"
+#include "cluster/storage.hpp"
+#include "common/logging.hpp"
+#include "faas/retry.hpp"
+#include "recovery/active_standby.hpp"
+#include "recovery/request_replication.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace canary::harness {
+
+RunResult ScenarioRunner::run(const ScenarioConfig& config,
+                              const std::vector<faas::JobSpec>& jobs) {
+  using recovery::StrategyKind;
+
+  sim::Simulator simulator;
+  auto cluster = cluster::Cluster::testbed(config.cluster_nodes);
+  cluster::NetworkModel network(&cluster, {});
+  auto storage =
+      config.storage.value_or(cluster::StorageHierarchy::testbed());
+  kv::KvStore store(config.kv, cluster.node_ids());
+  sim::MetricsRecorder metrics;
+  faas::Platform platform(simulator, cluster, network, config.platform,
+                          metrics);
+
+  const bool ideal = config.strategy.kind == StrategyKind::kIdeal;
+  failure::InjectorConfig injector_config;
+  injector_config.error_rate = ideal ? 0.0 : config.error_rate;
+  injector_config.mode = config.injection_mode;
+  failure::FailureInjector injector(Rng(config.seed), injector_config);
+  platform.set_failure_policy(&injector);
+
+  // Exactly one strategy object is materialised per run; optionals keep
+  // construction in this scope without heap indirection.
+  std::optional<faas::RetryHandler> retry;
+  std::optional<core::CoreModule> canary_fw;
+  std::optional<recovery::RequestReplicationHandler> rr;
+  std::optional<recovery::ActiveStandbyHandler> as;
+
+  switch (config.strategy.kind) {
+    case StrategyKind::kIdeal:
+    case StrategyKind::kRetry: {
+      retry.emplace(platform);
+      platform.set_recovery_handler(&*retry);
+      for (const auto& job : jobs) {
+        auto submitted = platform.submit_job(job);
+        CANARY_CHECK(submitted.ok(), "job submission failed");
+      }
+      break;
+    }
+    case StrategyKind::kCanary: {
+      canary_fw.emplace(platform, store, storage, config.strategy.canary);
+      canary_fw->install();
+      for (const auto& job : jobs) {
+        auto submitted = canary_fw->submit_job(job);
+        CANARY_CHECK(submitted.ok(), "job rejected by the request validator");
+      }
+      break;
+    }
+    case StrategyKind::kRequestReplication: {
+      rr.emplace(platform, config.strategy.rr_replicas);
+      platform.set_recovery_handler(&*rr);
+      platform.add_observer(&*rr);
+      for (const auto& job : jobs) {
+        auto submitted = platform.submit_job(rr->expand_job(job));
+        CANARY_CHECK(submitted.ok(), "job submission failed");
+        rr->track_job(submitted.value());
+      }
+      break;
+    }
+    case StrategyKind::kActiveStandby: {
+      as.emplace(platform);
+      platform.set_recovery_handler(&*as);
+      platform.add_observer(&*as);
+      for (const auto& job : jobs) {
+        auto submitted = platform.submit_job(job);
+        CANARY_CHECK(submitted.ok(), "job submission failed");
+      }
+      break;
+    }
+  }
+
+  // The ideal scenario is failure-free by definition (§V-B) — node-level
+  // failures apply only to the fault-exposed strategies.
+  if (!ideal) {
+    for (const Duration offset : config.node_failure_offsets) {
+      injector.schedule_node_failure(simulator, platform, &store,
+                                     TimePoint::origin() + offset);
+    }
+    for (const auto& correlated : config.correlated_node_failures) {
+      injector.schedule_correlated_node_failure(
+          simulator, platform, &store, TimePoint::origin() + correlated.at,
+          correlated.precursor_kills, correlated.precursor_window);
+    }
+  }
+
+  simulator.run();
+  platform.finalize_usage();
+
+  RunResult result;
+  result.completed = platform.all_jobs_completed();
+  if (!result.completed) {
+    CANARY_LOG_ERROR("scenario ended with incomplete jobs (strategy="
+                     << config.strategy.label() << ")");
+  }
+  result.simulated_events = simulator.executed_events();
+
+  TimePoint last_completion = TimePoint::origin();
+  double recoveries = 0.0;
+  for (const FunctionId id : platform.all_function_ids()) {
+    const auto& inv = platform.invocation(id);
+    if (inv.completion_time != TimePoint::max() &&
+        inv.completion_time > last_completion) {
+      last_completion = inv.completion_time;
+    }
+    result.total_recovery_s += inv.recovery_time.to_seconds();
+    result.lost_work_s += inv.lost_work.to_seconds();
+    result.failures += inv.failures;
+  }
+  recoveries = metrics.counter("recoveries");
+  for (const JobId job : platform.all_job_ids()) {
+    const auto& spec = platform.job_spec(job);
+    if (spec.sla <= Duration::zero()) continue;
+    result.sla_jobs += 1.0;
+    if (!platform.job_completed(job) ||
+        platform.job_completion_time(job) >
+            platform.job_submit_time(job) + spec.sla) {
+      result.sla_violations += 1.0;
+    }
+  }
+  result.makespan_s = (last_completion - TimePoint::origin()).to_seconds();
+  result.mean_recovery_s =
+      recoveries > 0.0 ? result.total_recovery_s / recoveries : 0.0;
+
+  const cost::CostModel cost_model(config.pricing);
+  result.cost = cost_model.breakdown(platform.usage());
+  result.cost_usd = result.cost.total_usd;
+  result.counters = metrics.counters();
+  return result;
+}
+
+}  // namespace canary::harness

@@ -1,0 +1,77 @@
+// One simulated experiment run: a cluster, a platform, a fault-tolerance
+// strategy, an error rate, and a set of jobs. Produces the metrics the
+// paper's figures report (recovery time, makespan, dollar cost).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/storage.hpp"
+#include "cost/cost_model.hpp"
+#include "failure/injector.hpp"
+#include "faas/function.hpp"
+#include "faas/platform.hpp"
+#include "kvstore/kvstore.hpp"
+#include "recovery/strategies.hpp"
+
+namespace canary::harness {
+
+struct ScenarioConfig {
+  recovery::StrategyConfig strategy;
+  /// Fraction of functions whose container is killed (paper's error rate,
+  /// 0.01 - 0.50). Ignored for the Ideal strategy.
+  double error_rate = 0.0;
+  /// Hazard-rate by default: the kill probability of an attempt scales
+  /// with how long its container is up, so a first attempt fails with
+  /// probability `error_rate` while restarted containers stay exposed —
+  /// producing the paper's "multiple consecutive function failures" and
+  /// the compounding retry cost at high error rates (§V-D5/D6).
+  failure::InjectionMode injection_mode = failure::InjectionMode::kHazardRate;
+  std::size_t cluster_nodes = 16;
+  /// Node-level failures at these offsets from run start (§V-D6).
+  std::vector<Duration> node_failure_offsets;
+  /// Correlated node failures: container-kill degradation on the victim
+  /// before it dies (the signature proactive mitigation predicts on).
+  struct CorrelatedNodeFailure {
+    Duration at;
+    int precursor_kills = 4;
+    Duration precursor_window = Duration::sec(8.0);
+  };
+  std::vector<CorrelatedNodeFailure> correlated_node_failures;
+  std::uint64_t seed = 42;
+  faas::PlatformConfig platform;
+  kv::KvConfig kv;
+  cost::PricingModel pricing = cost::PricingModel::ibm();
+  /// Storage hierarchy override; defaults to the paper's testbed tiers
+  /// (§V-C1). Lets experiments model e.g. an NFS-only deployment or a
+  /// custom external endpoint ("such as an S3 bucket", §IV-C4a).
+  std::optional<cluster::StorageHierarchy> storage;
+};
+
+struct RunResult {
+  bool completed = false;
+  double makespan_s = 0.0;        // first submission to last job completion
+  double total_recovery_s = 0.0;  // sum of per-failure recovery intervals
+  double mean_recovery_s = 0.0;   // per recovered failure
+  double lost_work_s = 0.0;       // nominal work discarded by failures
+  double failures = 0.0;
+  double cost_usd = 0.0;
+  cost::CostBreakdown cost;
+  /// Jobs carrying an SLA that finished past their deadline.
+  double sla_violations = 0.0;
+  double sla_jobs = 0.0;
+  std::uint64_t simulated_events = 0;
+  std::map<std::string, double> counters;
+};
+
+class ScenarioRunner {
+ public:
+  /// Execute `jobs` under `config` to completion. Deterministic in
+  /// (config, jobs).
+  static RunResult run(const ScenarioConfig& config,
+                       const std::vector<faas::JobSpec>& jobs);
+};
+
+}  // namespace canary::harness

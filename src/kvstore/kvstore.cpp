@@ -1,0 +1,178 @@
+#include "kvstore/kvstore.hpp"
+
+#include <algorithm>
+
+namespace canary::kv {
+
+KvStore::KvStore(KvConfig config, std::vector<NodeId> cache_nodes)
+    : config_(config), cache_nodes_(std::move(cache_nodes)) {
+  CANARY_CHECK(config_.shard_count > 0, "shard_count must be positive");
+  CANARY_CHECK(!cache_nodes_.empty(), "KV store needs at least one cache node");
+  shards_.reserve(config_.shard_count);
+  for (std::size_t i = 0; i < config_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+KvStore::Shard& KvStore::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const KvStore::Shard& KvStore::shard_for(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::vector<NodeId> KvStore::choose_owners(const std::string& key) const {
+  // Caller holds membership_mutex_ (shared or exclusive).
+  if (config_.mode == CacheMode::kReplicated) return cache_nodes_;
+  if (cache_nodes_.empty()) return {};
+  std::vector<NodeId> owners;
+  const std::size_t copies =
+      std::min<std::size_t>(1 + config_.backups, cache_nodes_.size());
+  const std::size_t start = std::hash<std::string>{}(key) % cache_nodes_.size();
+  for (std::size_t i = 0; i < copies; ++i) {
+    owners.push_back(cache_nodes_[(start + i) % cache_nodes_.size()]);
+  }
+  return owners;
+}
+
+Status KvStore::put(const std::string& key, std::string payload,
+                    std::optional<Bytes> logical_size) {
+  const Bytes size = logical_size.value_or(Bytes::of(payload.size()));
+  if (size > config_.max_entry_size) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected_oversize;
+    return Error::resource_exhausted(
+        "entry exceeds per-key limit; spill to a storage tier");
+  }
+  std::vector<NodeId> owners;
+  {
+    std::shared_lock<std::shared_mutex> mlock(membership_mutex_);
+    owners = choose_owners(key);
+  }
+  if (owners.empty() && !config_.native_persistence) {
+    return Error::unavailable("no cache node alive");
+  }
+  auto& shard = shard_for(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    auto& entry = shard.map[key];
+    entry.payload = std::move(payload);
+    entry.logical_size = size;
+    ++entry.version;
+    entry.owners = std::move(owners);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.puts;
+  return Status::ok_status();
+}
+
+Result<KvEntry> KvStore::get(const std::string& key) const {
+  const auto& shard = shard_for(key);
+  std::optional<KvEntry> found;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) found = it->second;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.gets;
+  if (!found) {
+    ++stats_.misses;
+    return Error::not_found("key not present: " + key);
+  }
+  ++stats_.hits;
+  return *found;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  const auto& shard = shard_for(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.map.find(key) != shard.map.end();
+}
+
+Status KvStore::remove(const std::string& key) {
+  auto& shard = shard_for(key);
+  std::size_t erased = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    erased = shard.map.erase(key);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.removes;
+  if (erased == 0) return Error::not_found("key not present: " + key);
+  return Status::ok_status();
+}
+
+std::vector<std::string> KvStore::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->map) {
+      if (key.rfind(prefix, 0) == 0) keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+Bytes KvStore::logical_bytes() const {
+  Bytes total = Bytes::zero();
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->map) total += entry.logical_size;
+  }
+  return total;
+}
+
+KvStats KvStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void KvStore::fail_node(NodeId node) {
+  {
+    std::unique_lock<std::shared_mutex> mlock(membership_mutex_);
+    auto it = std::find(cache_nodes_.begin(), cache_nodes_.end(), node);
+    if (it == cache_nodes_.end()) return;
+    cache_nodes_.erase(it);
+    dead_nodes_.push_back(node);
+  }
+  std::uint64_t lost = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      auto& owners = it->second.owners;
+      owners.erase(std::remove(owners.begin(), owners.end(), node),
+                   owners.end());
+      if (owners.empty() && !config_.native_persistence) {
+        it = shard->map.erase(it);
+        ++lost;
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.entries_lost += lost;
+}
+
+void KvStore::restore_node(NodeId node) {
+  std::unique_lock<std::shared_mutex> mlock(membership_mutex_);
+  auto it = std::find(dead_nodes_.begin(), dead_nodes_.end(), node);
+  if (it == dead_nodes_.end()) return;
+  dead_nodes_.erase(it);
+  cache_nodes_.push_back(node);
+}
+
+}  // namespace canary::kv

@@ -1,0 +1,122 @@
+// In-memory distributed key-value store — the Apache Ignite substitute.
+//
+// The paper stores function states and checkpoints in Ignite deployed in
+// replicated caching mode with native persistence enabled (§V-C1), keyed
+// by function id (§IV-C4b). This component reproduces the semantics that
+// matter to Canary:
+//   * a per-entry size limit ("in-memory databases limit the size of data
+//     stored per key") — oversized puts are rejected so the Checkpointing
+//     Module spills to a storage tier;
+//   * replicated vs. partitioned caching: entry copies live on cache
+//     nodes; a node failure destroys its copies, and an entry survives if
+//     any copy remains or native persistence is on;
+//   * version counters per key and prefix scans (used to enumerate the
+//     latest-n checkpoints of a function).
+//
+// The store is genuinely concurrent — sharded with per-shard shared
+// mutexes — because examples and tests exercise it from multiple threads,
+// even though each simulation run drives it single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace canary::kv {
+
+enum class CacheMode {
+  kReplicated,   // every cache node holds every entry (paper's setup)
+  kPartitioned,  // primary + `backups` copies
+};
+
+struct KvConfig {
+  std::size_t shard_count = 16;
+  /// Per-entry limit; Algorithm 1's `db_limit`.
+  Bytes max_entry_size = Bytes::mib(4);
+  CacheMode mode = CacheMode::kReplicated;
+  /// Backup copies per entry in partitioned mode.
+  unsigned backups = 1;
+  /// Ignite native persistence: entries survive even if every cache node
+  /// holding them dies.
+  bool native_persistence = true;
+};
+
+struct KvEntry {
+  std::string payload;       // serialized metadata (small, real bytes)
+  Bytes logical_size;        // size of the represented object
+  std::uint64_t version = 0;
+  std::vector<NodeId> owners;  // cache nodes currently holding a copy
+};
+
+struct KvStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t rejected_oversize = 0;
+  std::uint64_t entries_lost = 0;  // destroyed by node failures
+};
+
+class KvStore {
+ public:
+  KvStore(KvConfig config, std::vector<NodeId> cache_nodes);
+
+  const KvConfig& config() const { return config_; }
+
+  /// Insert or overwrite `key`. The entry's logical size defaults to the
+  /// payload length; pass `logical_size` when the payload is a descriptor
+  /// for a larger object (a spilled checkpoint's location record carries
+  /// the checkpoint's real size out-of-band). Returns
+  /// kResourceExhausted when `logical_size` exceeds the per-entry limit.
+  Status put(const std::string& key, std::string payload,
+             std::optional<Bytes> logical_size = std::nullopt);
+
+  Result<KvEntry> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  Status remove(const std::string& key);
+
+  /// All live keys beginning with `prefix`, sorted. O(total keys).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::size_t size() const;
+  Bytes logical_bytes() const;
+  KvStats stats() const;
+
+  /// Drop the copies held by `node`. Entries with no remaining copy are
+  /// destroyed unless native persistence is enabled.
+  void fail_node(NodeId node);
+  /// Bring `node` back as a cache node for future puts (existing entries
+  /// are not rebalanced onto it, matching Ignite's lazy rebalancing).
+  void restore_node(NodeId node);
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, KvEntry> map;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+  std::vector<NodeId> choose_owners(const std::string& key) const;
+  bool entry_alive(const KvEntry& entry) const;
+
+  KvConfig config_;
+  std::vector<NodeId> cache_nodes_;
+  std::vector<NodeId> dead_nodes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex stats_mutex_;
+  mutable KvStats stats_;  // gets/hits/misses are counted in const reads
+  mutable std::shared_mutex membership_mutex_;
+};
+
+}  // namespace canary::kv

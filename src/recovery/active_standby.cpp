@@ -1,0 +1,114 @@
+#include "recovery/active_standby.hpp"
+
+#include "common/logging.hpp"
+
+namespace canary::recovery {
+
+void ActiveStandbyHandler::provision_standby(FunctionId fn) {
+  const auto& inv = platform_.invocation(fn);
+  if (inv.completed()) return;
+  const faas::RuntimeImage image = inv.spec->runtime;
+
+  // Place the standby away from the active instance so one node failure
+  // cannot take both.
+  std::vector<NodeId> avoid;
+  if (inv.node.valid()) avoid.push_back(inv.node);
+  auto node = platform_.cluster().least_loaded_excluding(
+      faas::profile(image).memory, avoid);
+  if (!node) node = platform_.cluster().least_loaded(faas::profile(image).memory);
+  if (!node) {
+    CANARY_LOG_WARN("no capacity for a standby of function " << to_string(fn));
+    return;
+  }
+
+  auto launched = platform_.launch_warm_container(
+      *node, image, faas::ContainerPurpose::kStandby, [this](ContainerId cid) {
+        auto fn_it = by_container_.find(cid);
+        if (fn_it == by_container_.end()) {
+          // The function finished while the standby was launching; the
+          // orphan would idle (and bill) forever.
+          platform_.destroy_warm_container(cid);
+          return;
+        }
+        auto standby = standbys_.find(fn_it->second);
+        if (standby != standbys_.end() && standby->second.container == cid) {
+          standby->second.ready = true;
+        }
+      });
+  if (!launched.ok()) return;
+  standbys_[fn] = Standby{launched.value(), false};
+  by_container_[launched.value()] = fn;
+}
+
+void ActiveStandbyHandler::on_job_submitted(JobId job) {
+  for (const FunctionId fn : platform_.job_functions(job)) {
+    provision_standby(fn);
+  }
+}
+
+void ActiveStandbyHandler::on_attempt_started(const faas::Invocation& inv) {
+  (void)inv;  // placement of future standbys reads the live invocation
+}
+
+void ActiveStandbyHandler::on_failure(const faas::Invocation& inv,
+                                      const faas::FailureInfo& info) {
+  (void)info;
+  auto it = standbys_.find(inv.id);
+  if (it != standbys_.end() && it->second.ready) {
+    const ContainerId standby = it->second.container;
+    by_container_.erase(standby);
+    standbys_.erase(it);
+    // The standby becomes the active instance; no checkpoint exists, so
+    // execution restarts from the first state on the warm container.
+    faas::StartSpec start;
+    start.from_state = 0;
+    start.container = standby;
+    platform_.metrics().count("as_standby_activations");
+    platform_.start_attempt(inv.id, start);
+  } else {
+    // Standby not ready (still launching, or lost with its node): cold
+    // restart, as a retry would.
+    platform_.metrics().count("as_cold_restarts");
+    platform_.start_attempt(inv.id, faas::StartSpec{});
+  }
+  // Takeover triggers the creation of a new passive instance.
+  provision_standby(inv.id);
+}
+
+void ActiveStandbyHandler::on_function_completed(const faas::Invocation& inv) {
+  auto it = standbys_.find(inv.id);
+  if (it == standbys_.end()) return;
+  const ContainerId standby = it->second.container;
+  const bool ready = it->second.ready;
+  by_container_.erase(standby);
+  standbys_.erase(it);
+  if (ready && platform_.container(standby).warm_idle()) {
+    platform_.destroy_warm_container(standby);
+  }
+  // A standby still launching is destroyed by its readiness callback once
+  // it finds no by_container_ entry.
+}
+
+void ActiveStandbyHandler::on_container_destroyed(const faas::Container& c) {
+  auto fn_it = by_container_.find(c.id);
+  if (fn_it == by_container_.end()) return;
+  const FunctionId fn = fn_it->second;
+  by_container_.erase(fn_it);
+  auto it = standbys_.find(fn);
+  if (it != standbys_.end() && it->second.container == c.id) {
+    standbys_.erase(it);
+    // The node took the standby down; provision a replacement if the
+    // function is still live.
+    provision_standby(fn);
+  }
+}
+
+std::size_t ActiveStandbyHandler::ready_standbys() const {
+  std::size_t count = 0;
+  for (const auto& [fn, standby] : standbys_) {
+    if (standby.ready) ++count;
+  }
+  return count;
+}
+
+}  // namespace canary::recovery

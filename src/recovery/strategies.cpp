@@ -1,0 +1,64 @@
+#include "recovery/strategies.hpp"
+
+namespace canary::recovery {
+
+std::string_view to_string_view(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kIdeal: return "ideal";
+    case StrategyKind::kRetry: return "retry";
+    case StrategyKind::kCanary: return "canary";
+    case StrategyKind::kRequestReplication: return "request-replication";
+    case StrategyKind::kActiveStandby: return "active-standby";
+  }
+  return "unknown";
+}
+
+StrategyConfig StrategyConfig::canary_full(core::ReplicationMode mode) {
+  StrategyConfig config;
+  config.kind = StrategyKind::kCanary;
+  config.canary.replication.mode = mode;
+  return config;
+}
+
+StrategyConfig StrategyConfig::canary_replication_only() {
+  StrategyConfig config;
+  config.kind = StrategyKind::kCanary;
+  config.canary.checkpointing.enabled = false;
+  return config;
+}
+
+StrategyConfig StrategyConfig::canary_checkpoint_only() {
+  StrategyConfig config;
+  config.kind = StrategyKind::kCanary;
+  config.canary.replication.enabled = false;
+  return config;
+}
+
+StrategyConfig StrategyConfig::request_replication(unsigned replicas) {
+  StrategyConfig config;
+  config.kind = StrategyKind::kRequestReplication;
+  config.rr_replicas = replicas;
+  return config;
+}
+
+StrategyConfig StrategyConfig::active_standby() {
+  StrategyConfig config;
+  config.kind = StrategyKind::kActiveStandby;
+  return config;
+}
+
+std::string StrategyConfig::label() const {
+  std::string base{to_string_view(kind)};
+  if (kind == StrategyKind::kCanary) {
+    if (!canary.replication.enabled) return base + "-ckpt";
+    if (!canary.checkpointing.enabled) return base + "-repl";
+    switch (canary.replication.mode) {
+      case core::ReplicationMode::kDynamic: return base + "-dr";
+      case core::ReplicationMode::kAggressive: return base + "-ar";
+      case core::ReplicationMode::kLenient: return base + "-lr";
+    }
+  }
+  return base;
+}
+
+}  // namespace canary::recovery

@@ -1,0 +1,50 @@
+// Fault-tolerance strategies compared in the paper's evaluation (§V):
+//
+//  * Ideal     — failure-free execution (the lower bound);
+//  * Retry     — the FaaS default: restart failed functions from scratch;
+//  * Canary    — the paper's contribution, in any configuration
+//                (replication-only for Fig. 4-5, checkpoint-focused for
+//                Fig. 6, full for Fig. 7-12, DR/AR/LR for Fig. 9);
+//  * RR        — request replication [65]: every request runs on 1+k
+//                instances, first response wins, the rest are discarded;
+//  * AS        — active-standby [66]: one warm standby per function,
+//                activated (from scratch — no checkpoint) on failure.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "canary/core.hpp"
+
+namespace canary::recovery {
+
+enum class StrategyKind {
+  kIdeal,
+  kRetry,
+  kCanary,
+  kRequestReplication,
+  kActiveStandby,
+};
+
+std::string_view to_string_view(StrategyKind kind);
+
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kRetry;
+  /// Canary framework configuration (used when kind == kCanary).
+  core::CanaryConfig canary;
+  /// Replicas per request for RR (the paper launches one per request).
+  unsigned rr_replicas = 1;
+
+  static StrategyConfig ideal() { return {StrategyKind::kIdeal, {}, 1}; }
+  static StrategyConfig retry() { return {StrategyKind::kRetry, {}, 1}; }
+  static StrategyConfig canary_full(
+      core::ReplicationMode mode = core::ReplicationMode::kDynamic);
+  static StrategyConfig canary_replication_only();
+  static StrategyConfig canary_checkpoint_only();
+  static StrategyConfig request_replication(unsigned replicas = 1);
+  static StrategyConfig active_standby();
+
+  std::string label() const;
+};
+
+}  // namespace canary::recovery

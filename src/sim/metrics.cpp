@@ -1,0 +1,30 @@
+#include "sim/metrics.hpp"
+
+namespace canary::sim {
+
+namespace {
+const SampleSet& empty_sample_set() {
+  static const SampleSet empty;
+  return empty;
+}
+}  // namespace
+
+void MetricsRecorder::count(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRecorder::sample(const std::string& name, double value) {
+  samples_[name].add(value);
+}
+
+double MetricsRecorder::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+const SampleSet& MetricsRecorder::samples(const std::string& name) const {
+  auto it = samples_.find(name);
+  return it == samples_.end() ? empty_sample_set() : it->second;
+}
+
+}  // namespace canary::sim

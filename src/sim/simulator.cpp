@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include "common/result.hpp"
+
+namespace canary::sim {
+
+EventHandle Simulator::schedule_at(TimePoint when, Callback fn) {
+  CANARY_CHECK(when >= now_, "cannot schedule an event in the past");
+  Event ev;
+  ev.when = when;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  ev.cancelled = std::make_shared<bool>(false);
+  ev.fired = std::make_shared<bool>(false);
+  EventHandle handle;
+  handle.cancelled_ = ev.cancelled;
+  handle.fired_ = ev.fired;
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
+  CANARY_CHECK(delay >= Duration::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::dispatch_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out and popped
+    // before running so the callback can schedule freely.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    *ev.fired = true;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && dispatch_one()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint until) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
+    if (dispatch_one()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+bool Simulator::step() { return dispatch_one(); }
+
+}  // namespace canary::sim

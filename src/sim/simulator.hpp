@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// The Simulator owns a time-ordered event queue and a virtual clock. All
+// platform activity (container launches, state completions, failures,
+// checkpoint flushes) is expressed as scheduled callbacks. Events at equal
+// timestamps fire in scheduling order (FIFO tiebreak on a sequence
+// number), which keeps runs deterministic. Events can be cancelled through
+// the handle returned at scheduling time — used e.g. to retract a pending
+// kill when a function completes first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace canary::sim {
+
+/// Cancellation handle for a scheduled event. Copyable; cancelling twice
+/// is a no-op. A default-constructed handle refers to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  /// True if this handle refers to an event that has neither fired nor
+  /// been cancelled.
+  bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+
+ private:
+  friend class Simulator;
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<bool> fired_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when`. `when` must not be in
+  /// the past.
+  EventHandle schedule_at(TimePoint when, Callback fn);
+
+  /// Schedule `fn` after `delay` (>= 0) from now.
+  EventHandle schedule_after(Duration delay, Callback fn);
+
+  /// Run events until the queue is exhausted or `stop()` is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run events with timestamp <= `until`, leaving later events queued.
+  std::uint64_t run_until(TimePoint until);
+
+  /// Execute a single event if one is queued. Returns false if empty.
+  bool step();
+
+  /// Stop the current run() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> fired;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace canary::sim

@@ -1,0 +1,131 @@
+#include "workloads/kernels/census.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace canary::workloads::kernels {
+
+std::vector<CountyRecord> synthesize_census(std::size_t counties,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CountyRecord> records;
+  records.reserve(counties);
+  for (std::size_t c = 0; c < counties; ++c) {
+    CountyRecord rec;
+    rec.county = static_cast<std::uint32_t>(c);
+    // Skewed populations: one dominant group per county plus a tail, so
+    // county indices spread over a wide range.
+    const std::size_t dominant = rng.uniform_int(0, kEthnicityGroups - 1);
+    for (std::size_t g = 0; g < kEthnicityGroups; ++g) {
+      const std::uint64_t base = rng.uniform_int(100, 20000);
+      rec.group_population[g] = g == dominant ? base * 8 : base;
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+double simpson_index(
+    const std::array<std::uint64_t, kEthnicityGroups>& counts) {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+void DiversityAggregator::absorb(const CountyRecord& record) {
+  county_index_.push_back(simpson_index(record.group_population));
+  for (std::size_t g = 0; g < kEthnicityGroups; ++g) {
+    national_counts_[g] += record.group_population[g];
+  }
+}
+
+void DiversityAggregator::merge(const DiversityAggregator& other) {
+  county_index_.insert(county_index_.end(), other.county_index_.begin(),
+                       other.county_index_.end());
+  for (std::size_t g = 0; g < kEthnicityGroups; ++g) {
+    national_counts_[g] += other.national_counts_[g];
+  }
+}
+
+double DiversityAggregator::national_index() const {
+  return simpson_index(national_counts_);
+}
+
+std::uint64_t DiversityAggregator::total_population() const {
+  std::uint64_t total = 0;
+  for (const auto c : national_counts_) total += c;
+  return total;
+}
+
+std::string DiversityAggregator::serialize() const {
+  std::string out;
+  const auto count = static_cast<std::uint64_t>(county_index_.size());
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.append(reinterpret_cast<const char*>(county_index_.data()),
+             county_index_.size() * sizeof(double));
+  out.append(reinterpret_cast<const char*>(national_counts_.data()),
+             national_counts_.size() * sizeof(std::uint64_t));
+  return out;
+}
+
+DiversityAggregator DiversityAggregator::deserialize(const std::string& bytes) {
+  DiversityAggregator agg;
+  std::uint64_t count = 0;
+  CANARY_CHECK(bytes.size() >= sizeof(count), "truncated aggregator state");
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  const std::size_t expected = sizeof(count) + count * sizeof(double) +
+                               kEthnicityGroups * sizeof(std::uint64_t);
+  CANARY_CHECK(bytes.size() == expected, "corrupted aggregator state");
+  agg.county_index_.resize(count);
+  std::memcpy(agg.county_index_.data(), bytes.data() + sizeof(count),
+              count * sizeof(double));
+  std::memcpy(agg.national_counts_.data(),
+              bytes.data() + sizeof(count) + count * sizeof(double),
+              kEthnicityGroups * sizeof(std::uint64_t));
+  return agg;
+}
+
+DiversityResult diversity_index(const std::vector<CountyRecord>& records,
+                                unsigned threads) {
+  threads = std::max(1u, threads);
+  std::vector<DiversityAggregator> partials(threads);
+
+  if (threads == 1 || records.size() < 2 * threads) {
+    for (const auto& rec : records) partials[0].absorb(rec);
+  } else {
+    // Contiguous chunks keep per-county order stable after the in-order
+    // merge below.
+    std::vector<std::thread> workers;
+    const std::size_t chunk = (records.size() + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(records.size(), begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          partials[t].absorb(records[i]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  DiversityAggregator total;
+  for (const auto& part : partials) total.merge(part);
+
+  DiversityResult result;
+  result.county_index = total.county_indices();
+  result.national_index = total.national_index();
+  result.total_population = total.total_population();
+  return result;
+}
+
+}  // namespace canary::workloads::kernels

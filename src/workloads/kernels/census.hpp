@@ -1,0 +1,66 @@
+// Real census diversity-index kernel (the paper's Spark data-mining
+// workload: "computes the diversity index at the local and national
+// levels over the US census data").
+//
+// Synthetic county records stand in for the census extract; the diversity
+// measure is Simpson's index 1 - sum(p_i^2) over ethnicity-group
+// population shares. The aggregator is incremental and mergeable —
+// exactly the shape of the paper's serverless map/aggregate pipeline —
+// and its state serializes for checkpointing. diversity_index() fans the
+// map phase out across threads and merges, mirroring the Spark stage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canary::workloads::kernels {
+
+inline constexpr std::size_t kEthnicityGroups = 6;
+
+struct CountyRecord {
+  std::uint32_t county = 0;
+  std::array<std::uint64_t, kEthnicityGroups> group_population{};
+};
+
+/// Deterministic synthetic census extract: `counties` county records with
+/// skewed group populations.
+std::vector<CountyRecord> synthesize_census(std::size_t counties,
+                                            std::uint64_t seed);
+
+/// Simpson's diversity index over group populations, in [0, 1).
+double simpson_index(const std::array<std::uint64_t, kEthnicityGroups>& counts);
+
+struct DiversityResult {
+  /// Per-county index, aligned with the input record order.
+  std::vector<double> county_index;
+  double national_index = 0.0;
+  std::uint64_t total_population = 0;
+};
+
+/// Incremental, mergeable, checkpointable aggregation state.
+class DiversityAggregator {
+ public:
+  void absorb(const CountyRecord& record);
+  void merge(const DiversityAggregator& other);
+
+  std::size_t counties_processed() const { return county_index_.size(); }
+  double national_index() const;
+  std::uint64_t total_population() const;
+  const std::vector<double>& county_indices() const { return county_index_; }
+
+  std::string serialize() const;
+  static DiversityAggregator deserialize(const std::string& bytes);
+
+ private:
+  std::vector<double> county_index_;
+  std::array<std::uint64_t, kEthnicityGroups> national_counts_{};
+};
+
+/// Full computation; `threads` > 1 maps county chunks in parallel and
+/// merges, preserving the sequential result exactly.
+DiversityResult diversity_index(const std::vector<CountyRecord>& records,
+                                unsigned threads = 1);
+
+}  // namespace canary::workloads::kernels

@@ -1,0 +1,173 @@
+#include "workloads/kernels/compress.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace canary::workloads::kernels {
+
+namespace {
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 19;
+
+struct Match {
+  std::size_t offset = 0;  // distance back from the cursor
+  std::size_t length = 0;
+};
+
+Match find_match(std::span<const std::uint8_t> input, std::size_t pos) {
+  Match best;
+  const std::size_t window_begin = pos > kWindow ? pos - kWindow : 0;
+  const std::size_t remaining = input.size() - pos;
+  const std::size_t max_len = std::min(kMaxMatch, remaining);
+  if (max_len < kMinMatch) return best;
+  for (std::size_t cand = window_begin; cand < pos; ++cand) {
+    std::size_t len = 0;
+    while (len < max_len && input[cand + len] == input[pos + len]) ++len;
+    if (len > best.length) {
+      best.length = len;
+      best.offset = pos - cand;
+      if (len == max_len) break;  // cannot improve
+    }
+  }
+  if (best.length < kMinMatch) return {};
+  return best;
+}
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  const auto original = static_cast<std::uint64_t>(input.size());
+  out.resize(sizeof(original));
+  std::memcpy(out.data(), &original, sizeof(original));
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    // One flag byte covers the next 8 tokens: bit set = literal,
+    // bit clear = (offset, length) back-reference.
+    const std::size_t flag_at = out.size();
+    out.push_back(0);
+    std::uint8_t flags = 0;
+    for (int bit = 0; bit < 8 && pos < input.size(); ++bit) {
+      const Match m = find_match(input, pos);
+      if (m.length >= kMinMatch) {
+        // 12-bit offset-1, 4-bit length-kMinMatch.
+        const auto packed = static_cast<std::uint16_t>(
+            ((m.offset - 1) << 4) | (m.length - kMinMatch));
+        out.push_back(static_cast<std::uint8_t>(packed >> 8));
+        out.push_back(static_cast<std::uint8_t>(packed & 0xff));
+        pos += m.length;
+      } else {
+        flags = static_cast<std::uint8_t>(flags | (1u << bit));
+        out.push_back(input[pos++]);
+      }
+    }
+    out[flag_at] = flags;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input) {
+  CANARY_CHECK(input.size() >= sizeof(std::uint64_t), "truncated stream");
+  std::uint64_t original = 0;
+  std::memcpy(&original, input.data(), sizeof(original));
+  std::vector<std::uint8_t> out;
+  out.reserve(original);
+
+  std::size_t pos = sizeof(original);
+  while (out.size() < original) {
+    CANARY_CHECK(pos < input.size(), "truncated stream body");
+    const std::uint8_t flags = input[pos++];
+    for (int bit = 0; bit < 8 && out.size() < original; ++bit) {
+      if (flags & (1u << bit)) {
+        CANARY_CHECK(pos < input.size(), "truncated literal");
+        out.push_back(input[pos++]);
+      } else {
+        CANARY_CHECK(pos + 1 < input.size(), "truncated back-reference");
+        const auto packed = static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(input[pos]) << 8) | input[pos + 1]);
+        pos += 2;
+        const std::size_t offset = (packed >> 4) + 1;
+        const std::size_t length = (packed & 0xf) + kMinMatch;
+        CANARY_CHECK(offset <= out.size(), "back-reference before start");
+        const std::size_t start = out.size() - offset;
+        // Byte-by-byte copy: overlapping references replicate runs.
+        for (std::size_t i = 0; i < length; ++i) {
+          out.push_back(out[start + i]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> make_compressible_data(std::size_t size,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data;
+  data.reserve(size);
+  static constexpr const char* kPhrases[] = {
+      "function-as-a-service ", "checkpoint restore ",
+      "replicated runtime ", "recovery time ", "stateful workload ",
+  };
+  while (data.size() < size) {
+    if (rng.bernoulli(0.8)) {
+      const char* phrase = kPhrases[rng.uniform_int(0, 4)];
+      for (const char* p = phrase; *p != '\0' && data.size() < size; ++p) {
+        data.push_back(static_cast<std::uint8_t>(*p));
+      }
+    } else {
+      data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+  }
+  return data;
+}
+
+bool ChunkedCompressor::compress_next_chunk(
+    std::span<const std::uint8_t> input) {
+  if (bytes_in_ >= input.size()) return false;
+  const std::size_t begin = static_cast<std::size_t>(bytes_in_);
+  const std::size_t len = std::min(chunk_size_, input.size() - begin);
+  const auto compressed = lz_compress(input.subspan(begin, len));
+  // Frame each chunk with its compressed length so the stream splits back
+  // into independently decompressable chunks.
+  const auto frame = static_cast<std::uint64_t>(compressed.size());
+  const auto* frame_bytes = reinterpret_cast<const std::uint8_t*>(&frame);
+  output_.insert(output_.end(), frame_bytes, frame_bytes + sizeof(frame));
+  output_.insert(output_.end(), compressed.begin(), compressed.end());
+  bytes_in_ += len;
+  bytes_out_ += compressed.size() + sizeof(frame);
+  ++chunks_done_;
+  return true;
+}
+
+std::string ChunkedCompressor::checkpoint() const {
+  std::string out;
+  const std::uint64_t fields[3] = {chunks_done_, bytes_in_, bytes_out_};
+  out.append(reinterpret_cast<const char*>(fields), sizeof(fields));
+  out.append(reinterpret_cast<const char*>(output_.data()), output_.size());
+  return out;
+}
+
+ChunkedCompressor ChunkedCompressor::restore(const std::string& bytes,
+                                             std::size_t chunk_size) {
+  ChunkedCompressor c(chunk_size);
+  std::uint64_t fields[3];
+  CANARY_CHECK(bytes.size() >= sizeof(fields), "truncated checkpoint");
+  std::memcpy(fields, bytes.data(), sizeof(fields));
+  c.chunks_done_ = static_cast<std::size_t>(fields[0]);
+  c.bytes_in_ = fields[1];
+  c.bytes_out_ = fields[2];
+  const auto* body =
+      reinterpret_cast<const std::uint8_t*>(bytes.data() + sizeof(fields));
+  c.output_.assign(body, body + (bytes.size() - sizeof(fields)));
+  CANARY_CHECK(c.output_.size() == c.bytes_out_,
+               "checkpoint output length mismatch");
+  return c;
+}
+
+}  // namespace canary::workloads::kernels

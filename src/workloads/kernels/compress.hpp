@@ -1,0 +1,59 @@
+// Real LZSS-style compressor (the paper's data-compression workload,
+// SeBS 311.compression, performs zip compression over ~1 GB inputs).
+//
+// Greedy LZ77 with a 4 KiB sliding window and 4..19-byte matches, framed
+// as flag-grouped tokens. ChunkedCompressor processes a stream in
+// independent chunks so that a killed function resumes at the last
+// completed chunk — the same per-file checkpoint granularity the paper
+// uses ("a checkpoint is performed after compressing an input file").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace canary::workloads::kernels {
+
+/// Compress `input`; output is self-contained (prefixed with the original
+/// size) and decompressable with decompress().
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input);
+
+/// Inverse of lz_compress. Aborts on corrupt input framing.
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input);
+
+/// Deterministic compressible test data (repetitive structure + noise).
+std::vector<std::uint8_t> make_compressible_data(std::size_t size,
+                                                 std::uint64_t seed);
+
+class ChunkedCompressor {
+ public:
+  explicit ChunkedCompressor(std::size_t chunk_size = 64 * 1024)
+      : chunk_size_(chunk_size) {}
+
+  /// Compress the next chunk of `input` starting at the internal cursor.
+  /// Returns false when the input is exhausted.
+  bool compress_next_chunk(std::span<const std::uint8_t> input);
+
+  std::size_t chunks_done() const { return chunks_done_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+  const std::vector<std::uint8_t>& output() const { return output_; }
+  bool finished(std::span<const std::uint8_t> input) const {
+    return bytes_in_ >= input.size();
+  }
+
+  /// Progress checkpoint: cursor + counters + output so far.
+  std::string checkpoint() const;
+  static ChunkedCompressor restore(const std::string& bytes,
+                                   std::size_t chunk_size = 64 * 1024);
+
+ private:
+  std::size_t chunk_size_;
+  std::size_t chunks_done_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  std::vector<std::uint8_t> output_;
+};
+
+}  // namespace canary::workloads::kernels

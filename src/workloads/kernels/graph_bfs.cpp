@@ -1,0 +1,174 @@
+#include "workloads/kernels/graph_bfs.hpp"
+
+#include <cstring>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace canary::workloads::kernels {
+
+CsrGraph CsrGraph::binary_tree(std::uint64_t vertex_count) {
+  CsrGraph g;
+  g.offsets_.resize(vertex_count + 1);
+  std::uint64_t edges = 0;
+  for (std::uint64_t v = 0; v < vertex_count; ++v) {
+    g.offsets_[v] = edges;
+    if (2 * v + 1 < vertex_count) ++edges;
+    if (2 * v + 2 < vertex_count) ++edges;
+  }
+  g.offsets_[vertex_count] = edges;
+  g.edges_.resize(edges);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t v = 0; v < vertex_count; ++v) {
+    if (2 * v + 1 < vertex_count) {
+      g.edges_[cursor++] = static_cast<std::uint32_t>(2 * v + 1);
+    }
+    if (2 * v + 2 < vertex_count) {
+      g.edges_[cursor++] = static_cast<std::uint32_t>(2 * v + 2);
+    }
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::random(std::uint64_t vertex_count, unsigned avg_degree,
+                          std::uint64_t seed) {
+  CANARY_CHECK(vertex_count > 0, "graph needs vertices");
+  CsrGraph g;
+  Rng rng(seed);
+  g.offsets_.resize(vertex_count + 1);
+  g.edges_.reserve(vertex_count * avg_degree);
+  for (std::uint64_t v = 0; v < vertex_count; ++v) {
+    g.offsets_[v] = g.edges_.size();
+    const auto degree =
+        static_cast<unsigned>(rng.uniform_int(0, 2ULL * avg_degree));
+    for (unsigned e = 0; e < degree; ++e) {
+      g.edges_.push_back(
+          static_cast<std::uint32_t>(rng.uniform_int(0, vertex_count - 1)));
+    }
+  }
+  g.offsets_[vertex_count] = g.edges_.size();
+  return g;
+}
+
+namespace {
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::string& in, std::size_t& offset) {
+  CANARY_CHECK(offset + sizeof(T) <= in.size(), "truncated checkpoint");
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+}  // namespace
+
+std::string BfsCheckpoint::serialize() const {
+  std::string out;
+  append_pod(out, traversed);
+  append_pod(out, frontier_sum);
+  append_pod(out, static_cast<std::uint64_t>(frontier.size()));
+  for (const auto v : frontier) append_pod(out, v);
+  append_pod(out, static_cast<std::uint64_t>(visited_words.size()));
+  for (const auto w : visited_words) append_pod(out, w);
+  return out;
+}
+
+BfsCheckpoint BfsCheckpoint::deserialize(const std::string& bytes) {
+  BfsCheckpoint ckpt;
+  std::size_t offset = 0;
+  ckpt.traversed = read_pod<std::uint64_t>(bytes, offset);
+  ckpt.frontier_sum = read_pod<std::uint64_t>(bytes, offset);
+  const auto frontier_size = read_pod<std::uint64_t>(bytes, offset);
+  ckpt.frontier.reserve(frontier_size);
+  for (std::uint64_t i = 0; i < frontier_size; ++i) {
+    ckpt.frontier.push_back(read_pod<std::uint32_t>(bytes, offset));
+  }
+  const auto word_count = read_pod<std::uint64_t>(bytes, offset);
+  ckpt.visited_words.reserve(word_count);
+  for (std::uint64_t i = 0; i < word_count; ++i) {
+    ckpt.visited_words.push_back(read_pod<std::uint64_t>(bytes, offset));
+  }
+  std::uint64_t sum = 0;
+  for (const auto v : ckpt.frontier) sum += v;
+  CANARY_CHECK(sum == ckpt.frontier_sum, "corrupted BFS checkpoint");
+  return ckpt;
+}
+
+BfsRunner::BfsRunner(const CsrGraph& graph)
+    : graph_(graph), visited_words_((graph.vertex_count() + 63) / 64, 0) {}
+
+BfsRunner::BfsRunner(const CsrGraph& graph, std::uint32_t source)
+    : BfsRunner(graph) {
+  CANARY_CHECK(source < graph.vertex_count(), "source out of range");
+  mark(source);
+  frontier_.push_back(source);
+}
+
+void BfsRunner::advance_level() {
+  if (cursor_ >= frontier_.size()) {
+    frontier_.swap(next_);
+    next_.clear();
+    cursor_ = 0;
+  }
+}
+
+std::uint64_t BfsRunner::step(std::uint64_t budget) {
+  std::uint64_t processed = 0;
+  while (processed < budget && !done()) {
+    advance_level();
+    if (cursor_ >= frontier_.size()) break;
+    const std::uint32_t v = frontier_[cursor_++];
+    ++traversed_;
+    checksum_ += v;
+    ++processed;
+    for (const std::uint32_t* n = graph_.neighbours_begin(v);
+         n != graph_.neighbours_end(v); ++n) {
+      if (!visited(*n)) {
+        mark(*n);
+        next_.push_back(*n);
+      }
+    }
+  }
+  return processed;
+}
+
+BfsCheckpoint BfsRunner::checkpoint() const {
+  BfsCheckpoint ckpt;
+  ckpt.traversed = traversed_;
+  // The unprocessed tail of the current level plus the next level form
+  // the resumable frontier.
+  ckpt.frontier.assign(frontier_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                       frontier_.end());
+  ckpt.frontier.insert(ckpt.frontier.end(), next_.begin(), next_.end());
+  for (const auto v : ckpt.frontier) ckpt.frontier_sum += v;
+  ckpt.visited_words = visited_words_;
+  return ckpt;
+}
+
+BfsRunner BfsRunner::restore(const CsrGraph& graph,
+                             const BfsCheckpoint& ckpt) {
+  BfsRunner runner(graph);
+  CANARY_CHECK(ckpt.visited_words.size() == runner.visited_words_.size(),
+               "checkpoint is for a different graph");
+  runner.visited_words_ = ckpt.visited_words;
+  runner.frontier_ = ckpt.frontier;
+  runner.traversed_ = ckpt.traversed;
+  // The vertex-id checksum over traversed vertices cannot be recovered
+  // from the compact checkpoint exactly, but the visited set minus the
+  // frontier is exactly the traversed set — rebuild it from there.
+  runner.checksum_ = 0;
+  std::vector<bool> in_frontier(graph.vertex_count(), false);
+  for (const auto v : ckpt.frontier) in_frontier[v] = true;
+  for (std::uint64_t v = 0; v < graph.vertex_count(); ++v) {
+    if (runner.visited(static_cast<std::uint32_t>(v)) && !in_frontier[v]) {
+      runner.checksum_ += v;
+    }
+  }
+  return runner;
+}
+
+}  // namespace canary::workloads::kernels

@@ -1,0 +1,84 @@
+// Real, checkpointable breadth-first search (the SeBS 501.graph-bfs
+// kernel behind the paper's graph-search workload).
+//
+// CsrGraph is a compressed-sparse-row graph; binary_tree(n) builds the
+// paper's 50M-vertex binary tree shape. BfsRunner traverses with an
+// explicit frontier queue in budgeted steps — "each function is
+// checkpointed after 1 million vertices have been traversed" — and its
+// checkpoint (frontier + visited set + counters) round-trips through a
+// byte string, so a killed traversal resumes exactly where it stopped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canary::workloads::kernels {
+
+class CsrGraph {
+ public:
+  /// Complete binary tree: vertex v has children 2v+1 and 2v+2.
+  static CsrGraph binary_tree(std::uint64_t vertex_count);
+  /// Uniform random graph with `avg_degree` out-edges per vertex.
+  static CsrGraph random(std::uint64_t vertex_count, unsigned avg_degree,
+                         std::uint64_t seed);
+
+  std::uint64_t vertex_count() const { return offsets_.size() - 1; }
+  std::uint64_t edge_count() const { return edges_.size(); }
+
+  /// Out-neighbours of `v` as [begin, end) into the edge array.
+  const std::uint32_t* neighbours_begin(std::uint32_t v) const {
+    return edges_.data() + offsets_[v];
+  }
+  const std::uint32_t* neighbours_end(std::uint32_t v) const {
+    return edges_.data() + offsets_[v + 1];
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> edges_;
+};
+
+struct BfsCheckpoint {
+  std::uint64_t traversed = 0;
+  std::uint64_t frontier_sum = 0;  // integrity checksum
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint64_t> visited_words;
+
+  std::string serialize() const;
+  static BfsCheckpoint deserialize(const std::string& bytes);
+};
+
+class BfsRunner {
+ public:
+  BfsRunner(const CsrGraph& graph, std::uint32_t source);
+
+  /// Traverse up to `budget` vertices; returns how many were processed.
+  std::uint64_t step(std::uint64_t budget);
+
+  bool done() const { return cursor_ >= frontier_.size() && next_.empty(); }
+  std::uint64_t traversed() const { return traversed_; }
+  /// Order-independent checksum of the visited set (sum of vertex ids).
+  std::uint64_t checksum() const { return checksum_; }
+
+  BfsCheckpoint checkpoint() const;
+  static BfsRunner restore(const CsrGraph& graph, const BfsCheckpoint& ckpt);
+
+ private:
+  explicit BfsRunner(const CsrGraph& graph);
+  bool visited(std::uint32_t v) const {
+    return (visited_words_[v >> 6] >> (v & 63)) & 1ULL;
+  }
+  void mark(std::uint32_t v) { visited_words_[v >> 6] |= 1ULL << (v & 63); }
+  void advance_level();
+
+  const CsrGraph& graph_;
+  std::vector<std::uint64_t> visited_words_;
+  std::vector<std::uint32_t> frontier_;
+  std::vector<std::uint32_t> next_;
+  std::size_t cursor_ = 0;
+  std::uint64_t traversed_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace canary::workloads::kernels

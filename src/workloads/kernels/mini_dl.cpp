@@ -1,0 +1,232 @@
+#include "workloads/kernels/mini_dl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace canary::workloads::kernels {
+
+Dataset Dataset::synthesize(std::size_t samples, std::size_t feature_dim,
+                            std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.feature_dim = feature_dim;
+  data.class_count = classes;
+  data.features.reserve(samples * feature_dim);
+  data.labels.reserve(samples);
+  // Class prototypes with Gaussian noise around them.
+  std::vector<float> prototypes(classes * feature_dim);
+  for (auto& p : prototypes) p = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto label = static_cast<std::uint16_t>(rng.uniform_int(0, classes - 1));
+    data.labels.push_back(label);
+    for (std::size_t d = 0; d < feature_dim; ++d) {
+      const float proto = prototypes[label * feature_dim + d];
+      data.features.push_back(proto +
+                              static_cast<float>(rng.normal(0.0, 0.35)));
+    }
+  }
+  return data;
+}
+
+struct MiniMlp::Gradients {
+  std::vector<double> w1, b1, w2, b2;
+  explicit Gradients(const MiniMlp& model)
+      : w1(model.w1_.size(), 0.0),
+        b1(model.b1_.size(), 0.0),
+        w2(model.w2_.size(), 0.0),
+        b2(model.b2_.size(), 0.0) {}
+  void merge(const Gradients& other) {
+    for (std::size_t i = 0; i < w1.size(); ++i) w1[i] += other.w1[i];
+    for (std::size_t i = 0; i < b1.size(); ++i) b1[i] += other.b1[i];
+    for (std::size_t i = 0; i < w2.size(); ++i) w2[i] += other.w2[i];
+    for (std::size_t i = 0; i < b2.size(); ++i) b2[i] += other.b2[i];
+  }
+};
+
+MiniMlp::MiniMlp(std::size_t input_dim, std::size_t hidden_dim,
+                 std::size_t output_dim, std::uint64_t seed)
+    : in_(input_dim), hidden_(hidden_dim), out_(output_dim) {
+  Rng rng(seed);
+  const double scale1 = 1.0 / std::sqrt(static_cast<double>(input_dim));
+  const double scale2 = 1.0 / std::sqrt(static_cast<double>(hidden_dim));
+  w1_.resize(in_ * hidden_);
+  b1_.assign(hidden_, 0.0f);
+  w2_.resize(hidden_ * out_);
+  b2_.assign(out_, 0.0f);
+  for (auto& w : w1_) w = static_cast<float>(rng.normal(0.0, scale1));
+  for (auto& w : w2_) w = static_cast<float>(rng.normal(0.0, scale2));
+}
+
+void MiniMlp::forward(const float* sample, std::vector<float>& hidden,
+                      std::vector<float>& probs) const {
+  hidden.assign(hidden_, 0.0f);
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    float acc = b1_[h];
+    const float* row = w1_.data() + h * in_;
+    for (std::size_t d = 0; d < in_; ++d) acc += row[d] * sample[d];
+    hidden[h] = acc > 0.0f ? acc : 0.0f;  // ReLU
+  }
+  probs.assign(out_, 0.0f);
+  float max_logit = -1e30f;
+  for (std::size_t o = 0; o < out_; ++o) {
+    float acc = b2_[o];
+    const float* row = w2_.data() + o * hidden_;
+    for (std::size_t h = 0; h < hidden_; ++h) acc += row[h] * hidden[h];
+    probs[o] = acc;
+    max_logit = std::max(max_logit, acc);
+  }
+  float denom = 0.0f;
+  for (auto& p : probs) {
+    p = std::exp(p - max_logit);
+    denom += p;
+  }
+  for (auto& p : probs) p /= denom;
+}
+
+void MiniMlp::accumulate(const Dataset& data, std::size_t begin,
+                         std::size_t end, Gradients& grads,
+                         double& loss) const {
+  std::vector<float> hidden, probs;
+  std::vector<float> dlogits(out_);
+  for (std::size_t i = begin; i < end; ++i) {
+    const float* sample = data.features.data() + i * in_;
+    forward(sample, hidden, probs);
+    const std::size_t label = data.labels[i];
+    loss += -std::log(std::max(probs[label], 1e-12f));
+    for (std::size_t o = 0; o < out_; ++o) {
+      dlogits[o] = probs[o] - (o == label ? 1.0f : 0.0f);
+    }
+    for (std::size_t o = 0; o < out_; ++o) {
+      grads.b2[o] += dlogits[o];
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        grads.w2[o * hidden_ + h] += dlogits[o] * hidden[h];
+      }
+    }
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      if (hidden[h] <= 0.0f) continue;  // ReLU gate
+      float dh = 0.0f;
+      for (std::size_t o = 0; o < out_; ++o) {
+        dh += dlogits[o] * w2_[o * hidden_ + h];
+      }
+      grads.b1[h] += dh;
+      for (std::size_t d = 0; d < in_; ++d) {
+        grads.w1[h * in_ + d] += dh * sample[d];
+      }
+    }
+  }
+}
+
+double MiniMlp::train_epoch(const Dataset& data, double learning_rate,
+                            unsigned threads) {
+  CANARY_CHECK(data.feature_dim == in_, "dataset/model dimension mismatch");
+  threads = std::max(1u, threads);
+  const std::size_t n = data.size();
+  if (n == 0) return 0.0;
+
+  std::vector<Gradients> partials;
+  partials.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) partials.emplace_back(*this);
+  std::vector<double> losses(threads, 0.0);
+
+  if (threads == 1 || n < 2 * threads) {
+    accumulate(data, 0, n, partials[0], losses[0]);
+  } else {
+    // Data-parallel shards (the paper's weight-aggregation stage):
+    // deterministic in thread count because gradient sums are merged in
+    // shard order after the join.
+    std::vector<std::thread> workers;
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        accumulate(data, begin, end, partials[t], losses[t]);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  Gradients total = std::move(partials[0]);
+  double loss = losses[0];
+  for (unsigned t = 1; t < threads; ++t) {
+    total.merge(partials[t]);
+    loss += losses[t];
+  }
+
+  const double scale = learning_rate / static_cast<double>(n);
+  for (std::size_t i = 0; i < w1_.size(); ++i) {
+    w1_[i] -= static_cast<float>(scale * total.w1[i]);
+  }
+  for (std::size_t i = 0; i < b1_.size(); ++i) {
+    b1_[i] -= static_cast<float>(scale * total.b1[i]);
+  }
+  for (std::size_t i = 0; i < w2_.size(); ++i) {
+    w2_[i] -= static_cast<float>(scale * total.w2[i]);
+  }
+  for (std::size_t i = 0; i < b2_.size(); ++i) {
+    b2_[i] -= static_cast<float>(scale * total.b2[i]);
+  }
+  return loss / static_cast<double>(n);
+}
+
+std::size_t MiniMlp::predict(const float* sample) const {
+  std::vector<float> hidden, probs;
+  forward(sample, hidden, probs);
+  return static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double MiniMlp::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.features.data() + i * in_) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::size_t MiniMlp::parameter_count() const {
+  return w1_.size() + b1_.size() + w2_.size() + b2_.size();
+}
+
+std::string MiniMlp::serialize() const {
+  std::string out;
+  const std::uint64_t dims[3] = {in_, hidden_, out_};
+  out.append(reinterpret_cast<const char*>(dims), sizeof(dims));
+  auto append_floats = [&out](const std::vector<float>& v) {
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(float));
+  };
+  append_floats(w1_);
+  append_floats(b1_);
+  append_floats(w2_);
+  append_floats(b2_);
+  return out;
+}
+
+MiniMlp MiniMlp::deserialize(const std::string& bytes) {
+  std::uint64_t dims[3];
+  CANARY_CHECK(bytes.size() >= sizeof(dims), "truncated model checkpoint");
+  std::memcpy(dims, bytes.data(), sizeof(dims));
+  MiniMlp model(dims[0], dims[1], dims[2], /*seed=*/0);
+  std::size_t offset = sizeof(dims);
+  auto read_floats = [&](std::vector<float>& v) {
+    const std::size_t len = v.size() * sizeof(float);
+    CANARY_CHECK(offset + len <= bytes.size(), "truncated model checkpoint");
+    std::memcpy(v.data(), bytes.data() + offset, len);
+    offset += len;
+  };
+  read_floats(model.w1_);
+  read_floats(model.b1_);
+  read_floats(model.w2_);
+  read_floats(model.b2_);
+  CANARY_CHECK(offset == bytes.size(), "trailing bytes in model checkpoint");
+  return model;
+}
+
+}  // namespace canary::workloads::kernels

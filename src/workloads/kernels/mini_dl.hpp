@@ -1,0 +1,63 @@
+// Real miniature deep-learning training kernel (the paper's DL workload:
+// TensorFlow ResNet50 training with per-epoch weight checkpoints).
+//
+// A two-layer MLP trained with data-parallel SGD: each epoch shards the
+// dataset across worker threads, every worker accumulates gradients on
+// its shard, and the gradients are averaged and applied — the same
+// map/aggregate structure the paper's serverless DL pipeline uses
+// (pre-processing, training, weight aggregation). Weights serialize to a
+// byte string, so an epoch-granular checkpoint/restore round-trip is
+// exact: a killed training run resumed from its checkpoint produces
+// bit-identical weights to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canary::workloads::kernels {
+
+struct Dataset {
+  std::size_t feature_dim = 0;
+  std::size_t class_count = 0;
+  std::vector<float> features;       // row-major, n x feature_dim
+  std::vector<std::uint16_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+
+  /// Deterministic, linearly-separable-ish synthetic classification set.
+  static Dataset synthesize(std::size_t samples, std::size_t feature_dim,
+                            std::size_t classes, std::uint64_t seed);
+};
+
+class MiniMlp {
+ public:
+  MiniMlp(std::size_t input_dim, std::size_t hidden_dim,
+          std::size_t output_dim, std::uint64_t seed);
+
+  /// One full-batch data-parallel epoch; returns the mean cross-entropy
+  /// loss before the update. The result is independent of `threads`.
+  double train_epoch(const Dataset& data, double learning_rate,
+                     unsigned threads = 1);
+
+  /// Predicted class for one sample.
+  std::size_t predict(const float* sample) const;
+  /// Fraction of correctly classified samples.
+  double accuracy(const Dataset& data) const;
+
+  std::size_t parameter_count() const;
+  std::string serialize() const;
+  static MiniMlp deserialize(const std::string& bytes);
+
+ private:
+  struct Gradients;
+  void forward(const float* sample, std::vector<float>& hidden,
+               std::vector<float>& probs) const;
+  void accumulate(const Dataset& data, std::size_t begin, std::size_t end,
+                  Gradients& grads, double& loss) const;
+
+  std::size_t in_, hidden_, out_;
+  std::vector<float> w1_, b1_, w2_, b2_;
+};
+
+}  // namespace canary::workloads::kernels

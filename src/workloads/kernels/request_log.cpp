@@ -1,0 +1,89 @@
+#include "workloads/kernels/request_log.hpp"
+
+#include <cstring>
+
+#include "common/result.hpp"
+
+namespace canary::workloads::kernels {
+
+std::string RequestLog::execute(std::uint64_t request_id,
+                                const std::function<std::string()>& handler,
+                                bool* was_replay) {
+  auto it = responses_.find(request_id);
+  if (it != responses_.end()) {
+    ++replays_;
+    if (was_replay != nullptr) *was_replay = true;
+    return it->second;
+  }
+  ++executions_;
+  if (was_replay != nullptr) *was_replay = false;
+  std::string response = handler();
+  responses_.emplace(request_id, response);
+  return response;
+}
+
+std::optional<std::string> RequestLog::response_of(
+    std::uint64_t request_id) const {
+  auto it = responses_.find(request_id);
+  if (it == responses_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string RequestLog::serialize() const {
+  std::string out;
+  auto append_u64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u64(responses_.size());
+  for (const auto& [id, response] : responses_) {
+    append_u64(id);
+    append_u64(response.size());
+    out.append(response);
+  }
+  append_u64(executions_);
+  append_u64(replays_);
+  return out;
+}
+
+RequestLog RequestLog::deserialize(const std::string& bytes) {
+  RequestLog log;
+  std::size_t offset = 0;
+  auto read_u64 = [&bytes, &offset]() {
+    CANARY_CHECK(offset + sizeof(std::uint64_t) <= bytes.size(),
+                 "truncated request log");
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+    offset += sizeof(v);
+    return v;
+  };
+  const std::uint64_t count = read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = read_u64();
+    const std::uint64_t len = read_u64();
+    CANARY_CHECK(offset + len <= bytes.size(), "truncated response");
+    log.responses_.emplace(id, bytes.substr(offset, len));
+    offset += len;
+  }
+  log.executions_ = read_u64();
+  log.replays_ = read_u64();
+  CANARY_CHECK(offset == bytes.size(), "trailing bytes in request log");
+  return log;
+}
+
+void MiniDb::put(const std::string& key, const std::string& value) {
+  rows_[key] = value;
+  ++mutations_;
+}
+
+std::optional<std::string> MiniDb::get(const std::string& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MiniDb::append(const std::string& key, const std::string& suffix) {
+  rows_[key] += suffix;
+  ++mutations_;
+}
+
+}  // namespace canary::workloads::kernels

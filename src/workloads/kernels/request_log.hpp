@@ -1,0 +1,66 @@
+// Exactly-once request processing for the web-service workload.
+//
+// The paper's central reliability goal is that functions "execute exactly
+// once" (§IV-A1): a failure between executing a request and acknowledging
+// it must not re-apply its effects when the function is retried. This
+// kernel implements the standard mechanism — an idempotency log keyed by
+// request id: execution first consults the log and returns the recorded
+// response for a duplicate instead of re-executing; the log itself
+// serializes, so it rides Canary's checkpoints ("checkpoints include
+// queries and responses after each request", §V-C2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace canary::workloads::kernels {
+
+class RequestLog {
+ public:
+  /// Execute `handler` for `request_id` exactly once: a duplicate id
+  /// returns the logged response without invoking the handler.
+  /// `was_replay` (optional) reports which path was taken.
+  std::string execute(std::uint64_t request_id,
+                      const std::function<std::string()>& handler,
+                      bool* was_replay = nullptr);
+
+  bool seen(std::uint64_t request_id) const {
+    return responses_.find(request_id) != responses_.end();
+  }
+  std::optional<std::string> response_of(std::uint64_t request_id) const;
+  std::size_t size() const { return responses_.size(); }
+  std::uint64_t executions() const { return executions_; }
+  std::uint64_t replays() const { return replays_; }
+
+  /// Serialize/restore the full log (the per-request checkpoint payload).
+  std::string serialize() const;
+  static RequestLog deserialize(const std::string& bytes);
+
+ private:
+  std::unordered_map<std::uint64_t, std::string> responses_;
+  std::uint64_t executions_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
+/// A miniature key-value "database" with a mutation count, standing in
+/// for the paper's PostgreSQL backend: lets tests observe whether a retry
+/// re-applied side effects.
+class MiniDb {
+ public:
+  void put(const std::string& key, const std::string& value);
+  std::optional<std::string> get(const std::string& key) const;
+  /// Append `suffix` to the value at `key` (a non-idempotent mutation).
+  void append(const std::string& key, const std::string& suffix);
+  std::uint64_t mutations() const { return mutations_; }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> rows_;
+  std::uint64_t mutations_ = 0;
+};
+
+}  // namespace canary::workloads::kernels

@@ -1,0 +1,236 @@
+// End-to-end tests for the Core Module: validated submission, queueing,
+// checkpoint-based recovery onto replicated runtimes, and cold fallback.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "canary/core.hpp"
+#include "cluster/network.hpp"
+#include "failure/injector.hpp"
+
+namespace canary::core {
+namespace {
+
+std::vector<cluster::NodeSpec> uniform_nodes(std::size_t n) {
+  std::vector<cluster::NodeSpec> specs(n);
+  for (auto& s : specs) s.cpu = cluster::CpuClass::kXeonGold6242;
+  return specs;
+}
+
+faas::FunctionSpec stateful_function(std::size_t states = 4) {
+  faas::FunctionSpec fn;
+  fn.name = "stateful";
+  fn.runtime = faas::RuntimeImage::kPython3;
+  for (std::size_t i = 0; i < states; ++i) {
+    fn.states.push_back({Duration::sec(1.0), Bytes::kib(64)});
+  }
+  fn.finalize = Duration::msec(200);
+  return fn;
+}
+
+/// Kills attempt 1 of function `victim` at a fixed offset.
+class KillOne : public faas::FailurePolicy {
+ public:
+  KillOne(FunctionId victim, Duration offset)
+      : victim_(victim), offset_(offset) {}
+  std::optional<Duration> plan_kill(const faas::Invocation& inv, int attempt,
+                                    Duration) override {
+    if (inv.id == victim_ && attempt == 1) return offset_;
+    return std::nullopt;
+  }
+
+ private:
+  FunctionId victim_;
+  Duration offset_;
+};
+
+class CoreModuleTest : public ::testing::Test {
+ protected:
+  CoreModuleTest()
+      : cluster_(uniform_nodes(4)),
+        network_(&cluster_, {}),
+        storage_(cluster::StorageHierarchy::testbed()),
+        store_(kv::KvConfig{}, cluster_.node_ids()) {}
+
+  static faas::PlatformConfig make_config() {
+    faas::PlatformConfig config;
+    config.scheduler_overhead = Duration::zero();
+    return config;
+  }
+
+  faas::Platform& platform() {
+    if (!platform_) {
+      platform_.emplace(sim_, cluster_, network_, make_config(), metrics_);
+    }
+    return *platform_;
+  }
+
+  CoreModule& make_core(CanaryConfig config = {}) {
+    core_.emplace(platform(), store_, storage_, config);
+    core_->install();
+    return *core_;
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::NetworkModel network_;
+  cluster::StorageHierarchy storage_;
+  kv::KvStore store_;
+  sim::MetricsRecorder metrics_;
+  std::optional<faas::Platform> platform_;
+  std::optional<CoreModule> core_;
+};
+
+TEST_F(CoreModuleTest, CleanRunCompletesWithCheckpoints) {
+  auto& core = make_core();
+  faas::JobSpec job;
+  job.functions.push_back(stateful_function());
+  const auto id = core.submit_job(job);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(id.value().valid());
+  sim_.run();
+  EXPECT_TRUE(platform().job_completed(id.value()));
+  // Checkpoints were written during execution and dropped at completion.
+  EXPECT_GE(metrics_.counter("checkpoints_written"), 4.0);
+  EXPECT_EQ(store_.size(), 0u);
+  EXPECT_EQ(core.in_flight_functions(), 0u);
+  // A replica was provisioned for the active runtime (DR floor of 1).
+  EXPECT_GE(metrics_.counter("replicas_launched"), 1.0);
+}
+
+TEST_F(CoreModuleTest, RejectsOversizedRequests) {
+  auto& core = make_core();
+  faas::JobSpec job;
+  auto fn = stateful_function();
+  fn.memory = Bytes::gib(100);
+  job.functions.push_back(fn);
+  const auto id = core.submit_job(job);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(metrics_.counter("requests_rejected"), 1.0);
+}
+
+TEST_F(CoreModuleTest, QueuesWhenConcurrencyWouldOverflow) {
+  faas::PlatformConfig config = make_config();
+  config.limits.max_concurrent_invocations = 3;
+  platform_.emplace(sim_, cluster_, network_, config, metrics_);
+  auto& core = make_core();
+
+  faas::JobSpec job1;
+  for (int i = 0; i < 3; ++i) job1.functions.push_back(stateful_function(1));
+  faas::JobSpec job2;
+  job2.functions.push_back(stateful_function(1));
+
+  const auto first = core.submit_job(job1);
+  ASSERT_TRUE(first.ok());
+  const auto second = core.submit_job(job2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().valid());  // queued, not submitted
+  EXPECT_EQ(core.queued_jobs(), 1u);
+  sim_.run();
+  // The queued job drained once capacity freed and completed.
+  EXPECT_EQ(core.queued_jobs(), 0u);
+  EXPECT_TRUE(platform().all_jobs_completed());
+  EXPECT_EQ(metrics_.counter("requests_queued"), 1.0);
+}
+
+TEST_F(CoreModuleTest, RecoversOntoReplicaFromLatestCheckpoint) {
+  auto& core = make_core();
+  faas::JobSpec job;
+  job.functions.push_back(stateful_function());
+  const auto id = core.submit_job(job);
+  ASSERT_TRUE(id.ok());
+  const FunctionId victim = platform().job_functions(id.value()).front();
+  // Kill 3.0s in: launch+init 0.8s, ~2.2s into execution => state 0 and 1
+  // committed (with epilogues), state 2 in flight.
+  KillOne policy(victim, Duration::sec(3.0));
+  platform().set_failure_policy(&policy);
+  sim_.run();
+
+  EXPECT_TRUE(platform().job_completed(id.value()));
+  const auto& inv = platform().invocation(victim);
+  EXPECT_EQ(inv.failures, 1);
+  EXPECT_EQ(metrics_.counter("replica_recoveries"), 1.0);
+  EXPECT_EQ(metrics_.counter("warm_starts"), 1.0);
+  // Recovery was fast: detection (0.3s) + migration + restore + the
+  // in-flight state redo; far below a cold restart-from-scratch.
+  EXPECT_LT(inv.recovery_time.to_seconds(), 2.5);
+  EXPECT_GT(inv.recovery_time.to_seconds(), 0.3);
+  // The function resumed from the checkpoint, not from scratch: lost work
+  // is only the in-flight state fraction.
+  EXPECT_LT(inv.lost_work.to_seconds(), 1.01);
+}
+
+TEST_F(CoreModuleTest, FallsBackColdWhenNoReplica) {
+  CanaryConfig config;
+  config.replication.enabled = false;  // checkpoint-only Canary
+  auto& core = make_core(config);
+  faas::JobSpec job;
+  job.functions.push_back(stateful_function());
+  const auto id = core.submit_job(job);
+  ASSERT_TRUE(id.ok());
+  const FunctionId victim = platform().job_functions(id.value()).front();
+  KillOne policy(victim, Duration::sec(3.0));
+  platform().set_failure_policy(&policy);
+  sim_.run();
+
+  EXPECT_TRUE(platform().job_completed(id.value()));
+  EXPECT_EQ(metrics_.counter("cold_fallback_recoveries"), 1.0);
+  EXPECT_EQ(metrics_.counter("replica_recoveries"), 0.0);
+  const auto& inv = platform().invocation(victim);
+  // Pays the cold start again but keeps checkpointed progress.
+  EXPECT_GT(inv.recovery_time.to_seconds(), 1.0);
+  EXPECT_LT(inv.lost_work.to_seconds(), 1.01);
+}
+
+TEST_F(CoreModuleTest, MetadataTablesTrackExecution) {
+  auto& core = make_core();
+  faas::JobSpec job;
+  job.name = "tracked";
+  job.functions.push_back(stateful_function());
+  const auto id = core.submit_job(job);
+  ASSERT_TRUE(id.ok());
+  sim_.run();
+
+  const auto* job_row = core.metadata().job(id.value());
+  ASSERT_NE(job_row, nullptr);
+  EXPECT_EQ(job_row->name, "tracked");
+  EXPECT_EQ(job_row->function_count, 1u);
+
+  const auto fns = core.metadata().functions_of_job(id.value());
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(fns.front()->completed);
+  EXPECT_EQ(fns.front()->attempts, 1);
+  EXPECT_TRUE(fns.front()->worker.valid());
+
+  EXPECT_EQ(core.metadata().worker_count(), 4u);
+}
+
+TEST_F(CoreModuleTest, NodeFailureRecoveryUsesSurvivingCheckpoints) {
+  auto& core = make_core();
+  faas::JobSpec job;
+  job.functions.push_back(stateful_function());
+  const auto id = core.submit_job(job);
+  ASSERT_TRUE(id.ok());
+  const FunctionId victim = platform().job_functions(id.value()).front();
+
+  sim_.schedule_after(Duration::sec(3.0), [&] {
+    const NodeId host = platform().invocation(victim).node;
+    platform().fail_node(host);
+    store_.fail_node(host);
+  });
+  sim_.run();
+  EXPECT_TRUE(platform().job_completed(id.value()));
+  const auto& inv = platform().invocation(victim);
+  EXPECT_GE(inv.failures, 1);
+  // Small checkpoints live in the replicated KV store, so recovery still
+  // resumed from a checkpoint (lost work bounded by one state).
+  EXPECT_LT(inv.lost_work.to_seconds(), 1.01);
+}
+
+TEST_F(CoreModuleTest, InstallTwiceAborts) {
+  auto& core = make_core();
+  EXPECT_DEATH(core.install(), "installed twice");
+}
+
+}  // namespace
+}  // namespace canary::core

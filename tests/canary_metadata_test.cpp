@@ -1,0 +1,125 @@
+// Unit tests for the Core Module's five database tables (paper §IV-C1).
+#include <gtest/gtest.h>
+
+#include "canary/metadata.hpp"
+
+namespace canary::core {
+namespace {
+
+TEST(MetadataWorkerTest, UpsertAndLookup) {
+  MetadataStore db;
+  WorkerInfoRow row;
+  row.node = NodeId{3};
+  row.rack = 1;
+  db.upsert_worker(row);
+  ASSERT_NE(db.worker(NodeId{3}), nullptr);
+  EXPECT_EQ(db.worker(NodeId{3})->rack, 1u);
+  EXPECT_EQ(db.worker(NodeId{9}), nullptr);
+
+  row.alive = false;
+  db.upsert_worker(row);
+  EXPECT_FALSE(db.worker(NodeId{3})->alive);
+  EXPECT_EQ(db.worker_count(), 1u);
+}
+
+TEST(MetadataJobTest, InsertAndMutate) {
+  MetadataStore db;
+  JobInfoRow row;
+  row.job = JobId{1};
+  row.name = "j";
+  row.function_count = 4;
+  db.insert_job(row);
+  ASSERT_NE(db.job(JobId{1}), nullptr);
+  EXPECT_EQ(db.job(JobId{1})->function_count, 4u);
+  db.mutable_job(JobId{1})->replication_factor = 3;
+  EXPECT_EQ(db.job(JobId{1})->replication_factor, 3u);
+  EXPECT_EQ(db.job(JobId{2}), nullptr);
+}
+
+TEST(MetadataJobDeathTest, DuplicateJobAborts) {
+  MetadataStore db;
+  JobInfoRow row;
+  row.job = JobId{1};
+  db.insert_job(row);
+  EXPECT_DEATH(db.insert_job(row), "duplicate job row");
+}
+
+TEST(MetadataFunctionTest, InsertLookupByJob) {
+  MetadataStore db;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    FunctionInfoRow row;
+    row.function = FunctionId{i};
+    row.job = JobId{i == 3 ? 2u : 1u};
+    db.insert_function(row);
+  }
+  const auto of_job1 = db.functions_of_job(JobId{1});
+  ASSERT_EQ(of_job1.size(), 2u);
+  EXPECT_EQ(of_job1[0]->function, FunctionId{1});
+  EXPECT_EQ(of_job1[1]->function, FunctionId{2});
+  db.mutable_function(FunctionId{1})->attempts = 2;
+  EXPECT_EQ(db.function(FunctionId{1})->attempts, 2);
+}
+
+TEST(MetadataCheckpointTest, OrderedByStateIndex) {
+  MetadataStore db;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    CheckpointInfoRow row;
+    row.checkpoint = CheckpointId{i};
+    row.function = FunctionId{7};
+    row.state_index = 3 - i;  // insert newest-first
+    db.insert_checkpoint(row);
+  }
+  const auto rows = db.checkpoints_of(FunctionId{7});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.front()->state_index, 0u);
+  EXPECT_EQ(rows.back()->state_index, 2u);
+  EXPECT_EQ(db.checkpoint_count(FunctionId{7}), 3u);
+}
+
+TEST(MetadataCheckpointTest, RemoveSingleAndAll) {
+  MetadataStore db;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    CheckpointInfoRow row;
+    row.checkpoint = CheckpointId{i};
+    row.function = FunctionId{7};
+    row.state_index = i;
+    db.insert_checkpoint(row);
+  }
+  db.remove_checkpoint(CheckpointId{2});
+  EXPECT_EQ(db.checkpoint_count(FunctionId{7}), 2u);
+  EXPECT_EQ(db.mutable_checkpoint(CheckpointId{2}), nullptr);
+  db.remove_checkpoints_of(FunctionId{7});
+  EXPECT_EQ(db.checkpoint_count(FunctionId{7}), 0u);
+  EXPECT_TRUE(db.checkpoints_of(FunctionId{7}).empty());
+  db.remove_checkpoint(CheckpointId{99});  // unknown id is a no-op
+}
+
+TEST(MetadataReplicaTest, InsertAndQueryByImage) {
+  MetadataStore db;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    ReplicationInfoRow row;
+    row.replica = ReplicaId{i};
+    row.runtime =
+        i == 3 ? faas::RuntimeImage::kJava8 : faas::RuntimeImage::kPython3;
+    row.container = ContainerId{i * 10};
+    db.insert_replica(row);
+  }
+  EXPECT_EQ(db.replicas_of(faas::RuntimeImage::kPython3).size(), 2u);
+  EXPECT_EQ(db.replicas_of(faas::RuntimeImage::kJava8).size(), 1u);
+  EXPECT_TRUE(db.replicas_of(faas::RuntimeImage::kNodeJs14).empty());
+}
+
+TEST(MetadataReplicaTest, LookupByContainerSkipsDead) {
+  MetadataStore db;
+  ReplicationInfoRow row;
+  row.replica = ReplicaId{1};
+  row.container = ContainerId{5};
+  db.insert_replica(row);
+  ASSERT_NE(db.replica_by_container(ContainerId{5}), nullptr);
+  db.mutable_replica(ReplicaId{1})->status = ReplicaStatus::kDead;
+  EXPECT_EQ(db.replica_by_container(ContainerId{5}), nullptr);
+  EXPECT_EQ(db.replica_by_container(ContainerId{99}), nullptr);
+}
+
+}  // namespace
+}  // namespace canary::core

@@ -1,0 +1,334 @@
+// Tests for the real computational kernels behind the workloads: BFS,
+// census diversity, LZ compression, and miniature DL training — including
+// checkpoint/restore round-trip correctness, which is the property the
+// whole paper relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "workloads/kernels/census.hpp"
+#include "workloads/kernels/compress.hpp"
+#include "workloads/kernels/graph_bfs.hpp"
+#include "workloads/kernels/mini_dl.hpp"
+
+namespace canary::workloads::kernels {
+namespace {
+
+// ---- BFS -----------------------------------------------------------------
+
+TEST(CsrGraphTest, BinaryTreeShape) {
+  const auto g = CsrGraph::binary_tree(7);
+  EXPECT_EQ(g.vertex_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u);  // complete binary tree: n-1 edges
+  EXPECT_EQ(*g.neighbours_begin(0), 1u);
+  EXPECT_EQ(*(g.neighbours_begin(0) + 1), 2u);
+  EXPECT_EQ(g.neighbours_end(3) - g.neighbours_begin(3), 0);
+}
+
+TEST(BfsTest, TraversesWholeTree) {
+  const auto g = CsrGraph::binary_tree(1023);
+  BfsRunner bfs(g, 0);
+  const auto processed = bfs.step(100000);
+  EXPECT_EQ(processed, 1023u);
+  EXPECT_TRUE(bfs.done());
+  EXPECT_EQ(bfs.traversed(), 1023u);
+  // Sum of 0..1022.
+  EXPECT_EQ(bfs.checksum(), 1022ull * 1023 / 2);
+}
+
+TEST(BfsTest, BudgetedSteppingMatchesOneShot) {
+  const auto g = CsrGraph::binary_tree(4095);
+  BfsRunner one_shot(g, 0);
+  one_shot.step(1u << 20);
+  BfsRunner stepped(g, 0);
+  while (!stepped.done()) stepped.step(100);
+  EXPECT_EQ(stepped.traversed(), one_shot.traversed());
+  EXPECT_EQ(stepped.checksum(), one_shot.checksum());
+}
+
+TEST(BfsTest, CheckpointRestoreResumesExactly) {
+  const auto g = CsrGraph::binary_tree(100000);
+  BfsRunner original(g, 0);
+  original.step(30000);
+  const auto ckpt = original.checkpoint();
+  const std::string bytes = ckpt.serialize();
+  const auto parsed = BfsCheckpoint::deserialize(bytes);
+  EXPECT_EQ(parsed.traversed, 30000u);
+
+  auto restored = BfsRunner::restore(g, parsed);
+  EXPECT_EQ(restored.traversed(), original.traversed());
+  EXPECT_EQ(restored.checksum(), original.checksum());
+
+  original.step(1u << 20);
+  restored.step(1u << 20);
+  EXPECT_TRUE(original.done());
+  EXPECT_TRUE(restored.done());
+  EXPECT_EQ(restored.traversed(), original.traversed());
+  EXPECT_EQ(restored.checksum(), original.checksum());
+}
+
+TEST(BfsTest, RandomGraphReachabilityIsStable) {
+  const auto g = CsrGraph::random(5000, 4, /*seed=*/11);
+  BfsRunner a(g, 0);
+  a.step(1u << 20);
+  BfsRunner b(g, 0);
+  while (!b.done()) b.step(7);
+  EXPECT_EQ(a.traversed(), b.traversed());
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_LE(a.traversed(), g.vertex_count());
+}
+
+TEST(BfsDeathTest, CorruptCheckpointRejected) {
+  const auto g = CsrGraph::binary_tree(64);
+  BfsRunner bfs(g, 0);
+  bfs.step(10);
+  auto ckpt = bfs.checkpoint();
+  ckpt.frontier_sum += 1;  // corrupt the integrity checksum
+  const std::string bytes = ckpt.serialize();
+  EXPECT_DEATH((void)BfsCheckpoint::deserialize(bytes),
+               "corrupted BFS checkpoint");
+}
+
+// Property sweep: checkpoint at various cut points always resumes to the
+// same final state.
+class BfsCutTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsCutTest, AnyCutPointResumesCorrectly) {
+  const auto g = CsrGraph::binary_tree(20000);
+  BfsRunner reference(g, 0);
+  reference.step(1u << 20);
+
+  BfsRunner partial(g, 0);
+  partial.step(GetParam());
+  auto resumed = BfsRunner::restore(g, partial.checkpoint());
+  resumed.step(1u << 20);
+  EXPECT_EQ(resumed.traversed(), reference.traversed());
+  EXPECT_EQ(resumed.checksum(), reference.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, BfsCutTest,
+                         ::testing::Values(0, 1, 2, 100, 4095, 19999));
+
+// ---- census -------------------------------------------------------------
+
+TEST(CensusTest, SimpsonIndexBounds) {
+  std::array<std::uint64_t, kEthnicityGroups> uniform{};
+  uniform.fill(100);
+  // Uniform across 6 groups: 1 - 6*(1/6)^2 = 5/6.
+  EXPECT_NEAR(simpson_index(uniform), 5.0 / 6.0, 1e-12);
+
+  std::array<std::uint64_t, kEthnicityGroups> single{};
+  single[2] = 500;
+  EXPECT_DOUBLE_EQ(simpson_index(single), 0.0);
+
+  std::array<std::uint64_t, kEthnicityGroups> empty{};
+  EXPECT_DOUBLE_EQ(simpson_index(empty), 0.0);
+}
+
+TEST(CensusTest, SynthesisIsDeterministic) {
+  const auto a = synthesize_census(100, 5);
+  const auto b = synthesize_census(100, 5);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].group_population, b[i].group_population);
+  }
+}
+
+TEST(CensusTest, AggregatorMatchesDirectComputation) {
+  const auto records = synthesize_census(500, 7);
+  DiversityAggregator agg;
+  for (const auto& rec : records) agg.absorb(rec);
+  EXPECT_EQ(agg.counties_processed(), 500u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(agg.county_indices()[i],
+                     simpson_index(records[i].group_population));
+  }
+  EXPECT_GT(agg.national_index(), 0.0);
+  EXPECT_LT(agg.national_index(), 1.0);
+  EXPECT_GT(agg.total_population(), 0u);
+}
+
+TEST(CensusTest, SerializeRoundTrip) {
+  const auto records = synthesize_census(64, 3);
+  DiversityAggregator agg;
+  for (const auto& rec : records) agg.absorb(rec);
+  const auto restored = DiversityAggregator::deserialize(agg.serialize());
+  EXPECT_EQ(restored.counties_processed(), agg.counties_processed());
+  EXPECT_DOUBLE_EQ(restored.national_index(), agg.national_index());
+  EXPECT_EQ(restored.total_population(), agg.total_population());
+}
+
+TEST(CensusTest, MergeAfterRestoreEqualsUninterrupted) {
+  // The Spark workload's checkpoint property: absorb half, checkpoint,
+  // "fail", restore, absorb the rest => identical result.
+  const auto records = synthesize_census(200, 9);
+  DiversityAggregator uninterrupted;
+  for (const auto& rec : records) uninterrupted.absorb(rec);
+
+  DiversityAggregator first_half;
+  for (std::size_t i = 0; i < 100; ++i) first_half.absorb(records[i]);
+  auto resumed = DiversityAggregator::deserialize(first_half.serialize());
+  for (std::size_t i = 100; i < 200; ++i) resumed.absorb(records[i]);
+
+  EXPECT_DOUBLE_EQ(resumed.national_index(), uninterrupted.national_index());
+  EXPECT_EQ(resumed.counties_processed(), uninterrupted.counties_processed());
+}
+
+class CensusThreadTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CensusThreadTest, ParallelMatchesSequential) {
+  const auto records = synthesize_census(1000, 13);
+  const auto sequential = diversity_index(records, 1);
+  const auto parallel = diversity_index(records, GetParam());
+  EXPECT_DOUBLE_EQ(parallel.national_index, sequential.national_index);
+  EXPECT_EQ(parallel.total_population, sequential.total_population);
+  ASSERT_EQ(parallel.county_index.size(), sequential.county_index.size());
+  for (std::size_t i = 0; i < sequential.county_index.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel.county_index[i], sequential.county_index[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, CensusThreadTest,
+                         ::testing::Values(2, 4, 8));
+
+// ---- compression ------------------------------------------------------------
+
+TEST(CompressTest, RoundTripCompressible) {
+  const auto data = make_compressible_data(100000, 1);
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), data.size());  // actually compresses
+  const auto restored = lz_decompress(compressed);
+  EXPECT_EQ(restored, data);
+}
+
+TEST(CompressTest, RoundTripEmptyAndTiny) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(lz_decompress(lz_compress(empty)), empty);
+  const std::vector<std::uint8_t> one = {42};
+  EXPECT_EQ(lz_decompress(lz_compress(one)), one);
+}
+
+TEST(CompressTest, RoundTripIncompressibleRandom) {
+  std::vector<std::uint8_t> noise(5000);
+  Rng rng(99);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto restored = lz_decompress(lz_compress(noise));
+  EXPECT_EQ(restored, noise);
+}
+
+TEST(CompressTest, LongRunsUseOverlappingReferences) {
+  const std::vector<std::uint8_t> run(10000, 'a');
+  const auto compressed = lz_compress(run);
+  EXPECT_LT(compressed.size(), 2000u);
+  EXPECT_EQ(lz_decompress(compressed), run);
+}
+
+TEST(ChunkedCompressorTest, ProcessesAllChunks) {
+  const auto data = make_compressible_data(200000, 2);
+  ChunkedCompressor c(64 * 1024);
+  int chunks = 0;
+  while (c.compress_next_chunk(data)) ++chunks;
+  EXPECT_EQ(chunks, 4);  // ceil(200000 / 65536)
+  EXPECT_EQ(c.bytes_in(), data.size());
+  EXPECT_TRUE(c.finished(data));
+}
+
+TEST(ChunkedCompressorTest, CheckpointRestoreProducesIdenticalOutput) {
+  const auto data = make_compressible_data(300000, 3);
+  ChunkedCompressor uninterrupted;
+  while (uninterrupted.compress_next_chunk(data)) {
+  }
+
+  ChunkedCompressor first;
+  ASSERT_TRUE(first.compress_next_chunk(data));
+  ASSERT_TRUE(first.compress_next_chunk(data));
+  auto resumed = ChunkedCompressor::restore(first.checkpoint());
+  EXPECT_EQ(resumed.chunks_done(), 2u);
+  while (resumed.compress_next_chunk(data)) {
+  }
+  EXPECT_EQ(resumed.output(), uninterrupted.output());
+  EXPECT_EQ(resumed.bytes_out(), uninterrupted.bytes_out());
+}
+
+class CompressPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(CompressPropertyTest, RoundTripAcrossSizesAndSeeds) {
+  const auto [size, seed] = GetParam();
+  const auto data = make_compressible_data(size, seed);
+  EXPECT_EQ(lz_decompress(lz_compress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CompressPropertyTest,
+    ::testing::Combine(::testing::Values(1, 17, 255, 4096, 65537),
+                       ::testing::Values(1, 7, 1234)));
+
+// ---- mini DL -----------------------------------------------------------------
+
+TEST(MiniDlTest, TrainingReducesLoss) {
+  const auto data = Dataset::synthesize(512, 16, 4, 5);
+  MiniMlp model(16, 32, 4, 7);
+  const double first = model.train_epoch(data, 0.1);
+  double last = first;
+  for (int epoch = 0; epoch < 20; ++epoch) last = model.train_epoch(data, 0.1);
+  EXPECT_LT(last, first * 0.7);
+  EXPECT_GT(model.accuracy(data), 0.8);
+}
+
+TEST(MiniDlTest, DataParallelEpochIsThreadCountInvariant) {
+  const auto data = Dataset::synthesize(256, 16, 4, 5);
+  MiniMlp seq(16, 32, 4, 7);
+  MiniMlp par(16, 32, 4, 7);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const double a = seq.train_epoch(data, 0.1, 1);
+    const double b = par.train_epoch(data, 0.1, 4);
+    EXPECT_NEAR(a, b, 1e-9);
+  }
+  EXPECT_EQ(seq.serialize(), par.serialize());
+}
+
+TEST(MiniDlTest, CheckpointRestoreContinuesBitIdentically) {
+  // The paper's DL checkpoint property: weights after resume-from-epoch-k
+  // equal weights of uninterrupted training.
+  const auto data = Dataset::synthesize(256, 16, 4, 21);
+  MiniMlp uninterrupted(16, 32, 4, 3);
+  for (int epoch = 0; epoch < 10; ++epoch) uninterrupted.train_epoch(data, 0.05);
+
+  MiniMlp first_phase(16, 32, 4, 3);
+  for (int epoch = 0; epoch < 5; ++epoch) first_phase.train_epoch(data, 0.05);
+  auto resumed = MiniMlp::deserialize(first_phase.serialize());
+  for (int epoch = 0; epoch < 5; ++epoch) resumed.train_epoch(data, 0.05);
+
+  EXPECT_EQ(resumed.serialize(), uninterrupted.serialize());
+}
+
+TEST(MiniDlTest, SerializeRoundTripPreservesPredictions) {
+  const auto data = Dataset::synthesize(64, 8, 3, 2);
+  MiniMlp model(8, 16, 3, 4);
+  model.train_epoch(data, 0.1);
+  const auto restored = MiniMlp::deserialize(model.serialize());
+  EXPECT_EQ(restored.parameter_count(), model.parameter_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(restored.predict(data.features.data() + i * 8),
+              model.predict(data.features.data() + i * 8));
+  }
+}
+
+TEST(MiniDlTest, DatasetSynthesisShape) {
+  const auto data = Dataset::synthesize(100, 12, 5, 1);
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.features.size(), 1200u);
+  for (const auto label : data.labels) EXPECT_LT(label, 5);
+}
+
+TEST(MiniDlDeathTest, DimensionMismatchAborts) {
+  const auto data = Dataset::synthesize(10, 8, 2, 1);
+  MiniMlp model(16, 8, 2, 1);
+  EXPECT_DEATH(model.train_epoch(data, 0.1), "dimension mismatch");
+}
+
+}  // namespace
+}  // namespace canary::workloads::kernels

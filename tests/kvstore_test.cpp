@@ -1,0 +1,239 @@
+// Unit tests for the in-memory distributed KV store (Ignite substitute).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kvstore/kvstore.hpp"
+
+namespace canary::kv {
+namespace {
+
+std::vector<NodeId> nodes(std::size_t n) {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 1; i <= n; ++i) ids.push_back(NodeId{i});
+  return ids;
+}
+
+KvStore make_store(KvConfig config = {}, std::size_t node_count = 4) {
+  return KvStore(config, nodes(node_count));
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("k1", "hello").ok());
+  const auto got = store.get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().payload, "hello");
+  EXPECT_EQ(got.value().version, 1u);
+  EXPECT_EQ(got.value().logical_size.count(), 5u);
+}
+
+TEST(KvStoreTest, OverwriteBumpsVersion) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("k", "a").ok());
+  ASSERT_TRUE(store.put("k", "b").ok());
+  const auto got = store.get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().payload, "b");
+  EXPECT_EQ(got.value().version, 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, MissingKeyIsNotFound) {
+  auto store = make_store();
+  const auto got = store.get("nope");
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, ErrorCode::kNotFound);
+  EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST(KvStoreTest, RemoveDeletes) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("k", "v").ok());
+  EXPECT_TRUE(store.remove("k").ok());
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_FALSE(store.remove("k").ok());
+}
+
+TEST(KvStoreTest, OversizedEntryRejected) {
+  KvConfig config;
+  config.max_entry_size = Bytes::of(8);
+  auto store = make_store(config);
+  const Status put = store.put("k", "way too large for the limit");
+  EXPECT_FALSE(put.ok());
+  EXPECT_EQ(put.error().code, ErrorCode::kResourceExhausted);
+  EXPECT_EQ(store.stats().rejected_oversize, 1u);
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(KvStoreTest, LogicalSizeOverridesPayloadLength) {
+  KvConfig config;
+  config.max_entry_size = Bytes::mib(4);
+  auto store = make_store(config);
+  // A tiny location record representing a 100 MiB spilled checkpoint must
+  // pass the limit check with its own (metadata) size...
+  ASSERT_TRUE(store.put("meta", "loc-record", Bytes::of(512)).ok());
+  // ...while a logical size above the limit is rejected even for a small
+  // payload string.
+  EXPECT_FALSE(store.put("big", "descriptor", Bytes::mib(100)).ok());
+}
+
+TEST(KvStoreTest, PrefixScanSorted) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("ckpt/7/2", "b").ok());
+  ASSERT_TRUE(store.put("ckpt/7/1", "a").ok());
+  ASSERT_TRUE(store.put("ckpt/8/1", "c").ok());
+  ASSERT_TRUE(store.put("other", "d").ok());
+  const auto keys = store.keys_with_prefix("ckpt/7/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "ckpt/7/1");
+  EXPECT_EQ(keys[1], "ckpt/7/2");
+}
+
+TEST(KvStoreTest, LogicalBytesAccumulate) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("a", "xx").ok());
+  ASSERT_TRUE(store.put("b", "yyy", Bytes::kib(1)).ok());
+  EXPECT_EQ(store.logical_bytes().count(), 2u + 1024u);
+}
+
+TEST(KvStoreTest, StatsTrackHitsMisses) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("k", "v").ok());
+  (void)store.get("k");
+  (void)store.get("absent");
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(KvStoreTest, ReplicatedModeSurvivesNodeFailure) {
+  KvConfig config;
+  config.mode = CacheMode::kReplicated;
+  config.native_persistence = false;
+  auto store = make_store(config, 4);
+  ASSERT_TRUE(store.put("k", "v").ok());
+  store.fail_node(NodeId{1});
+  store.fail_node(NodeId{2});
+  store.fail_node(NodeId{3});
+  EXPECT_TRUE(store.contains("k"));  // one copy left
+  EXPECT_EQ(store.stats().entries_lost, 0u);
+}
+
+TEST(KvStoreTest, ReplicatedModeLosesDataWhenAllNodesDieWithoutPersistence) {
+  KvConfig config;
+  config.mode = CacheMode::kReplicated;
+  config.native_persistence = false;
+  auto store = make_store(config, 2);
+  ASSERT_TRUE(store.put("k", "v").ok());
+  store.fail_node(NodeId{1});
+  store.fail_node(NodeId{2});
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_EQ(store.stats().entries_lost, 1u);
+}
+
+TEST(KvStoreTest, NativePersistenceSurvivesTotalFailure) {
+  KvConfig config;
+  config.native_persistence = true;
+  auto store = make_store(config, 2);
+  ASSERT_TRUE(store.put("k", "v").ok());
+  store.fail_node(NodeId{1});
+  store.fail_node(NodeId{2});
+  EXPECT_TRUE(store.contains("k"));  // recovered from persistence
+}
+
+TEST(KvStoreTest, PartitionedModeLosesUnbackedEntries) {
+  KvConfig config;
+  config.mode = CacheMode::kPartitioned;
+  config.backups = 0;
+  config.native_persistence = false;
+  auto store = make_store(config, 4);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.put("key" + std::to_string(i), "v").ok());
+  }
+  store.fail_node(NodeId{1});
+  // With no backups, roughly a quarter of the entries die with node 1.
+  const auto lost = store.stats().entries_lost;
+  EXPECT_GT(lost, 0u);
+  EXPECT_LT(lost, 64u);
+  EXPECT_EQ(store.size(), 64u - lost);
+}
+
+TEST(KvStoreTest, PartitionedBackupsSurviveSingleFailure) {
+  KvConfig config;
+  config.mode = CacheMode::kPartitioned;
+  config.backups = 1;
+  config.native_persistence = false;
+  auto store = make_store(config, 4);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.put("key" + std::to_string(i), "v").ok());
+  }
+  store.fail_node(NodeId{2});
+  EXPECT_EQ(store.stats().entries_lost, 0u);
+  EXPECT_EQ(store.size(), 64u);
+}
+
+TEST(KvStoreTest, RestoredNodeAcceptsNewEntries) {
+  KvConfig config;
+  config.native_persistence = false;
+  auto store = make_store(config, 2);
+  store.fail_node(NodeId{1});
+  store.fail_node(NodeId{2});
+  EXPECT_FALSE(store.put("k", "v").ok());  // no cache node alive
+  store.restore_node(NodeId{1});
+  EXPECT_TRUE(store.put("k", "v").ok());
+}
+
+TEST(KvStoreTest, ConcurrentMixedWorkloadIsSafe) {
+  auto store = make_store({}, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 97);
+        if (i % 3 == 0) {
+          if (!store.put(key, "v" + std::to_string(i)).ok()) ++errors;
+        } else if (i % 3 == 1) {
+          (void)store.get(key);
+        } else {
+          (void)store.remove(key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(errors.load(), 0);
+  const auto stats = store.stats();
+  // i % 3 == 0 hits ceil(kOpsPerThread / 3) = 667 iterations per thread.
+  EXPECT_EQ(stats.puts,
+            static_cast<std::uint64_t>(kThreads) * (kOpsPerThread / 3 + 1));
+}
+
+TEST(KvStoreDeathTest, RequiresCacheNodes) {
+  EXPECT_DEATH(KvStore({}, {}), "at least one cache node");
+}
+
+// Property sweep: entries at the limit boundary are accepted, one byte
+// over is rejected, across shard counts.
+class KvBoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KvBoundaryTest, EntryLimitIsInclusive) {
+  KvConfig config;
+  config.shard_count = GetParam();
+  config.max_entry_size = Bytes::of(100);
+  KvStore store(config, nodes(2));
+  EXPECT_TRUE(store.put("exact", std::string(100, 'x')).ok());
+  EXPECT_FALSE(store.put("over", std::string(101, 'x')).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, KvBoundaryTest,
+                         ::testing::Values(1, 2, 16, 64));
+
+}  // namespace
+}  // namespace canary::kv

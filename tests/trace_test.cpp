@@ -1,0 +1,132 @@
+// Tests for the execution trace observer.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "cluster/network.hpp"
+#include "faas/platform.hpp"
+#include "faas/retry.hpp"
+#include "faas/trace.hpp"
+
+namespace canary::faas {
+namespace {
+
+std::vector<cluster::NodeSpec> uniform_nodes(std::size_t n) {
+  std::vector<cluster::NodeSpec> specs(n);
+  for (auto& s : specs) s.cpu = cluster::CpuClass::kXeonGold6242;
+  return specs;
+}
+
+FunctionSpec one_state_fn() {
+  FunctionSpec fn;
+  fn.name = "f";
+  fn.states.push_back({Duration::sec(1.0), {}});
+  return fn;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : cluster_(uniform_nodes(2)), network_(&cluster_, {}) {
+    PlatformConfig config;
+    config.scheduler_overhead = Duration::zero();
+    platform_.emplace(sim_, cluster_, network_, config, metrics_);
+    retry_.emplace(*platform_);
+    platform_->set_recovery_handler(&*retry_);
+    trace_.emplace(sim_);
+    platform_->add_observer(&*trace_);
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::NetworkModel network_;
+  sim::MetricsRecorder metrics_;
+  std::optional<Platform> platform_;
+  std::optional<RetryHandler> retry_;
+  std::optional<TraceLog> trace_;
+};
+
+TEST_F(TraceTest, CleanRunProducesLifecycleEvents) {
+  JobSpec job;
+  job.functions.push_back(one_state_fn());
+  const auto id = platform_->submit_job(job);
+  ASSERT_TRUE(id.ok());
+  sim_.run();
+
+  EXPECT_EQ(trace_->count(TraceEventKind::kJobSubmitted), 1u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kAttemptStarted), 1u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kFunctionCompleted), 1u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kJobCompleted), 1u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kFunctionFailed), 0u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kContainerDestroyed), 1u);
+
+  // Events are in causal (time) order.
+  const auto& events = trace_->events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].when, events[i - 1].when);
+  }
+}
+
+TEST_F(TraceTest, FailureAppearsWithCauseAndAttempt) {
+  JobSpec job;
+  job.functions.push_back(one_state_fn());
+  const auto id = platform_->submit_job(job);
+  ASSERT_TRUE(id.ok());
+  const FunctionId fn = platform_->job_functions(id.value()).front();
+  sim_.schedule_after(Duration::sec(1.0), [&] {
+    platform_->kill_function(fn, FailureKind::kContainerKill);
+  });
+  sim_.run();
+
+  EXPECT_EQ(trace_->count(TraceEventKind::kFunctionFailed), 1u);
+  EXPECT_EQ(trace_->count(TraceEventKind::kAttemptStarted), 2u);
+  const auto history = trace_->history_of(fn);
+  ASSERT_GE(history.size(), 4u);  // start, fail, start, complete
+  bool saw_failure = false;
+  for (const auto& event : history) {
+    if (event.kind == TraceEventKind::kFunctionFailed) {
+      saw_failure = true;
+      EXPECT_EQ(event.attempt, 1);
+      EXPECT_EQ(event.failure, FailureKind::kContainerKill);
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST_F(TraceTest, CapacityBoundDropsOldest) {
+  TraceLog small(sim_, /*capacity=*/3);
+  platform_->add_observer(&small);
+  JobSpec job;
+  for (int i = 0; i < 4; ++i) job.functions.push_back(one_state_fn());
+  ASSERT_TRUE(platform_->submit_job(job).ok());
+  sim_.run();
+  EXPECT_EQ(small.size(), 3u);
+  EXPECT_GT(small.dropped(), 0u);
+}
+
+TEST_F(TraceTest, FormatAndDumpAreReadable) {
+  JobSpec job;
+  job.functions.push_back(one_state_fn());
+  ASSERT_TRUE(platform_->submit_job(job).ok());
+  sim_.run();
+  std::ostringstream oss;
+  trace_->dump(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("job-submitted"), std::string::npos);
+  EXPECT_NE(out.find("function-completed"), std::string::npos);
+  EXPECT_NE(out.find("attempt=1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearResets) {
+  JobSpec job;
+  job.functions.push_back(one_state_fn());
+  ASSERT_TRUE(platform_->submit_job(job).ok());
+  sim_.run();
+  EXPECT_GT(trace_->size(), 0u);
+  trace_->clear();
+  EXPECT_EQ(trace_->size(), 0u);
+  EXPECT_EQ(trace_->dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace canary::faas
