@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_replication_scale.cpp" "bench/CMakeFiles/fig05_replication_scale.dir/fig05_replication_scale.cpp.o" "gcc" "bench/CMakeFiles/fig05_replication_scale.dir/fig05_replication_scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/canary_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/canary_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/canary_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/canary_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/canary/CMakeFiles/canary_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/canary_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/canary_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/canary_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/canary_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/canary_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_replication_scale.dir/fig05_replication_scale.cpp.o"
+  "CMakeFiles/fig05_replication_scale.dir/fig05_replication_scale.cpp.o.d"
+  "fig05_replication_scale"
+  "fig05_replication_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_replication_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

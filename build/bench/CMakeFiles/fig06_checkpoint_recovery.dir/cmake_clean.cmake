@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_checkpoint_recovery.dir/fig06_checkpoint_recovery.cpp.o"
+  "CMakeFiles/fig06_checkpoint_recovery.dir/fig06_checkpoint_recovery.cpp.o.d"
+  "fig06_checkpoint_recovery"
+  "fig06_checkpoint_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_checkpoint_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

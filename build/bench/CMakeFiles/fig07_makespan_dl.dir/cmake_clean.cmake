@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_makespan_dl.dir/fig07_makespan_dl.cpp.o"
+  "CMakeFiles/fig07_makespan_dl.dir/fig07_makespan_dl.cpp.o.d"
+  "fig07_makespan_dl"
+  "fig07_makespan_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_makespan_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

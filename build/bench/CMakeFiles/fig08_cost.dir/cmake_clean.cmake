@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cost.dir/fig08_cost.cpp.o"
+  "CMakeFiles/fig08_cost.dir/fig08_cost.cpp.o.d"
+  "fig08_cost"
+  "fig08_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

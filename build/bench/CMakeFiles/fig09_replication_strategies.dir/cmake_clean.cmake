@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_replication_strategies.dir/fig09_replication_strategies.cpp.o"
+  "CMakeFiles/fig09_replication_strategies.dir/fig09_replication_strategies.cpp.o.d"
+  "fig09_replication_strategies"
+  "fig09_replication_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_replication_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

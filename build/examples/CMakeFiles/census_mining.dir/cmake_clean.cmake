@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_mining.dir/census_mining.cpp.o"
+  "CMakeFiles/census_mining.dir/census_mining.cpp.o.d"
+  "census_mining"
+  "census_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_search.dir/graph_search.cpp.o"
+  "CMakeFiles/graph_search.dir/graph_search.cpp.o.d"
+  "graph_search"
+  "graph_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_pipeline.dir/mapreduce_pipeline.cpp.o"
+  "CMakeFiles/mapreduce_pipeline.dir/mapreduce_pipeline.cpp.o.d"
+  "mapreduce_pipeline"
+  "mapreduce_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("kvstore")
+subdirs("faas")
+subdirs("failure")
+subdirs("canary")
+subdirs("recovery")
+subdirs("workloads")
+subdirs("cost")
+subdirs("harness")

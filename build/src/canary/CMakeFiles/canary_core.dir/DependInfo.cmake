@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canary/checkpointing.cpp" "src/canary/CMakeFiles/canary_core.dir/checkpointing.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/checkpointing.cpp.o.d"
+  "/root/repo/src/canary/client.cpp" "src/canary/CMakeFiles/canary_core.dir/client.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/client.cpp.o.d"
+  "/root/repo/src/canary/core.cpp" "src/canary/CMakeFiles/canary_core.dir/core.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/core.cpp.o.d"
+  "/root/repo/src/canary/metadata.cpp" "src/canary/CMakeFiles/canary_core.dir/metadata.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/canary/proactive.cpp" "src/canary/CMakeFiles/canary_core.dir/proactive.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/proactive.cpp.o.d"
+  "/root/repo/src/canary/replication.cpp" "src/canary/CMakeFiles/canary_core.dir/replication.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/replication.cpp.o.d"
+  "/root/repo/src/canary/request_validator.cpp" "src/canary/CMakeFiles/canary_core.dir/request_validator.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/request_validator.cpp.o.d"
+  "/root/repo/src/canary/runtime_manager.cpp" "src/canary/CMakeFiles/canary_core.dir/runtime_manager.cpp.o" "gcc" "src/canary/CMakeFiles/canary_core.dir/runtime_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canary_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/canary_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/canary_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/canary_faas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_core.dir/checkpointing.cpp.o"
+  "CMakeFiles/canary_core.dir/checkpointing.cpp.o.d"
+  "CMakeFiles/canary_core.dir/client.cpp.o"
+  "CMakeFiles/canary_core.dir/client.cpp.o.d"
+  "CMakeFiles/canary_core.dir/core.cpp.o"
+  "CMakeFiles/canary_core.dir/core.cpp.o.d"
+  "CMakeFiles/canary_core.dir/metadata.cpp.o"
+  "CMakeFiles/canary_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/canary_core.dir/proactive.cpp.o"
+  "CMakeFiles/canary_core.dir/proactive.cpp.o.d"
+  "CMakeFiles/canary_core.dir/replication.cpp.o"
+  "CMakeFiles/canary_core.dir/replication.cpp.o.d"
+  "CMakeFiles/canary_core.dir/request_validator.cpp.o"
+  "CMakeFiles/canary_core.dir/request_validator.cpp.o.d"
+  "CMakeFiles/canary_core.dir/runtime_manager.cpp.o"
+  "CMakeFiles/canary_core.dir/runtime_manager.cpp.o.d"
+  "libcanary_core.a"
+  "libcanary_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

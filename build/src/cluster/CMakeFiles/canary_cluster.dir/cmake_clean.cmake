@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/canary_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/canary_cluster.dir/network.cpp.o"
+  "CMakeFiles/canary_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/canary_cluster.dir/node.cpp.o"
+  "CMakeFiles/canary_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/canary_cluster.dir/storage.cpp.o"
+  "CMakeFiles/canary_cluster.dir/storage.cpp.o.d"
+  "libcanary_cluster.a"
+  "libcanary_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_common.dir/logging.cpp.o"
+  "CMakeFiles/canary_common.dir/logging.cpp.o.d"
+  "CMakeFiles/canary_common.dir/rng.cpp.o"
+  "CMakeFiles/canary_common.dir/rng.cpp.o.d"
+  "CMakeFiles/canary_common.dir/stats.cpp.o"
+  "CMakeFiles/canary_common.dir/stats.cpp.o.d"
+  "CMakeFiles/canary_common.dir/table.cpp.o"
+  "CMakeFiles/canary_common.dir/table.cpp.o.d"
+  "libcanary_common.a"
+  "libcanary_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/canary_cost.dir/cost_model.cpp.o.d"
+  "libcanary_cost.a"
+  "libcanary_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

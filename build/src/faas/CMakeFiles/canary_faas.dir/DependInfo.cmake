@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/platform.cpp" "src/faas/CMakeFiles/canary_faas.dir/platform.cpp.o" "gcc" "src/faas/CMakeFiles/canary_faas.dir/platform.cpp.o.d"
+  "/root/repo/src/faas/retry.cpp" "src/faas/CMakeFiles/canary_faas.dir/retry.cpp.o" "gcc" "src/faas/CMakeFiles/canary_faas.dir/retry.cpp.o.d"
+  "/root/repo/src/faas/runtime.cpp" "src/faas/CMakeFiles/canary_faas.dir/runtime.cpp.o" "gcc" "src/faas/CMakeFiles/canary_faas.dir/runtime.cpp.o.d"
+  "/root/repo/src/faas/trace.cpp" "src/faas/CMakeFiles/canary_faas.dir/trace.cpp.o" "gcc" "src/faas/CMakeFiles/canary_faas.dir/trace.cpp.o.d"
+  "/root/repo/src/faas/usage.cpp" "src/faas/CMakeFiles/canary_faas.dir/usage.cpp.o" "gcc" "src/faas/CMakeFiles/canary_faas.dir/usage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canary_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/canary_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

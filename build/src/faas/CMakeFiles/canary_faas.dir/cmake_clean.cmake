@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_faas.dir/platform.cpp.o"
+  "CMakeFiles/canary_faas.dir/platform.cpp.o.d"
+  "CMakeFiles/canary_faas.dir/retry.cpp.o"
+  "CMakeFiles/canary_faas.dir/retry.cpp.o.d"
+  "CMakeFiles/canary_faas.dir/runtime.cpp.o"
+  "CMakeFiles/canary_faas.dir/runtime.cpp.o.d"
+  "CMakeFiles/canary_faas.dir/trace.cpp.o"
+  "CMakeFiles/canary_faas.dir/trace.cpp.o.d"
+  "CMakeFiles/canary_faas.dir/usage.cpp.o"
+  "CMakeFiles/canary_faas.dir/usage.cpp.o.d"
+  "libcanary_faas.a"
+  "libcanary_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_failure.dir/injector.cpp.o"
+  "CMakeFiles/canary_failure.dir/injector.cpp.o.d"
+  "libcanary_failure.a"
+  "libcanary_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_harness.dir/experiment.cpp.o"
+  "CMakeFiles/canary_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/canary_harness.dir/scenario.cpp.o"
+  "CMakeFiles/canary_harness.dir/scenario.cpp.o.d"
+  "libcanary_harness.a"
+  "libcanary_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/canary_kvstore.dir/kvstore.cpp.o.d"
+  "libcanary_kvstore.a"
+  "libcanary_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_recovery.dir/active_standby.cpp.o"
+  "CMakeFiles/canary_recovery.dir/active_standby.cpp.o.d"
+  "CMakeFiles/canary_recovery.dir/request_replication.cpp.o"
+  "CMakeFiles/canary_recovery.dir/request_replication.cpp.o.d"
+  "CMakeFiles/canary_recovery.dir/strategies.cpp.o"
+  "CMakeFiles/canary_recovery.dir/strategies.cpp.o.d"
+  "libcanary_recovery.a"
+  "libcanary_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

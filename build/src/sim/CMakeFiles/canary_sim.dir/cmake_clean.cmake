@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_sim.dir/metrics.cpp.o"
+  "CMakeFiles/canary_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/canary_sim.dir/simulator.cpp.o"
+  "CMakeFiles/canary_sim.dir/simulator.cpp.o.d"
+  "libcanary_sim.a"
+  "libcanary_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

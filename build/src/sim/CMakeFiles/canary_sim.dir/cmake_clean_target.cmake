@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcanary_sim.a"
+)

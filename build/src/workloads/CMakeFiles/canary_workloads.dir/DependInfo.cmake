@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels/census.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/census.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/census.cpp.o.d"
+  "/root/repo/src/workloads/kernels/compress.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/compress.cpp.o.d"
+  "/root/repo/src/workloads/kernels/graph_bfs.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/graph_bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/graph_bfs.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mini_dl.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/mini_dl.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/mini_dl.cpp.o.d"
+  "/root/repo/src/workloads/kernels/request_log.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/request_log.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/kernels/request_log.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/canary_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/canary_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canary_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/canary_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/canary_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canary_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_workloads.dir/kernels/census.cpp.o"
+  "CMakeFiles/canary_workloads.dir/kernels/census.cpp.o.d"
+  "CMakeFiles/canary_workloads.dir/kernels/compress.cpp.o"
+  "CMakeFiles/canary_workloads.dir/kernels/compress.cpp.o.d"
+  "CMakeFiles/canary_workloads.dir/kernels/graph_bfs.cpp.o"
+  "CMakeFiles/canary_workloads.dir/kernels/graph_bfs.cpp.o.d"
+  "CMakeFiles/canary_workloads.dir/kernels/mini_dl.cpp.o"
+  "CMakeFiles/canary_workloads.dir/kernels/mini_dl.cpp.o.d"
+  "CMakeFiles/canary_workloads.dir/kernels/request_log.cpp.o"
+  "CMakeFiles/canary_workloads.dir/kernels/request_log.cpp.o.d"
+  "CMakeFiles/canary_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/canary_workloads.dir/workloads.cpp.o.d"
+  "libcanary_workloads.a"
+  "libcanary_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

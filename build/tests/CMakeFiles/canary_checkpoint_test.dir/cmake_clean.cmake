@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_checkpoint_test.dir/canary_checkpoint_test.cpp.o"
+  "CMakeFiles/canary_checkpoint_test.dir/canary_checkpoint_test.cpp.o.d"
+  "canary_checkpoint_test"
+  "canary_checkpoint_test.pdb"
+  "canary_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_core_test.dir/canary_core_test.cpp.o"
+  "CMakeFiles/canary_core_test.dir/canary_core_test.cpp.o.d"
+  "canary_core_test"
+  "canary_core_test.pdb"
+  "canary_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_metadata_test.dir/canary_metadata_test.cpp.o"
+  "CMakeFiles/canary_metadata_test.dir/canary_metadata_test.cpp.o.d"
+  "canary_metadata_test"
+  "canary_metadata_test.pdb"
+  "canary_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_replication_test.dir/canary_replication_test.cpp.o"
+  "CMakeFiles/canary_replication_test.dir/canary_replication_test.cpp.o.d"
+  "canary_replication_test"
+  "canary_replication_test.pdb"
+  "canary_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

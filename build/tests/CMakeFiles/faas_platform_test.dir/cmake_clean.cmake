@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_platform_test.dir/faas_platform_test.cpp.o"
+  "CMakeFiles/faas_platform_test.dir/faas_platform_test.cpp.o.d"
+  "faas_platform_test"
+  "faas_platform_test.pdb"
+  "faas_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_features_test.dir/platform_features_test.cpp.o"
+  "CMakeFiles/platform_features_test.dir/platform_features_test.cpp.o.d"
+  "platform_features_test"
+  "platform_features_test.pdb"
+  "platform_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

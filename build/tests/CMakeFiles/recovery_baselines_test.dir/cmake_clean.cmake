@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_baselines_test.dir/recovery_baselines_test.cpp.o"
+  "CMakeFiles/recovery_baselines_test.dir/recovery_baselines_test.cpp.o.d"
+  "recovery_baselines_test"
+  "recovery_baselines_test.pdb"
+  "recovery_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_cost_test.dir/workloads_cost_test.cpp.o"
+  "CMakeFiles/workloads_cost_test.dir/workloads_cost_test.cpp.o.d"
+  "workloads_cost_test"
+  "workloads_cost_test.pdb"
+  "workloads_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

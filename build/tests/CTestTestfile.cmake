@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/canary_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/canary_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/canary_replication_test[1]_include.cmake")
+include("/root/repo/build/tests/canary_core_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_features_test[1]_include.cmake")
+include("/root/repo/build/tests/request_log_test[1]_include.cmake")
+include("/root/repo/build/tests/full_stack_test[1]_include.cmake")
