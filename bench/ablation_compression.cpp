@@ -11,6 +11,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_compression");
   print_figure_header(
       "Ablation", "Checkpoint compression",
       "DL workload, 100 invocations, 16 nodes, error sweep, avg of 5 runs");
@@ -51,11 +52,12 @@ int main() {
     }
   }
   table.print(std::cout);
+  reporter.add_table("compression_sweep", table);
   std::cout << "\nreading: on the testbed's RAM-speed spill tiers the "
                "per-checkpoint compression CPU (~0.25s) is a net loss. On a "
                "lean NFS-only deployment the 98 MiB weight write costs "
                "~0.9s, so shrinking it ~2.8x wins despite the CPU — "
                "compression is a property of the storage hierarchy, not of "
                "checkpointing per se.\n";
-  return 0;
+  return reporter.save() ? 0 : 1;
 }

@@ -11,6 +11,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_placement");
   print_figure_header(
       "Ablation", "Replica placement: anti-SPOF + locality vs naive packing",
       "mixed batch of 300, 16 nodes, error 20%, aggressive replication, "
@@ -39,12 +40,12 @@ int main() {
                  TextTable::num(naive.total_recovery_s.mean()),
                  TextTable::num(naive.makespan_s.mean())});
   table.print(std::cout);
+  reporter.add_table("placement", table);
 
+  const double penalty = harness::overhead_pct(
+      with_rules.total_recovery_s.mean(), naive.total_recovery_s.mean());
   std::cout << "\nrecovery-time penalty of naive packing: "
-            << TextTable::num(
-                   harness::overhead_pct(with_rules.total_recovery_s.mean(),
-                                         naive.total_recovery_s.mean()),
-                   1)
-            << "%\n";
-  return 0;
+            << TextTable::num(penalty, 1) << "%\n";
+  reporter.report().set_scalar("naive_packing_recovery_penalty_pct", penalty);
+  return reporter.save() ? 0 : 1;
 }

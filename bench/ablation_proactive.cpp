@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_proactive");
   print_figure_header(
       "Ablation", "Proactive failure mitigation under correlated failures",
       "mixed batch of 300, 16 nodes, error 10%, two degrading-node "
@@ -46,12 +47,12 @@ int main() {
                  TextTable::num(proactive.makespan_s.mean()),
                  TextTable::num(proactive.cost_usd.mean(), 4)});
   table.print(std::cout);
+  reporter.add_table("mitigation", table);
 
+  const double change = harness::reduction_pct(
+      reactive.total_recovery_s.mean(), proactive.total_recovery_s.mean());
   std::cout << "\nrecovery-time change from proactive mitigation: "
-            << TextTable::num(
-                   harness::reduction_pct(reactive.total_recovery_s.mean(),
-                                          proactive.total_recovery_s.mean()),
-                   1)
-            << "% (positive = improvement)\n";
-  return 0;
+            << TextTable::num(change, 1) << "% (positive = improvement)\n";
+  reporter.report().set_scalar("proactive_recovery_change_pct", change);
+  return reporter.save() ? 0 : 1;
 }

@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_retention");
   print_figure_header(
       "Ablation", "Checkpoint retention policy (dynamic vs fixed n)",
       "graph-bfs workload, 100 invocations, 16 nodes, error 20%, two node "
@@ -49,11 +50,12 @@ int main() {
                  TextTable::num(dynamic.cost_usd.mean(), 4),
                  TextTable::num(dynamic.lost_work_s.mean())});
   table.print(std::cout);
+  reporter.add_table("retention_sweep", table);
   std::cout << "\nreading: retention 1 loses the only (often not yet flushed) "
                "checkpoint with its node and falls back to a from-scratch "
                "restart; >= 2 keeps an older flushed checkpoint reachable "
                "via shared storage, and beyond the flush horizon extra "
                "copies stop mattering — which is why the paper's dynamic "
                "policy starts at 3 and adapts rather than growing n.\n";
-  return 0;
+  return reporter.save() ? 0 : 1;
 }

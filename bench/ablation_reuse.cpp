@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_reuse");
   print_figure_header(
       "Ablation", "Container reuse across job waves",
       "4 sequential waves x 40 functions, 16 nodes, error 15%, Canary, "
@@ -47,8 +48,9 @@ int main() {
     }
   }
   table.print(std::cout);
+  reporter.add_table("reuse", table);
   std::cout << "\nreading: reuse removes most cold starts after the first "
                "wave; the win scales with the runtime's launch+init cost "
                "(DL ~7.4s vs web ~1.2s).\n";
-  return 0;
+  return reporter.save() ? 0 : 1;
 }

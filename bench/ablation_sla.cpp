@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_sla");
   print_figure_header(
       "Ablation", "SLA-aware recovery for time-sensitive jobs",
       "6 DL jobs x 4 functions, 55s deadline, lenient replication, 8 "
@@ -53,10 +54,13 @@ int main() {
                                   1)});
   }
   table.print(std::cout);
+  reporter.add_table("sla_sweep", table);
   std::cout << "\ntotal violations across the sweep: off "
             << TextTable::num(off_total, 1) << ", on "
             << TextTable::num(on_total, 1)
             << " (lower is better; equal means the replica pool was never "
                "the binding constraint)\n";
-  return 0;
+  reporter.report().set_scalar("violations_off_total", off_total);
+  reporter.report().set_scalar("violations_on_total", on_total);
+  return reporter.save() ? 0 : 1;
 }

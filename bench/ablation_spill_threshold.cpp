@@ -13,6 +13,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("ablation_spill_threshold");
   print_figure_header(
       "Ablation", "Checkpoint spill threshold (KV per-entry limit)",
       "graph-bfs workload, 100 invocations, 16 nodes, error 20%, avg of 5 "
@@ -36,11 +37,12 @@ int main() {
                    TextTable::num(agg.cost_usd.mean(), 4)});
   }
   table.print(std::cout);
+  reporter.add_table("spill_sweep", table);
   std::cout << "\nreading: spilling to the node-local RAM tier writes faster "
                "than the replicated KV path (4 GiB/s vs ~0.9 GiB/s), so small "
                "limits are slightly cheaper in failure-free time; the KV "
                "path's value is durability — it never loses a checkpoint to "
                "a node failure, where an unflushed spill can (see "
                "ablation_retention and Fig. 11).\n";
-  return 0;
+  return reporter.save() ? 0 : 1;
 }

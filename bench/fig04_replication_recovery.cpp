@@ -23,6 +23,7 @@ double recovery_of(const recovery::StrategyConfig& strategy, double rate,
 }  // namespace
 
 int main() {
+  Reporter reporter("fig04_replication_recovery");
   print_figure_header(
       "Figure 4", "Impact of replicated runtimes on recovery time",
       "100 invocations, 16 nodes, error rate 1-50%, avg of 5 runs");
@@ -51,6 +52,7 @@ int main() {
     runtimes.add_row(std::move(row));
   }
   runtimes.print(std::cout);
+  reporter.add_table("runtime_recovery", runtimes);
 
   // Part 2: per-workload average reduction across the error-rate sweep.
   std::cout << "\nper-workload average recovery-time reduction vs retry:\n";
@@ -59,6 +61,7 @@ int main() {
       {"workload", "retry avg [s]", "canary avg [s]", "reduction %",
        "paper %"});
   int idx = 0;
+  double best_reduction = 0.0;
   for (const auto kind : workloads::kAllWorkloads) {
     const std::vector<faas::JobSpec> jobs = {workloads::make_job(kind, 100)};
     double retry_sum = 0.0, canary_sum = 0.0;
@@ -68,16 +71,20 @@ int main() {
           recovery_of(recovery::StrategyConfig::canary_full(), rate, jobs);
     }
     const double n = static_cast<double>(error_rates().size());
+    const double reduction = harness::reduction_pct(retry_sum, canary_sum);
+    best_reduction = std::max(best_reduction, reduction);
     summary.add_row(
         {std::string(workloads::to_string_view(kind)),
          TextTable::num(retry_sum / n), TextTable::num(canary_sum / n),
-         TextTable::num(harness::reduction_pct(retry_sum, canary_sum), 1),
+         TextTable::num(reduction, 1),
          TextTable::num(paper_reduction[idx], 0)});
     ++idx;
   }
   summary.print(std::cout);
-  std::cout << "\npaper: replicated runtimes reduce recovery time by up to "
-               "81%; retry grows ~linearly with the error rate while Canary "
-               "stays close to the ideal.\n";
-  return 0;
+  reporter.add_table("workload_reduction", summary);
+  std::cout << "\n";
+  reporter.claim(
+      "replicated runtimes reduce recovery time by up to 81% vs retry",
+      best_reduction);
+  return reporter.save() ? 0 : 1;
 }

@@ -13,6 +13,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("fig05_replication_scale");
   print_figure_header(
       "Figure 5", "Replicated runtimes under growing invocation counts",
       "error rate 15%, 16 nodes, 100-1000 invocations, avg of 5 runs");
@@ -48,6 +49,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  reporter.add_table("scale_sweep", table);
 
   std::cout << "\nper-workload mean reduction across sizes (paper in "
                "parentheses):\n";
@@ -58,7 +60,7 @@ int main() {
               << paper_reduction[idx] << "%)\n";
     ++idx;
   }
-  print_claim("replication outperforms retry by up to 82%",
-              retry_max_reduction);
-  return 0;
+  reporter.claim("replication outperforms retry by up to 82%",
+                 retry_max_reduction);
+  return reporter.save() ? 0 : 1;
 }

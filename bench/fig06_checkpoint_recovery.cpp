@@ -13,6 +13,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("fig06_checkpoint_recovery");
   print_figure_header(
       "Figure 6", "Impact of checkpointing on recovery time",
       "100 invocations, 16 nodes, error rate 1-50%, checkpoint-only Canary, "
@@ -50,6 +51,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  reporter.add_table("checkpoint_sweep", table);
 
   std::cout << "\nper-workload mean reduction (paper in parentheses):\n";
   int idx = 0;
@@ -62,7 +64,7 @@ int main() {
               << "% (" << paper_reduction[idx] << "%)\n";
     ++idx;
   }
-  print_claim("checkpointing reduces recovery time by up to 83%",
-              max_reduction);
-  return 0;
+  reporter.claim("checkpointing reduces recovery time by up to 83%",
+                 max_reduction);
+  return reporter.save() ? 0 : 1;
 }

@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("fig09_replication_strategies");
   print_figure_header(
       "Figure 9", "Replication strategies: aggressive / lenient / dynamic",
       "DL workload, 100 invocations, 16 nodes, error rate 1-50%, avg of 5 "
@@ -52,14 +53,18 @@ int main() {
                    time_cells[2]});
   }
   table.print(std::cout);
+  reporter.add_table("strategy_sweep", table);
 
-  print_claim("DR saves ~25% dollar cost vs AR on average",
-              harness::reduction_pct(sum_cost[1], sum_cost[0]));
-  print_claim("DR saves ~2% dollar cost vs LR on average",
-              harness::reduction_pct(sum_cost[2], sum_cost[0]));
+  reporter.claim("DR saves ~25% dollar cost vs AR on average",
+                 harness::reduction_pct(sum_cost[1], sum_cost[0]));
+  reporter.claim("DR saves ~2% dollar cost vs LR on average",
+                 harness::reduction_pct(sum_cost[2], sum_cost[0]));
   std::cout << "  AR vs DR execution time delta: "
             << TextTable::num(harness::reduction_pct(sum_time[0], sum_time[1]),
                               1)
             << "% (paper: AR has the lowest time, at the highest cost)\n";
-  return 0;
+  reporter.report().set_scalar(
+      "ar_vs_dr_time_delta_pct",
+      harness::reduction_pct(sum_time[0], sum_time[1]));
+  return reporter.save() ? 0 : 1;
 }

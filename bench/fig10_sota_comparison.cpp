@@ -12,6 +12,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("fig10_sota_comparison");
   print_figure_header(
       "Figure 10", "Canary vs request replication (RR) and active-standby "
                    "(AS)",
@@ -65,12 +66,13 @@ int main() {
                    TextTable::num(times[2])});
   }
   table.print(std::cout);
+  reporter.add_table("sota_sweep", table);
 
-  print_claim("RR costs up to 2.7x Canary", max_rr_cost_ratio, "x");
-  print_claim("AS costs up to 2.8x Canary", max_as_cost_ratio, "x");
-  print_claim("AS execution time up to 34% above Canary",
-              max_as_time_overhead);
-  print_claim("Canary's time within ~5% of RR (low error rates)",
-              rr_time_delta_sum / std::max(1, rr_low_rate_points));
-  return 0;
+  reporter.claim("RR costs up to 2.7x Canary", max_rr_cost_ratio, "x");
+  reporter.claim("AS costs up to 2.8x Canary", max_as_cost_ratio, "x");
+  reporter.claim("AS execution time up to 34% above Canary",
+                 max_as_time_overhead);
+  reporter.claim("Canary's time within ~5% of RR (low error rates)",
+                 rr_time_delta_sum / std::max(1, rr_low_rate_points));
+  return reporter.save() ? 0 : 1;
 }

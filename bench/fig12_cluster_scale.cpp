@@ -11,6 +11,7 @@ using namespace canary;
 using namespace canary::bench;
 
 int main() {
+  Reporter reporter("fig12_cluster_scale");
   print_figure_header(
       "Figure 12", "Cluster-size scaling",
       "5000 invocations (mixed batch), error rate 15%, 1-16 nodes, avg of 3 "
@@ -18,13 +19,15 @@ int main() {
 
   const std::size_t node_counts[] = {1, 2, 4, 8, 16};
   constexpr double kRate = 0.15;
-  constexpr int kScaleReps = 3;  // 5000-function runs are the heavy ones
+  const int kScaleReps =
+      quick_mode() ? 1 : 3;  // 5000-function runs are the heavy ones
+  const int kJobSize = quick_mode() ? 50 : 500;
 
   // Submit the batch as ten 500-function jobs, as the paper batches jobs.
   std::vector<faas::JobSpec> jobs;
   for (int j = 0; j < 10; ++j) {
     jobs.push_back(
-        workloads::make_mixed_batch(500, "batch-" + std::to_string(j)));
+        workloads::make_mixed_batch(kJobSize, "batch-" + std::to_string(j)));
   }
 
   TextTable table({"nodes", "ideal [s]", "retry [s]", "canary [s]",
@@ -57,14 +60,18 @@ int main() {
                    TextTable::num(overhead, 1), TextTable::num(reduction, 1)});
   }
   table.print(std::cout);
+  reporter.add_table("cluster_sweep", table);
 
   const auto n = static_cast<double>(std::size(node_counts));
-  print_claim("Canary within ~2.75% of the ideal on average",
-              overhead_sum / n);
-  print_claim("Canary up to 17% faster than retry", max_retry_reduction);
+  reporter.claim("Canary within ~2.75% of the ideal on average",
+                 overhead_sum / n);
+  reporter.claim("Canary up to 17% faster than retry", max_retry_reduction);
   std::cout << "  1->16-node speedups (paper 1.20x / 1.18x / 1.10x): ideal "
             << TextTable::num(first[0] / last[0], 2) << "x, canary "
             << TextTable::num(first[1] / last[1], 2) << "x, retry "
             << TextTable::num(first[2] / last[2], 2) << "x\n";
-  return 0;
+  reporter.report().set_scalar("speedup_ideal", first[0] / last[0]);
+  reporter.report().set_scalar("speedup_canary", first[1] / last[1]);
+  reporter.report().set_scalar("speedup_retry", first[2] / last[2]);
+  return reporter.save() ? 0 : 1;
 }

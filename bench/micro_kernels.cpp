@@ -3,6 +3,8 @@
 // data-parallel mini-MLP training epoch.
 #include <benchmark/benchmark.h>
 
+#include "micro_report.hpp"
+
 #include "workloads/kernels/census.hpp"
 #include "workloads/kernels/compress.hpp"
 #include "workloads/kernels/graph_bfs.hpp"
@@ -83,4 +85,6 @@ BENCHMARK(BM_MlpTrainEpoch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return canary::bench::run_micro_benchmarks(argc, argv, "micro_kernels");
+}

@@ -2,6 +2,8 @@
 // KV store operations, and end-to-end simulated-platform throughput.
 #include <benchmark/benchmark.h>
 
+#include "micro_report.hpp"
+
 #include "cluster/network.hpp"
 #include "faas/platform.hpp"
 #include "faas/retry.hpp"
@@ -115,4 +117,6 @@ BENCHMARK(BM_PlatformEndToEnd)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return canary::bench::run_micro_benchmarks(argc, argv, "micro_substrate");
+}

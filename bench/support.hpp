@@ -4,24 +4,43 @@
 // sweeps the figure's x-axis, runs the compared strategies with the
 // paper's repetition discipline (averaged repetitions, fixed seeds), and
 // prints (a) the figure's series as an aligned table and (b) the paper's
-// headline claim next to the measured value.
+// headline claim next to the measured value. Every bench also emits a
+// machine-readable BENCH_<name>.json run report (obs::RunReport) so CI
+// can archive and diff results across commits.
+//
+// Environment:
+//   CANARY_QUICK=1        shrink sweeps/repetitions for CI smoke runs
+//   CANARY_REPORT_DIR=dir where BENCH_<name>.json is written (default .)
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "obs/report.hpp"
 #include "workloads/workloads.hpp"
 
 namespace canary::bench {
 
+/// CI smoke mode: a cut-down sweep that exercises every code path in
+/// seconds instead of minutes.
+inline bool quick_mode() {
+  const char* v = std::getenv("CANARY_QUICK");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
 /// Error-rate sweep used across Figures 4-10 ("vary the error rate from
-/// 1% to 50%", §V-B).
+/// 1% to 50%", §V-B). Quick mode keeps the endpoints and the midpoint.
 inline const std::vector<double>& error_rates() {
-  static const std::vector<double> rates = {0.01, 0.05, 0.10, 0.20,
-                                            0.30, 0.40, 0.50};
+  static const std::vector<double> rates =
+      quick_mode() ? std::vector<double>{0.01, 0.10, 0.50}
+                   : std::vector<double>{0.01, 0.05, 0.10, 0.20,
+                                         0.30, 0.40, 0.50};
   return rates;
 }
 
@@ -40,8 +59,8 @@ inline void print_claim(const std::string& claim, double measured,
 
 /// Default repetition count. The paper averages 10 runs; 5 keeps every
 /// bench binary in the seconds range while staying within the paper's
-/// <5% run-to-run variance.
-inline constexpr int kReps = 5;
+/// <5% run-to-run variance. Quick mode drops to 2.
+inline const int kReps = quick_mode() ? 2 : 5;
 
 inline harness::ScenarioConfig scenario(recovery::StrategyConfig strategy,
                                         double error_rate,
@@ -54,5 +73,49 @@ inline harness::ScenarioConfig scenario(recovery::StrategyConfig strategy,
   config.seed = seed;
   return config;
 }
+
+/// Collects one bench binary's output into a run report: the printed
+/// tables become `series`, the printed paper-claim lines become `claims`,
+/// and `save()` writes BENCH_<name>.json next to the binary (or into
+/// $CANARY_REPORT_DIR).
+class Reporter {
+ public:
+  explicit Reporter(std::string name) {
+    report_.name = std::move(name);
+    report_.set_param("quick", quick_mode() ? "1" : "0");
+    report_.set_param("repetitions", static_cast<double>(kReps));
+  }
+
+  obs::RunReport& report() { return report_; }
+
+  /// Attach a printed table as a named series.
+  void add_table(const std::string& series_name, const TextTable& table) {
+    report_.series.push_back({series_name, table.headers(), table.rows()});
+  }
+
+  /// Print the paper-claim-vs-measured pair and record it in the report.
+  void claim(const std::string& claim, double measured,
+             const std::string& unit = "%") {
+    print_claim(claim, measured, unit);
+    report_.add_claim(claim, measured, unit);
+  }
+
+  /// Write BENCH_<name>.json; returns false (and complains) on I/O error.
+  bool save() const {
+    const char* dir = std::getenv("CANARY_REPORT_DIR");
+    std::string path =
+        (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+    path += "BENCH_" + report_.name + ".json";
+    if (!report_.save(path)) {
+      std::cerr << "failed to write " << path << "\n";
+      return false;
+    }
+    std::cout << "\nreport: " << path << "\n";
+    return true;
+  }
+
+ private:
+  obs::RunReport report_;
+};
 
 }  // namespace canary::bench

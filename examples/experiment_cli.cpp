@@ -5,6 +5,7 @@
 //   ./experiment_cli --workload=web-service --strategy=canary-dr
 //       --error-rate=0.3 --functions=100 --nodes=16 --reps=5
 //       [--node-failures=2] [--sla=60] [--proactive] [--csv]
+//       [--report=run_report.json] [--trace=run.trace.json]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -13,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "obs/chrome_trace.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace canary;
@@ -32,6 +34,8 @@ struct Options {
   std::uint64_t seed = 42;
   bool csv = false;
   bool help = false;
+  std::string report_path;
+  std::string trace_path;
 };
 
 void usage() {
@@ -49,7 +53,9 @@ void usage() {
       "  --sla=SECONDS    job deadline (enables SLA accounting)\n"
       "  --proactive      enable proactive failure mitigation\n"
       "  --seed=N         base seed (default 42)\n"
-      "  --csv            emit CSV instead of an aligned table\n";
+      "  --csv            emit CSV instead of an aligned table\n"
+      "  --report=FILE    write a run_report.json (deterministic in seed)\n"
+      "  --trace=FILE     write a chrome://tracing span timeline of one run\n";
 }
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -83,6 +89,10 @@ Options parse(int argc, char** argv) {
       opts.sla_seconds = std::atof(value.c_str());
     } else if (parse_flag(argv[i], "--seed", value)) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (parse_flag(argv[i], "--report", value)) {
+      opts.report_path = value;
+    } else if (parse_flag(argv[i], "--trace", value)) {
+      opts.trace_path = value;
     } else if (std::strcmp(argv[i], "--proactive") == 0) {
       opts.proactive = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -187,6 +197,35 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  if (!opts.report_path.empty()) {
+    obs::RunReport report = harness::make_report("experiment_cli", config, agg);
+    report.set_param("workload", opts.workload);
+    report.set_param("functions", static_cast<double>(opts.functions));
+    report.set_param("node_failures", static_cast<double>(opts.node_failures));
+    report.set_param("sla_s", opts.sla_seconds);
+    report.set_param("proactive", opts.proactive ? "1" : "0");
+    if (!report.save(opts.report_path)) {
+      std::cerr << "failed to write " << opts.report_path << "\n";
+      return 1;
+    }
+    std::cout << "report: " << opts.report_path << "\n";
+  }
+
+  if (!opts.trace_path.empty()) {
+    // One extra run of the base seed with span recording on: the trace is
+    // a timeline of a single repetition, not an aggregate.
+    harness::ScenarioConfig traced = config;
+    traced.record_spans = true;
+    const auto run = harness::ScenarioRunner::run(traced, jobs);
+    if (run.spans == nullptr ||
+        !obs::write_chrome_trace_file(opts.trace_path, *run.spans)) {
+      std::cerr << "failed to write " << opts.trace_path << "\n";
+      return 1;
+    }
+    std::cout << "trace: " << opts.trace_path << " (" << run.spans->size()
+              << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -139,6 +139,15 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
   }
   metrics_.count("checkpoints_written");
   metrics_.sample("checkpoint_payload_mib", payload.to_mib());
+  if (spans_ != nullptr) {
+    // The commit fires at the end of the state's epilogue, so the write
+    // window is the epilogue interval ending now.
+    const Duration write = state_epilogue(inv, idx);
+    obs::SpanLabels labels{inv.job, inv.id, inv.container, inv.node,
+                           inv.attempt};
+    spans_->record(obs::SpanKind::kCheckpoint, "checkpoint",
+                   sim_.now() - write, sim_.now(), labels);
+  }
 
   // A recommit of the same state (after a restore) replaces the old row.
   for (const auto* existing : metadata_.checkpoints_of(inv.id)) {

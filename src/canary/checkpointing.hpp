@@ -25,6 +25,7 @@
 #include "common/ids.hpp"
 #include "faas/events.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/span.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -77,6 +78,9 @@ class CheckpointingModule {
 
   const CheckpointingConfig& config() const { return config_; }
 
+  /// Record checkpoint-write spans into `spans` (null disables).
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+
   /// Time appended to state `idx` for writing its checkpoint. Pure in
   /// (spec, idx); used for scheduling and attempt-duration estimates.
   Duration state_epilogue(const faas::Invocation& inv, std::size_t idx) const;
@@ -112,6 +116,7 @@ class CheckpointingModule {
   kv::KvStore& store_;
   MetadataStore& metadata_;
   sim::MetricsRecorder& metrics_;
+  obs::SpanRecorder* spans_ = nullptr;
   CheckpointingConfig config_;
   IdGenerator<CheckpointId> ids_;
 };

@@ -27,6 +27,8 @@ void CoreModule::install() {
   platform_.set_recovery_handler(this);
   platform_.set_hooks(this);
   platform_.add_observer(this);
+  checkpointing_.set_spans(platform_.spans());
+  replication_.set_spans(platform_.spans());
 }
 
 void CoreModule::refresh_worker_table() {
@@ -79,6 +81,16 @@ void CoreModule::drain_queue() {
 
 // ---- RecoveryHandler ------------------------------------------------------
 
+void CoreModule::recovery_instant(const faas::Invocation& inv,
+                                  const char* name) {
+  obs::SpanRecorder* spans = platform_.spans();
+  if (spans == nullptr) return;
+  obs::SpanLabels labels{inv.job, inv.id, inv.container, inv.node,
+                         inv.attempt};
+  spans->instant(obs::SpanKind::kRecovery, name, platform_.simulator().now(),
+                 labels);
+}
+
 bool CoreModule::sla_urgent(const faas::Invocation& inv) const {
   if (!config_.sla_aware) return false;
   auto it = deadlines_.find(inv.job);
@@ -113,6 +125,7 @@ void CoreModule::recover_cold(const faas::Invocation& inv) {
   start.node_pref = target;
   start.extra_setup = plan.restore_time;
   platform_.metrics().count("cold_fallback_recoveries");
+  recovery_instant(inv, "cold_fallback_recovery");
   platform_.start_attempt(inv.id, start);
 }
 
@@ -140,6 +153,7 @@ void CoreModule::on_failure(const faas::Invocation& inv,
     start.container = replica->container;
     start.extra_setup = config_.migration_overhead + plan.restore_time;
     platform_.metrics().count("replica_recoveries");
+    recovery_instant(inv, "replica_recovery");
     replication_.on_replica_consumed(image);
     platform_.start_attempt(inv.id, start);
     return;
@@ -155,6 +169,7 @@ void CoreModule::on_failure(const faas::Invocation& inv,
     if (auto pending = runtime_manager_.promise_launching(image, min_age)) {
       promised_[pending->container] = inv.id;
       platform_.metrics().count("sla_promised_recoveries");
+      recovery_instant(inv, "sla_promised_recovery");
       replication_.on_replica_consumed(image);
       return;  // dispatch happens in on_container_ready
     }

@@ -26,6 +26,7 @@
 #include "canary/proactive.hpp"
 #include "canary/runtime_manager.hpp"
 #include "faas/platform.hpp"
+#include "obs/span.hpp"
 #include "sim/metrics.hpp"
 
 namespace canary::core {
@@ -70,6 +71,10 @@ class ReplicationModule {
   /// suspects exist.
   void set_advisor(const ProactiveMitigator* advisor) { advisor_ = advisor; }
 
+  /// Record replica-provisioning spans (launch -> warm) into `spans`
+  /// (null disables).
+  void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+
   // ---- event feed from the Core Module ---------------------------------
   /// Algorithm 2: runtime replication at job submission.
   void on_job_submitted(JobId job);
@@ -106,6 +111,9 @@ class ReplicationModule {
   sim::MetricsRecorder& metrics_;
   ReplicationConfig config_;
   const ProactiveMitigator* advisor_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  /// Provisioning spans still waiting for their replica to turn warm.
+  std::unordered_map<ContainerId, obs::SpanHandle> launching_spans_;
 
   /// Functions submitted and not yet completed, per runtime image.
   std::unordered_map<faas::RuntimeImage, std::size_t> active_;

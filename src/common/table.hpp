@@ -24,6 +24,9 @@ class TextTable {
   /// Render as CSV (no alignment padding).
   void print_csv(std::ostream& os) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -70,6 +70,9 @@ class TimePoint {
   constexpr TimePoint operator+(Duration d) const {
     return TimePoint{usec_ + d.count_usec()};
   }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{usec_ - d.count_usec()};
+  }
   constexpr Duration operator-(TimePoint o) const {
     return Duration::usec(usec_ - o.usec_);
   }

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string_view>
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
@@ -23,6 +24,15 @@ enum class FailureKind {
   kNodeFailure,    // hosting node died
   kTimeout,        // exceeded the platform's function timeout
 };
+
+inline std::string_view to_string_view(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kContainerKill: return "container_kill";
+    case FailureKind::kNodeFailure: return "node_failure";
+    case FailureKind::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
 
 struct FailureInfo {
   FailureKind kind = FailureKind::kContainerKill;

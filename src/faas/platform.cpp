@@ -11,6 +11,7 @@ struct Platform::InvocationInternal : Invocation {
   sim::EventHandle progress_event;
   sim::EventHandle kill_event;
   sim::EventHandle timeout_event;
+  obs::SpanHandle phase_span;
   std::vector<RecoveryMarker> markers;
   TimePoint state_start;
   TimePoint state_planned_end;
@@ -89,6 +90,23 @@ Platform::Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
 
 void Platform::add_observer(PlatformObserver* observer) {
   observers_.push_back(observer);
+}
+
+obs::SpanLabels Platform::obs_labels(const InvocationInternal& inv) const {
+  return obs::SpanLabels{inv.job, inv.id, inv.container, inv.node,
+                         inv.attempt};
+}
+
+void Platform::obs_phase(InvocationInternal& inv, obs::SpanKind kind,
+                         const char* name) {
+  if (spans_ == nullptr) return;
+  spans_->close(inv.phase_span, sim_.now());
+  inv.phase_span = spans_->open(kind, name, sim_.now(), obs_labels(inv));
+}
+
+void Platform::obs_end_phase(InvocationInternal& inv) {
+  if (spans_ == nullptr) return;
+  spans_->close(inv.phase_span, sim_.now());
 }
 
 Platform::InvocationInternal& Platform::internal(FunctionId id) {
@@ -407,6 +425,7 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
   containers_.at(cid)->state = ContainerState::kLaunching;
   inv.container = cid;
   metrics_.count("cold_starts");
+  obs_phase(inv, obs::SpanKind::kLaunch, "launch");
 
   const double speed = host.speed();
   arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/true));
@@ -440,12 +459,16 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
     if (target == nullptr) return;
     containers_.at(cid)->state = ContainerState::kInitializing;
     target->phase = Phase::kInitializing;
+    obs_phase(*target, obs::SpanKind::kInit, "init");
     target->progress_event =
         sim_.schedule_after(init, [this, guard, cid, setup, attempt] {
           auto* target = guard();
           if (target == nullptr) return;
           containers_.at(cid)->state = ContainerState::kBusy;
           target->phase = Phase::kStarting;
+          if (setup > Duration::zero()) {
+            obs_phase(*target, obs::SpanKind::kRestore, "restore");
+          }
           target->progress_event =
               sim_.schedule_after(setup, [this, guard, attempt] {
                 auto* target = guard();
@@ -475,6 +498,9 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
   c.purpose = ContainerPurpose::kFunction;
   ledger_.open_at(c, sim_.now());
   metrics_.count("warm_starts");
+  // Warm adoption skips launch+init (the replication win); the dispatch
+  // window plus any checkpoint restore is the whole pre-exec cost.
+  obs_phase(inv, obs::SpanKind::kRestore, "warm_dispatch");
 
   const double speed = cluster_.node(c.node).speed();
   arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/false));
@@ -495,6 +521,7 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
 void Platform::begin_execution(InvocationInternal& inv, int attempt) {
   CANARY_CHECK(inv.attempt == attempt, "stale execution event");
   inv.phase = Phase::kExecuting;
+  obs_phase(inv, obs::SpanKind::kExec, "exec");
   if (inv.first_dispatch_time == TimePoint::max()) {
     inv.first_dispatch_time = sim_.now();
   }
@@ -510,6 +537,7 @@ void Platform::schedule_next_state(InvocationInternal& inv) {
 
   if (inv.next_state >= inv.spec->states.size()) {
     inv.phase = Phase::kFinalizing;
+    obs_phase(inv, obs::SpanKind::kFinalize, "finalize");
     const Duration fin = inv.spec->finalize * speed;
     inv.progress_event = sim_.schedule_after(fin, [this, id, attempt] {
       auto& target = internal(id);
@@ -546,6 +574,12 @@ void Platform::complete_function(InvocationInternal& inv) {
   inv.kill_event.cancel();
   inv.timeout_event.cancel();
   inv.progress_event.cancel();
+  obs_end_phase(inv);
+  metrics_.sample_duration("function_latency", sim_.now() - inv.submit_time);
+  if (inv.first_dispatch_time != TimePoint::max()) {
+    metrics_.sample_duration("function_queue_wait",
+                             inv.first_dispatch_time - inv.submit_time);
+  }
   resolve_recovery_markers(inv);
 
   if (inv.container.valid()) {
@@ -635,6 +669,11 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   ++inv.failures;
   inv.phase = Phase::kFailed;
   metrics_.count("failures");
+  obs_end_phase(inv);
+  if (spans_ != nullptr) {
+    spans_->instant(obs::SpanKind::kFailure, std::string(to_string_view(kind)),
+                    sim_.now(), obs_labels(inv));
+  }
 
   FailureInfo info;
   info.kind = kind;
@@ -667,6 +706,10 @@ void Platform::resolve_recovery_markers(InvocationInternal& inv) {
       inv.recovery_time += recovery;
       metrics_.sample_duration("recovery_time", recovery);
       metrics_.count("recoveries");
+      if (spans_ != nullptr) {
+        spans_->record(obs::SpanKind::kRecovery, "recovery", it->fail_time,
+                       now, obs_labels(inv));
+      }
       it = inv.markers.erase(it);
     } else {
       ++it;
@@ -701,6 +744,12 @@ void Platform::discard_function(FunctionId id) {
 void Platform::fail_node(NodeId node) {
   cluster_.fail_node(node);
   metrics_.count("node_failures");
+  if (spans_ != nullptr) {
+    obs::SpanLabels labels;
+    labels.node = node;
+    spans_->instant(obs::SpanKind::kNodeFailure, "node_failure", sim_.now(),
+                    labels);
+  }
 
   std::vector<ContainerId> on_node;
   for (const auto& [cid, c] : containers_) {

@@ -29,6 +29,7 @@
 #include "faas/events.hpp"
 #include "faas/function.hpp"
 #include "faas/usage.hpp"
+#include "obs/span.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -95,6 +96,11 @@ class Platform {
   void set_recovery_handler(RecoveryHandler* handler) { recovery_ = handler; }
   void set_hooks(ExecutionHooks* hooks) { hooks_ = hooks; }
   void add_observer(PlatformObserver* observer);
+  /// Install a span recorder capturing the lifecycle phases (launch, init,
+  /// restore, exec, finalize) plus failure/recovery windows on the sim
+  /// clock. Null disables span recording (the default).
+  void set_span_recorder(obs::SpanRecorder* spans) { spans_ = spans; }
+  obs::SpanRecorder* spans() const { return spans_; }
 
   // ---- job/function API ----------------------------------------------
   /// Validate against platform limits and enqueue every function of the
@@ -191,6 +197,13 @@ class Platform {
                                  bool cold) const;
   Duration epilogue_nominal(const Invocation& inv, std::size_t state_idx);
 
+  /// Close the invocation's open phase span (if any) and open a new one.
+  void obs_phase(InvocationInternal& inv, obs::SpanKind kind,
+                 const char* name);
+  /// Close the invocation's open phase span (if any).
+  void obs_end_phase(InvocationInternal& inv);
+  obs::SpanLabels obs_labels(const InvocationInternal& inv) const;
+
   void begin_execution(InvocationInternal& inv, int attempt);
   void schedule_next_state(InvocationInternal& inv);
   void complete_function(InvocationInternal& inv);
@@ -206,6 +219,7 @@ class Platform {
   FailurePolicy* failure_policy_ = nullptr;
   RecoveryHandler* recovery_ = nullptr;
   ExecutionHooks* hooks_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   std::vector<PlatformObserver*> observers_;
 
   IdGenerator<JobId> job_ids_;

@@ -14,6 +14,7 @@ void Aggregate::add(const RunResult& run) {
   lost_work_s.add(run.lost_work_s);
   sla_violations.add(run.sla_violations);
   for (const auto& [name, value] : run.counters) counter_sums[name] += value;
+  metrics.merge(run.metrics);
   if (!run.completed) ++incomplete_runs;
 }
 
@@ -50,6 +51,30 @@ double reduction_pct(double baseline, double ours) {
 double overhead_pct(double baseline, double ours) {
   if (baseline <= 0.0) return 0.0;
   return (ours - baseline) / baseline * 100.0;
+}
+
+obs::RunReport make_report(std::string name, const ScenarioConfig& config,
+                           const Aggregate& agg) {
+  obs::RunReport report;
+  report.name = std::move(name);
+  report.set_param("strategy", config.strategy.label());
+  report.set_param("error_rate", config.error_rate);
+  report.set_param("cluster_nodes", static_cast<double>(config.cluster_nodes));
+  report.set_param("seed", static_cast<double>(config.seed));
+  report.set_param("repetitions", static_cast<double>(agg.makespan_s.count()));
+  report.set_scalar("makespan_s_mean", agg.makespan_s.mean());
+  report.set_scalar("makespan_s_stddev", agg.makespan_s.stddev());
+  report.set_scalar("total_recovery_s_mean", agg.total_recovery_s.mean());
+  report.set_scalar("mean_recovery_s_mean", agg.mean_recovery_s.mean());
+  report.set_scalar("cost_usd_mean", agg.cost_usd.mean());
+  report.set_scalar("replica_cost_usd_mean", agg.replica_cost_usd.mean());
+  report.set_scalar("failures_mean", agg.failures.mean());
+  report.set_scalar("lost_work_s_mean", agg.lost_work_s.mean());
+  report.set_scalar("sla_violations_mean", agg.sla_violations.mean());
+  report.set_scalar("incomplete_runs",
+                    static_cast<double>(agg.incomplete_runs));
+  report.metrics = agg.metrics;
+  return report;
 }
 
 }  // namespace canary::harness

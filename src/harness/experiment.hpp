@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "harness/scenario.hpp"
+#include "obs/report.hpp"
 
 namespace canary::harness {
 
@@ -26,6 +27,9 @@ struct Aggregate {
   std::size_t incomplete_runs = 0;
   /// Per-run-mean of every metrics counter (e.g. "replica_recoveries").
   std::map<std::string, double> counter_sums;
+  /// Merged registry across repetitions: counters sum, histograms merge
+  /// bucket-wise (so percentiles cover every repetition's samples).
+  obs::MetricRegistry metrics;
 
   void add(const RunResult& run);
   double counter_mean(const std::string& name) const;
@@ -40,5 +44,11 @@ Aggregate run_repetitions(ScenarioConfig config,
 double reduction_pct(double baseline, double ours);
 /// Percentage overhead of `ours` over `baseline` (positive = higher).
 double overhead_pct(double baseline, double ours);
+
+/// Build a machine-readable run report for one aggregated configuration:
+/// scenario parameters, headline scalars (means across repetitions), and
+/// the merged metric registry. Callers add claims/series and save().
+obs::RunReport make_report(std::string name, const ScenarioConfig& config,
+                           const Aggregate& agg);
 
 }  // namespace canary::harness

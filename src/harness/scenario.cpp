@@ -29,6 +29,12 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   faas::Platform platform(simulator, cluster, network, config.platform,
                           metrics);
 
+  std::shared_ptr<obs::SpanRecorder> spans;
+  if (config.record_spans) {
+    spans = std::make_shared<obs::SpanRecorder>();
+    platform.set_span_recorder(spans.get());
+  }
+
   const bool ideal = config.strategy.kind == StrategyKind::kIdeal;
   failure::InjectorConfig injector_config;
   injector_config.error_rate = ideal ? 0.0 : config.error_rate;
@@ -102,6 +108,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
 
   simulator.run();
   platform.finalize_usage();
+  if (spans != nullptr) spans->close_all_open(simulator.now());
 
   RunResult result;
   result.completed = platform.all_jobs_completed();
@@ -142,6 +149,8 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   result.cost = cost_model.breakdown(platform.usage());
   result.cost_usd = result.cost.total_usd;
   result.counters = metrics.counters();
+  result.metrics = std::move(metrics);
+  result.spans = std::move(spans);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "faas/function.hpp"
 #include "faas/platform.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/span.hpp"
 #include "recovery/strategies.hpp"
 
 namespace canary::harness {
@@ -48,6 +51,10 @@ struct ScenarioConfig {
   /// (§V-C1). Lets experiments model e.g. an NFS-only deployment or a
   /// custom external endpoint ("such as an S3 bucket", §IV-C4a).
   std::optional<cluster::StorageHierarchy> storage;
+  /// Record a per-run span timeline (lifecycle phases, checkpoints,
+  /// replication, recoveries) into RunResult::spans for chrome://tracing
+  /// export. Off by default: spans cost memory proportional to events.
+  bool record_spans = false;
 };
 
 struct RunResult {
@@ -64,6 +71,11 @@ struct RunResult {
   double sla_jobs = 0.0;
   std::uint64_t simulated_events = 0;
   std::map<std::string, double> counters;
+  /// Full metric registry of the run (counters + gauges + latency
+  /// histograms). `counters` above is kept as a convenience view.
+  obs::MetricRegistry metrics;
+  /// Span timeline; non-null only when ScenarioConfig::record_spans.
+  std::shared_ptr<obs::SpanRecorder> spans;
 };
 
 class ScenarioRunner {

@@ -1,0 +1,68 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace canary::obs {
+
+namespace {
+
+void write_event(JsonWriter& json, const Span& span) {
+  json.begin_object();
+  json.field("name", span.name);
+  json.field("cat", to_string_view(span.kind));
+  json.field("ph", span.instant ? "i" : "X");
+  // Trace timestamps are microseconds; the sim clock already is.
+  json.field("ts", span.start.count_usec());
+  if (!span.instant) {
+    json.field("dur", span.duration().count_usec());
+  } else {
+    json.field("s", "t");  // thread-scoped instant marker
+  }
+  json.field("pid", std::int64_t{1});
+  // One track per node keeps the cluster timeline readable; spans with no
+  // node (e.g. scheduler-side events) share track 0.
+  json.field("tid", span.labels.node.valid()
+                        ? static_cast<std::int64_t>(span.labels.node.value())
+                        : std::int64_t{0});
+  json.key("args").begin_object();
+  if (span.labels.job.valid()) {
+    json.field("job", static_cast<std::int64_t>(span.labels.job.value()));
+  }
+  if (span.labels.function.valid()) {
+    json.field("function",
+               static_cast<std::int64_t>(span.labels.function.value()));
+  }
+  if (span.labels.container.valid()) {
+    json.field("container",
+               static_cast<std::int64_t>(span.labels.container.value()));
+  }
+  if (span.labels.attempt > 0) json.field("attempt", span.labels.attempt);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const SpanRecorder& spans) {
+  JsonWriter json(os, /*indent=*/0);
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (const Span& span : spans.spans()) write_event(json, span);
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder& spans) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, spans);
+  return out.good();
+}
+
+}  // namespace canary::obs

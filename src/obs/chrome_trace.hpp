@@ -1,0 +1,26 @@
+// Chrome trace-event exporter.
+//
+// Serialises a SpanRecorder into the chrome://tracing / Perfetto JSON
+// format ("traceEvents" with complete "X" and instant "i" events) so a
+// simulated run can be inspected on a real timeline: one track per node,
+// lifecycle phases nested per function attempt, checkpoint/replication/
+// recovery windows overlaid. Open chrome://tracing (or ui.perfetto.dev)
+// and load the file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace canary::obs {
+
+/// Write the full trace JSON document for `spans` to `os`.
+void write_chrome_trace(std::ostream& os, const SpanRecorder& spans);
+
+/// Write to `path`; returns false (and leaves no partial file guarantees)
+/// when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder& spans);
+
+}  // namespace canary::obs

@@ -1,0 +1,64 @@
+// Minimal deterministic JSON writer.
+//
+// The exporters (run_report.json, chrome://tracing) need byte-stable
+// output: two identical seeded runs must serialise to identical bytes so
+// CI can diff reports across commits. This writer therefore controls
+// number formatting itself (locale-free, integer-valued doubles print as
+// integers, everything else shortest-ish %.12g) and keeps no ambient
+// state beyond the comma/nesting stack.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace canary::obs {
+
+class JsonWriter {
+ public:
+  /// `indent` <= 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or a begin_*().
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  static std::string escape(std::string_view raw);
+  /// Locale-independent double formatting (NaN/Inf serialise as null,
+  /// which JSON requires).
+  static std::string format_double(double v);
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  // One frame per open container: true once the first element is written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace canary::obs

@@ -1,0 +1,67 @@
+// Central metric registry: counters, gauges, and latency histograms.
+//
+// One registry lives per simulation run and every module records into it
+// (the platform's lifecycle counters, Canary's checkpoint/replication
+// counters, the recovery baselines' bookkeeping). It supersedes the
+// private counter maps that used to live in sim::MetricsRecorder,
+// faas::UsageLedger summaries, and ad-hoc bench printouts: the experiment
+// harness snapshots the whole registry into RunResult, merges repetitions
+// exactly, and the report exporter serialises it into run_report.json.
+//
+// Names are ordered maps so every iteration (export, merge, diff) is
+// deterministic. The registry is single-writer per run — repetitions each
+// own one and merge after the fact — so no locking is needed on the
+// record path.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+#include "obs/histogram.hpp"
+
+namespace canary::obs {
+
+class MetricRegistry {
+ public:
+  // ---- counters (monotonic sums) --------------------------------------
+  void count(const std::string& name, double delta = 1.0) {
+    counters_[name] += delta;
+  }
+  double counter(const std::string& name) const;
+  const std::map<std::string, double>& counters() const { return counters_; }
+
+  // ---- gauges (last-write-wins levels) --------------------------------
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  double gauge(const std::string& name) const;
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  // ---- histograms (latency-style distributions) -----------------------
+  void sample(const std::string& name, double value) {
+    histograms_[name].record(value);
+  }
+  void sample_duration(const std::string& name, Duration d) {
+    sample(name, d.to_seconds());
+  }
+  /// Histogram for `name`; an empty histogram if never sampled.
+  const Histogram& histogram(const std::string& name) const;
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Fold `other` into this registry: counters add, histograms merge
+  /// exactly, gauges take `other`'s value (last writer wins). Used by the
+  /// harness to aggregate per-repetition registries deterministically.
+  void merge(const MetricRegistry& other);
+
+  void clear();
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace canary::obs

@@ -1,0 +1,96 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace canary::obs {
+
+void RunReport::set_param(const std::string& key, double value) {
+  params[key] = JsonWriter::format_double(value);
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  JsonWriter json(os, /*indent=*/2);
+  json.begin_object();
+  json.field("schema", kRunReportSchema);
+  json.field("name", name);
+
+  json.key("params").begin_object();
+  for (const auto& [key, value] : params) json.field(key, value);
+  json.end_object();
+
+  json.key("scalars").begin_object();
+  for (const auto& [key, value] : scalars) json.field(key, value);
+  json.end_object();
+
+  json.key("metrics").begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [key, value] : metrics.counters()) json.field(key, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [key, value] : metrics.gauges()) json.field(key, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [key, hist] : metrics.histograms()) {
+    json.key(key).begin_object();
+    json.field("count", static_cast<std::uint64_t>(hist.count()));
+    json.field("mean", hist.mean());
+    json.field("min", hist.min());
+    json.field("max", hist.max());
+    json.field("p50", hist.p50());
+    json.field("p95", hist.p95());
+    json.field("p99", hist.p99());
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+
+  json.key("series").begin_array();
+  for (const Series& s : series) {
+    json.begin_object();
+    json.field("name", s.name);
+    json.key("columns").begin_array();
+    for (const auto& column : s.columns) json.value(column);
+    json.end_array();
+    json.key("rows").begin_array();
+    for (const auto& row : s.rows) {
+      json.begin_array();
+      for (const auto& cell : row) json.value(cell);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("claims").begin_array();
+  for (const Claim& c : claims) {
+    json.begin_object();
+    json.field("claim", c.claim);
+    json.field("measured", c.measured);
+    json.field("unit", c.unit);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  os << '\n';
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool RunReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace canary::obs

@@ -1,0 +1,84 @@
+// Machine-readable run report (the `run_report.json` schema, v1).
+//
+// Every bench binary and the experiment CLI emit one of these so results
+// stop living in ad-hoc stdout tables: CI archives BENCH_<name>.json per
+// commit and can diff the perf trajectory mechanically. The schema is
+// deliberately small and stable:
+//
+//   {
+//     "schema": "canary.run_report/v1",
+//     "name": "<binary or experiment id>",
+//     "params": { "<key>": "<string value>", ... },
+//     "scalars": { "<key>": <number>, ... },
+//     "metrics": {
+//       "counters": { "<name>": <number>, ... },
+//       "gauges": { "<name>": <number>, ... },
+//       "histograms": {
+//         "<name>": { "count", "mean", "min", "max", "p50", "p95", "p99" }
+//       }
+//     },
+//     "series": [ { "name", "columns": [..], "rows": [[..], ..] }, .. ],
+//     "claims": [ { "claim", "measured", "unit" }, .. ]
+//   }
+//
+// Serialisation is deterministic: map keys are ordered, numbers are
+// formatted locale-free, and nothing wall-clock-dependent is embedded —
+// two identical seeded runs produce byte-identical reports.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+
+namespace canary::obs {
+
+inline constexpr std::string_view kRunReportSchema = "canary.run_report/v1";
+
+struct RunReport {
+  std::string name;
+  /// Experiment configuration, stringly-typed on purpose: params document
+  /// the run, they are not re-parsed.
+  std::map<std::string, std::string> params;
+  /// Headline measurements (means, reductions, overheads).
+  std::map<std::string, double> scalars;
+  /// Full metric registry snapshot (merged across repetitions).
+  MetricRegistry metrics;
+
+  /// A named table, e.g. one reproduced figure's series.
+  struct Series {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<Series> series;
+
+  /// Paper-claim vs measured-value pairs from the bench printouts.
+  struct Claim {
+    std::string claim;
+    double measured = 0.0;
+    std::string unit;
+  };
+  std::vector<Claim> claims;
+
+  void set_param(const std::string& key, const std::string& value) {
+    params[key] = value;
+  }
+  void set_param(const std::string& key, double value);
+  void set_scalar(const std::string& key, double value) {
+    scalars[key] = value;
+  }
+  void add_claim(const std::string& claim, double measured,
+                 const std::string& unit) {
+    claims.push_back({claim, measured, unit});
+  }
+
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+  /// Write to `path`; returns false when the file cannot be opened.
+  bool save(const std::string& path) const;
+};
+
+}  // namespace canary::obs

@@ -1,0 +1,111 @@
+#include "obs/span.hpp"
+
+namespace canary::obs {
+
+std::string_view to_string_view(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kLaunch: return "launch";
+    case SpanKind::kInit: return "init";
+    case SpanKind::kRestore: return "restore";
+    case SpanKind::kExec: return "exec";
+    case SpanKind::kFinalize: return "finalize";
+    case SpanKind::kCheckpoint: return "checkpoint";
+    case SpanKind::kReplication: return "replication";
+    case SpanKind::kRecovery: return "recovery";
+    case SpanKind::kFailure: return "failure";
+    case SpanKind::kNodeFailure: return "node_failure";
+    case SpanKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+SpanHandle SpanRecorder::open(SpanKind kind, std::string name, TimePoint start,
+                              SpanLabels labels) {
+  if (full()) return SpanHandle{};
+  Span span;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = start;
+  span.open = true;
+  span.labels = labels;
+  spans_.push_back(std::move(span));
+  return SpanHandle{spans_.size() - 1};
+}
+
+void SpanRecorder::close(SpanHandle& handle, TimePoint end) {
+  if (!handle.valid() || handle.index_ >= spans_.size()) return;
+  Span& span = spans_[handle.index_];
+  if (span.open) {
+    span.end = end;
+    span.open = false;
+  }
+  handle = SpanHandle{};
+}
+
+void SpanRecorder::record(SpanKind kind, std::string name, TimePoint start,
+                          TimePoint end, SpanLabels labels) {
+  if (full()) return;
+  Span span;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = end;
+  span.labels = labels;
+  spans_.push_back(std::move(span));
+}
+
+void SpanRecorder::instant(SpanKind kind, std::string name, TimePoint at,
+                           SpanLabels labels) {
+  if (full()) return;
+  Span span;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.start = at;
+  span.end = at;
+  span.instant = true;
+  span.labels = labels;
+  spans_.push_back(std::move(span));
+}
+
+void SpanRecorder::close_all_open(TimePoint end) {
+  for (Span& span : spans_) {
+    if (span.open) {
+      span.end = end;
+      span.open = false;
+    }
+  }
+}
+
+std::size_t SpanRecorder::open_count() const {
+  std::size_t open = 0;
+  for (const Span& span : spans_) {
+    if (span.open) ++open;
+  }
+  return open;
+}
+
+std::size_t SpanRecorder::count_of(SpanKind kind) const {
+  std::size_t count = 0;
+  for (const Span& span : spans_) {
+    if (span.kind == kind) ++count;
+  }
+  return count;
+}
+
+Duration SpanRecorder::total_duration(SpanKind kind) const {
+  Duration total = Duration::zero();
+  for (const Span& span : spans_) {
+    if (span.kind == kind && !span.open && !span.instant) {
+      total += span.duration();
+    }
+  }
+  return total;
+}
+
+void SpanRecorder::clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace canary::obs

@@ -1,36 +1,17 @@
 // Per-run metrics recorder.
 //
-// One MetricsRecorder lives per simulation run; modules record counters
-// (events observed) and duration samples (recovery intervals, checkpoint
-// overheads). The harness aggregates recorders across repetitions.
+// One recorder lives per simulation run; modules record counters (events
+// observed) and latency histograms (recovery intervals, checkpoint
+// overheads). Since the observability layer landed this is the central
+// obs::MetricRegistry — the previous private counter/sample maps are
+// gone, so everything the platform and the Canary modules record is
+// exportable through obs::RunReport and mergeable across repetitions.
 #pragma once
 
-#include <map>
-#include <string>
-
-#include "common/stats.hpp"
-#include "common/time.hpp"
+#include "obs/metric_registry.hpp"
 
 namespace canary::sim {
 
-class MetricsRecorder {
- public:
-  void count(const std::string& name, double delta = 1.0);
-  void sample(const std::string& name, double value);
-  void sample_duration(const std::string& name, Duration d) {
-    sample(name, d.to_seconds());
-  }
-
-  double counter(const std::string& name) const;
-  /// Sample set for `name`; an empty set if never sampled.
-  const SampleSet& samples(const std::string& name) const;
-
-  const std::map<std::string, double>& counters() const { return counters_; }
-  const std::map<std::string, SampleSet>& all_samples() const { return samples_; }
-
- private:
-  std::map<std::string, double> counters_;
-  std::map<std::string, SampleSet> samples_;
-};
+using MetricsRecorder = obs::MetricRegistry;
 
 }  // namespace canary::sim

@@ -1,0 +1,329 @@
+// Tests for the observability layer: span recorder semantics, histogram
+// percentile math, deterministic JSON exporters, and byte-identical
+// run reports across identical seeded runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "recovery/strategies.hpp"
+#include "workloads/workloads.hpp"
+
+namespace canary {
+namespace {
+
+using obs::Histogram;
+using obs::JsonWriter;
+using obs::MetricRegistry;
+using obs::RunReport;
+using obs::SpanKind;
+using obs::SpanLabels;
+using obs::SpanRecorder;
+
+// ---------------------------------------------------------------------------
+// SpanRecorder
+// ---------------------------------------------------------------------------
+
+TEST(SpanRecorderTest, OpenCloseRecordsDuration) {
+  SpanRecorder rec;
+  auto h = rec.open(SpanKind::kExec, "exec", TimePoint::from_usec(100));
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(rec.open_count(), 1u);
+  rec.close(h, TimePoint::from_usec(350));
+  ASSERT_EQ(rec.size(), 1u);
+  const auto& span = rec.spans()[0];
+  EXPECT_EQ(span.kind, SpanKind::kExec);
+  EXPECT_FALSE(span.open);
+  EXPECT_EQ(span.duration(), Duration::usec(250));
+  EXPECT_EQ(rec.open_count(), 0u);
+}
+
+TEST(SpanRecorderTest, NestedSpansCloseIndependently) {
+  // launch ⊃ init ⊃ exec: closing out of order must not corrupt siblings.
+  SpanRecorder rec;
+  auto launch = rec.open(SpanKind::kLaunch, "launch", TimePoint::from_usec(0));
+  auto init = rec.open(SpanKind::kInit, "init", TimePoint::from_usec(10));
+  auto exec = rec.open(SpanKind::kExec, "exec", TimePoint::from_usec(40));
+  EXPECT_EQ(rec.open_count(), 3u);
+  rec.close(init, TimePoint::from_usec(40));
+  rec.close(exec, TimePoint::from_usec(90));
+  rec.close(launch, TimePoint::from_usec(95));
+  EXPECT_EQ(rec.open_count(), 0u);
+  EXPECT_EQ(rec.total_duration(SpanKind::kInit), Duration::usec(30));
+  EXPECT_EQ(rec.total_duration(SpanKind::kExec), Duration::usec(50));
+  EXPECT_EQ(rec.total_duration(SpanKind::kLaunch), Duration::usec(95));
+  // Nesting invariant: every child interval lies inside its parent.
+  const auto& spans = rec.spans();
+  EXPECT_GE(spans[1].start, spans[0].start);
+  EXPECT_LE(spans[2].end, spans[0].end);
+}
+
+TEST(SpanRecorderTest, DoubleCloseAndInertHandlesAreNoOps) {
+  SpanRecorder rec;
+  auto h = rec.open(SpanKind::kExec, "exec", TimePoint::from_usec(0));
+  rec.close(h, TimePoint::from_usec(10));
+  rec.close(h, TimePoint::from_usec(999));  // second close must not move `end`
+  EXPECT_EQ(rec.spans()[0].end, TimePoint::from_usec(10));
+
+  obs::SpanHandle inert;
+  EXPECT_FALSE(inert.valid());
+  rec.close(inert, TimePoint::from_usec(50));  // must not crash or record
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(SpanRecorderTest, CapacityCapCountsDrops) {
+  SpanRecorder rec(2);
+  (void)rec.open(SpanKind::kExec, "a", TimePoint::from_usec(0));
+  rec.instant(SpanKind::kFailure, "b", TimePoint::from_usec(1));
+  auto overflow = rec.open(SpanKind::kExec, "c", TimePoint::from_usec(2));
+  rec.record(SpanKind::kRecovery, "d", TimePoint::from_usec(3), TimePoint::from_usec(4));
+  EXPECT_FALSE(overflow.valid());
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 2u);
+}
+
+TEST(SpanRecorderTest, CloseAllOpenAndRetroactiveRecord) {
+  SpanRecorder rec;
+  (void)rec.open(SpanKind::kExec, "left-open", TimePoint::from_usec(5));
+  rec.record(SpanKind::kRecovery, "window", TimePoint::from_usec(10),
+             TimePoint::from_usec(70), SpanLabels{JobId{1}, FunctionId{2},
+                                             ContainerId{3}, NodeId{4}, 2});
+  rec.close_all_open(TimePoint::from_usec(100));
+  EXPECT_EQ(rec.open_count(), 0u);
+  EXPECT_EQ(rec.spans()[0].end, TimePoint::from_usec(100));
+  const auto& window = rec.spans()[1];
+  EXPECT_EQ(window.duration(), Duration::usec(60));
+  EXPECT_EQ(window.labels.attempt, 2);
+  EXPECT_EQ(rec.count_of(SpanKind::kRecovery), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, ExactStatsAndEdgePercentiles) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  for (double v : {4.0, 1.0, 3.0, 2.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeErrorBound) {
+  // Log-linear bucketing with 64 sub-buckets per octave bounds the
+  // relative quantile error at ~1/64; check against the exact empirical
+  // percentiles of a deterministic sample set.
+  std::mt19937_64 rng(1234);
+  std::uniform_real_distribution<double> dist(0.001, 90.0);
+  std::vector<double> values;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 95.0, 99.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(values.size() - 1, p / 100.0 * values.size()));
+    const double exact = values[rank];
+    EXPECT_NEAR(h.percentile(p), exact, exact * 0.02)
+        << "p" << p << " outside the bucketing error bound";
+  }
+}
+
+TEST(HistogramTest, MergeMatchesConcatenatedStream) {
+  Histogram a, b, both;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = 0.37 * i;
+    (i % 2 == 0 ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p));
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampButCount) {
+  Histogram h;
+  h.record(-2.5);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), -2.5);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, MergeAddsCountersAndMergesHistograms) {
+  MetricRegistry a, b;
+  a.count("failures", 3);
+  b.count("failures", 2);
+  b.count("recoveries");
+  a.set_gauge("replicas", 1.0);
+  b.set_gauge("replicas", 4.0);
+  a.sample("lat", 1.0);
+  b.sample("lat", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter("failures"), 5.0);
+  EXPECT_DOUBLE_EQ(a.counter("recoveries"), 1.0);
+  EXPECT_DOUBLE_EQ(a.counter("never_touched"), 0.0);
+  EXPECT_DOUBLE_EQ(a.gauge("replicas"), 4.0);  // last writer wins
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").mean(), 2.0);
+  EXPECT_TRUE(a.histogram("missing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer + exporters
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesAndFormatsDeterministically) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(JsonWriter::format_double(42.0), "42");
+  EXPECT_EQ(JsonWriter::format_double(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::format_double(std::nan("")), "null");
+
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object()
+      .field("name", "x")
+      .field("n", 3)
+      .key("arr")
+      .begin_array()
+      .value(1.5)
+      .value(true)
+      .end_array()
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"name":"x","n":3,"arr":[1.5,true]})");
+}
+
+TEST(RunReportTest, JsonRoundTripContainsEveryField) {
+  RunReport report;
+  report.name = "unit";
+  report.set_param("strategy", "canary-dr");
+  report.set_param("error_rate", 0.25);
+  report.set_scalar("makespan_s_mean", 12.5);
+  report.metrics.count("failures", 7);
+  report.metrics.sample("lat", 2.0);
+  report.series.push_back({"sweep", {"x", "y"}, {{"1", "2"}, {"3", "4"}}});
+  report.add_claim("recovers faster", 81.0, "%");
+
+  const std::string json = report.to_json();
+  // Structural sanity: braces balance and all sections are present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  for (const char* needle :
+       {"\"schema\": \"canary.run_report/v1\"", "\"name\": \"unit\"",
+        "\"strategy\": \"canary-dr\"", "\"error_rate\": \"0.25\"",
+        "\"makespan_s_mean\": 12.5", "\"failures\": 7", "\"lat\"",
+        "\"p50\"", "\"sweep\"", "\"recovers faster\"", "\"measured\": 81"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+  // Serialisation is a pure function of the report's contents.
+  EXPECT_EQ(json, report.to_json());
+}
+
+TEST(ChromeTraceTest, EmitsCompleteAndInstantEvents) {
+  SpanRecorder rec;
+  auto h = rec.open(SpanKind::kExec, "exec", TimePoint::from_usec(100),
+                    SpanLabels{JobId{1}, FunctionId{2}, ContainerId{3},
+                               NodeId{4}, 1});
+  rec.close(h, TimePoint::from_usec(400));
+  rec.instant(SpanKind::kFailure, "container_kill", TimePoint::from_usec(250));
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, rec);
+  const std::string json = os.str();
+  // The exporter emits compact JSON (no whitespace after separators).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":300"), std::string::npos);
+  EXPECT_NE(json.find("\"container_kill\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: identical seeded runs → byte-identical reports.
+// ---------------------------------------------------------------------------
+
+harness::ScenarioConfig small_config() {
+  harness::ScenarioConfig config;
+  config.strategy = recovery::StrategyConfig::canary_full();
+  config.error_rate = 0.3;
+  config.cluster_nodes = 8;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ReportDeterminismTest, IdenticalSeededRunsProduceIdenticalBytes) {
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kWebService, 30)};
+  const auto config = small_config();
+  const auto agg1 = harness::run_repetitions(config, jobs, 3);
+  const auto agg2 = harness::run_repetitions(config, jobs, 3);
+  const auto r1 = harness::make_report("determinism", config, agg1);
+  const auto r2 = harness::make_report("determinism", config, agg2);
+  EXPECT_EQ(r1.to_json(), r2.to_json());
+  // The report actually carries data (failures happened and were measured).
+  EXPECT_GT(r1.metrics.counter("failures"), 0.0);
+  EXPECT_FALSE(r1.metrics.histogram("function_latency").empty());
+}
+
+TEST(ReportDeterminismTest, DifferentSeedsProduceDifferentReports) {
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kWebService, 30)};
+  auto config = small_config();
+  const auto agg1 = harness::run_repetitions(config, jobs, 2);
+  config.seed = 100;
+  const auto agg2 = harness::run_repetitions(config, jobs, 2);
+  const auto r1 = harness::make_report("determinism", config, agg1);
+  const auto r2 = harness::make_report("determinism", config, agg2);
+  EXPECT_NE(r1.to_json(), r2.to_json());
+}
+
+TEST(ReportDeterminismTest, SpanTimelineIsDeterministic) {
+  const std::vector<faas::JobSpec> jobs = {
+      workloads::make_job(workloads::WorkloadKind::kWebService, 20)};
+  auto config = small_config();
+  config.record_spans = true;
+  const auto run1 = harness::ScenarioRunner::run(config, jobs);
+  const auto run2 = harness::ScenarioRunner::run(config, jobs);
+  ASSERT_NE(run1.spans, nullptr);
+  ASSERT_NE(run2.spans, nullptr);
+  EXPECT_GT(run1.spans->size(), 0u);
+  std::ostringstream t1, t2;
+  obs::write_chrome_trace(t1, *run1.spans);
+  obs::write_chrome_trace(t2, *run2.spans);
+  EXPECT_EQ(t1.str(), t2.str());
+  EXPECT_EQ(run1.spans->open_count(), 0u);  // runner closes leftovers
+}
+
+}  // namespace
+}  // namespace canary

@@ -162,10 +162,10 @@ TEST(MetricsRecorderTest, SamplesRecorded) {
   m.sample("lat", 1.0);
   m.sample("lat", 3.0);
   m.sample_duration("dur", Duration::msec(500));
-  EXPECT_EQ(m.samples("lat").count(), 2u);
-  EXPECT_DOUBLE_EQ(m.samples("lat").mean(), 2.0);
-  EXPECT_DOUBLE_EQ(m.samples("dur").mean(), 0.5);
-  EXPECT_TRUE(m.samples("missing").empty());
+  EXPECT_EQ(m.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(m.histogram("lat").mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.histogram("dur").mean(), 0.5);
+  EXPECT_TRUE(m.histogram("missing").empty());
 }
 
 }  // namespace
