@@ -82,6 +82,24 @@ int main() {
   }
   summary.print(std::cout);
   reporter.add_table("workload_reduction", summary);
+
+  // Part 3: where the recovery window goes. Critical-path breakdown of a
+  // representative cell (web-service at the sweep midpoint) — the causal
+  // trace decomposes each failure-to-recovery window into detection /
+  // scheduling / launch / init / restore / re-execution.
+  const double mid_rate = error_rates()[error_rates().size() / 2];
+  const std::vector<faas::JobSpec> web_jobs = {
+      workloads::make_job(workloads::WorkloadKind::kWebService, 100)};
+  report_breakdown(
+      reporter, "retry",
+      harness::run_repetitions(
+          scenario(recovery::StrategyConfig::retry(), mid_rate), web_jobs,
+          kReps));
+  report_breakdown(
+      reporter, "canary",
+      harness::run_repetitions(
+          scenario(recovery::StrategyConfig::canary_full(), mid_rate),
+          web_jobs, kReps));
   std::cout << "\n";
   reporter.claim(
       "replicated runtimes reduce recovery time by up to 81% vs retry",

@@ -22,6 +22,7 @@
 
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/report.hpp"
 #include "workloads/workloads.hpp"
 
@@ -117,5 +118,27 @@ class Reporter {
  private:
   obs::RunReport report_;
 };
+
+/// Print one aggregate's recovery critical-path breakdown and attach it to
+/// the report (both as a series and merged into the report's `breakdown`
+/// section). Benches call this on a representative sweep cell so the
+/// figure output also says *where* the recovery window went.
+inline void report_breakdown(Reporter& reporter, const std::string& label,
+                             const harness::Aggregate& agg) {
+  const obs::BreakdownReport& bd = agg.breakdown;
+  TextTable table({"component", "recovery [s]", "end-to-end [s]"});
+  for (std::size_t c = 0; c < obs::kPathComponentCount; ++c) {
+    const auto component = static_cast<obs::PathComponent>(c);
+    table.add_row({std::string(obs::to_string_view(component)),
+                   TextTable::num(bd.recovery_components[component], 3),
+                   TextTable::num(bd.end_to_end_components[component], 3)});
+  }
+  std::cout << "\nrecovery critical path (" << label << ", "
+            << bd.recovery_count << " recoveries over "
+            << TextTable::num(bd.recovery_window_s, 3) << " s):\n";
+  table.print(std::cout);
+  reporter.add_table("breakdown_" + label, table);
+  reporter.report().breakdown.merge(bd);
+}
 
 }  // namespace canary::bench

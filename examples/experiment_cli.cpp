@@ -4,7 +4,7 @@
 //
 //   ./experiment_cli --workload=web-service --strategy=canary-dr
 //       --error-rate=0.3 --functions=100 --nodes=16 --reps=5
-//       [--node-failures=2] [--sla=60] [--proactive] [--csv]
+//       [--node-failures=2] [--sla=60] [--proactive] [--csv] [--breakdown]
 //       [--report=run_report.json] [--trace=run.trace.json]
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +33,7 @@ struct Options {
   bool proactive = false;
   std::uint64_t seed = 42;
   bool csv = false;
+  bool breakdown = false;
   bool help = false;
   std::string report_path;
   std::string trace_path;
@@ -54,6 +55,8 @@ void usage() {
       "  --proactive      enable proactive failure mitigation\n"
       "  --seed=N         base seed (default 42)\n"
       "  --csv            emit CSV instead of an aligned table\n"
+      "  --breakdown      print the recovery critical-path breakdown\n"
+      "                   (detection/scheduling/launch/init/restore/re-exec)\n"
       "  --report=FILE    write a run_report.json (deterministic in seed)\n"
       "  --trace=FILE     write a chrome://tracing span timeline of one run\n";
 }
@@ -97,6 +100,8 @@ Options parse(int argc, char** argv) {
       opts.proactive = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opts.csv = true;
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      opts.breakdown = true;
     } else {
       opts.help = true;
     }
@@ -199,6 +204,34 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
+  if (opts.breakdown) {
+    const obs::BreakdownReport& bd = agg.breakdown;
+    TextTable bd_table({"component", "recovery [s]", "end-to-end [s]"});
+    for (std::size_t c = 0; c < obs::kPathComponentCount; ++c) {
+      const auto component = static_cast<obs::PathComponent>(c);
+      bd_table.add_row({std::string(obs::to_string_view(component)),
+                        TextTable::num(bd.recovery_components[component], 3),
+                        TextTable::num(bd.end_to_end_components[component], 3)});
+    }
+    std::cout << "critical-path breakdown (" << bd.recovery_count
+              << " recoveries, " << TextTable::num(bd.recovery_window_s, 3)
+              << " s inside failure-to-recovery windows):\n";
+    if (opts.csv) {
+      bd_table.print_csv(std::cout);
+    } else {
+      bd_table.print(std::cout);
+    }
+    if (bd.slo_targets > 0) {
+      std::cout << "SLO: " << bd.slo_violations << "/" << bd.slo_targets
+                << " breached (ratio "
+                << TextTable::num(bd.slo_violation_ratio(), 3) << ")";
+      for (const auto& [component, count] : bd.slo_breaches_by_component) {
+        std::cout << " " << component << "=" << count;
+      }
+      std::cout << "\n";
+    }
+  }
+
   if (!opts.report_path.empty()) {
     obs::RunReport report = harness::make_report("experiment_cli", config, agg);
     report.set_param("workload", opts.workload);
@@ -215,17 +248,21 @@ int main(int argc, char** argv) {
 
   if (!opts.trace_path.empty()) {
     // One extra run of the base seed with span recording on: the trace is
-    // a timeline of a single repetition, not an aggregate.
+    // a timeline of a single repetition, not an aggregate. The causal DAG
+    // rides along as instant + flow events linking failures to recoveries.
     harness::ScenarioConfig traced = config;
     traced.record_spans = true;
+    traced.record_events = true;
     const auto run = harness::ScenarioRunner::run(traced, jobs);
     if (run.spans == nullptr ||
-        !obs::write_chrome_trace_file(opts.trace_path, *run.spans)) {
+        !obs::write_chrome_trace_file(opts.trace_path, run.spans.get(),
+                                      run.events.get())) {
       std::cerr << "failed to write " << opts.trace_path << "\n";
       return 1;
     }
     std::cout << "trace: " << opts.trace_path << " (" << run.spans->size()
-              << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+              << " spans, " << (run.events ? run.events->size() : 0)
+              << " events; open in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -11,7 +11,7 @@ CheckpointingModule::CheckpointingModule(
     sim::Simulator& simulator, cluster::Cluster& cluster,
     const cluster::StorageHierarchy& storage,
     const cluster::NetworkModel& network, kv::KvStore& store,
-    MetadataStore& metadata, sim::MetricsRecorder& metrics,
+    MetadataStore& metadata, obs::MetricRegistry& metrics,
     CheckpointingConfig config)
     : sim_(simulator),
       cluster_(cluster),
@@ -147,6 +147,14 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
                            inv.attempt};
     spans_->record(obs::SpanKind::kCheckpoint, "checkpoint",
                    sim_.now() - write, sim_.now(), labels);
+  }
+  if (events_ != nullptr && inv.trace.valid()) {
+    // Leaf event off the invocation's chain: checkpoints are side effects
+    // of the state commit, not steps on the critical path.
+    obs::SpanLabels labels{inv.job, inv.id, inv.container, inv.node,
+                           inv.attempt};
+    events_->append(inv.trace, obs::EventKind::kCheckpoint,
+                    "checkpoint_" + std::to_string(idx), sim_.now(), labels);
   }
 
   // A recommit of the same state (after a restore) replaces the old row.

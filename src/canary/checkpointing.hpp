@@ -25,8 +25,9 @@
 #include "common/ids.hpp"
 #include "faas/events.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metric_registry.hpp"
 #include "obs/span.hpp"
-#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::core {
@@ -73,13 +74,16 @@ class CheckpointingModule {
   CheckpointingModule(sim::Simulator& simulator, cluster::Cluster& cluster,
                       const cluster::StorageHierarchy& storage,
                       const cluster::NetworkModel& network, kv::KvStore& store,
-                      MetadataStore& metadata, sim::MetricsRecorder& metrics,
+                      MetadataStore& metadata, obs::MetricRegistry& metrics,
                       CheckpointingConfig config);
 
   const CheckpointingConfig& config() const { return config_; }
 
   /// Record checkpoint-write spans into `spans` (null disables).
   void set_spans(obs::SpanRecorder* spans) { spans_ = spans; }
+  /// Append kCheckpoint leaf events to each invocation's causal chain
+  /// (null disables).
+  void set_event_log(obs::EventLog* events) { events_ = events; }
 
   /// Time appended to state `idx` for writing its checkpoint. Pure in
   /// (spec, idx); used for scheduling and attempt-duration estimates.
@@ -115,8 +119,9 @@ class CheckpointingModule {
   const cluster::NetworkModel& network_;
   kv::KvStore& store_;
   MetadataStore& metadata_;
-  sim::MetricsRecorder& metrics_;
+  obs::MetricRegistry& metrics_;
   obs::SpanRecorder* spans_ = nullptr;
+  obs::EventLog* events_ = nullptr;
   CheckpointingConfig config_;
   IdGenerator<CheckpointId> ids_;
 };

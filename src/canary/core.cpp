@@ -28,6 +28,7 @@ void CoreModule::install() {
   platform_.set_hooks(this);
   platform_.add_observer(this);
   checkpointing_.set_spans(platform_.spans());
+  checkpointing_.set_event_log(platform_.events());
   replication_.set_spans(platform_.spans());
 }
 
@@ -83,6 +84,7 @@ void CoreModule::drain_queue() {
 
 void CoreModule::recovery_instant(const faas::Invocation& inv,
                                   const char* name) {
+  platform_.log_recovery_action(inv.id, name);
   obs::SpanRecorder* spans = platform_.spans();
   if (spans == nullptr) return;
   obs::SpanLabels labels{inv.job, inv.id, inv.container, inv.node,
@@ -253,6 +255,13 @@ void CoreModule::on_function_failed(const faas::Invocation& inv,
   // immediate pre-scale of the failed function's runtime pool.
   if (mitigator_.observe_failure(info.node)) {
     platform_.metrics().count("nodes_marked_suspect");
+    if (auto* events = platform_.events()) {
+      obs::SpanLabels labels;
+      labels.node = info.node;
+      events->append_raw(events->new_trace(), obs::kNoEvent,
+                         obs::EventKind::kAnnotation, "node_marked_suspect",
+                         platform_.simulator().now(), labels);
+    }
     replication_.reconcile(inv.spec->runtime);
   }
 }

@@ -26,8 +26,8 @@
 #include "canary/proactive.hpp"
 #include "canary/runtime_manager.hpp"
 #include "faas/platform.hpp"
+#include "obs/metric_registry.hpp"
 #include "obs/span.hpp"
-#include "sim/metrics.hpp"
 
 namespace canary::core {
 
@@ -56,7 +56,7 @@ struct ReplicationConfig {
 class ReplicationModule {
  public:
   ReplicationModule(faas::Platform& platform, RuntimeManagerModule& manager,
-                    MetadataStore& metadata, sim::MetricsRecorder& metrics,
+                    MetadataStore& metadata, obs::MetricRegistry& metrics,
                     ReplicationConfig config)
       : platform_(platform),
         manager_(manager),
@@ -108,7 +108,7 @@ class ReplicationModule {
   faas::Platform& platform_;
   RuntimeManagerModule& manager_;
   MetadataStore& metadata_;
-  sim::MetricsRecorder& metrics_;
+  obs::MetricRegistry& metrics_;
   ReplicationConfig config_;
   const ProactiveMitigator* advisor_ = nullptr;
   obs::SpanRecorder* spans_ = nullptr;

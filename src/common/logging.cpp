@@ -3,12 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace canary {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
 std::mutex g_emit_mutex;
+
+thread_local ScopedLogClock::Provider t_clock;
+thread_local ScopedLogMirror::Sink t_mirror;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,13 +33,39 @@ void set_log_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
+ScopedLogClock::ScopedLogClock(Provider now_usec)
+    : previous_(std::exchange(t_clock, std::move(now_usec))) {}
+
+ScopedLogClock::~ScopedLogClock() { t_clock = std::move(previous_); }
+
+ScopedLogMirror::ScopedLogMirror(Sink sink)
+    : previous_(std::exchange(t_mirror, std::move(sink))) {}
+
+ScopedLogMirror::~ScopedLogMirror() { t_mirror = std::move(previous_); }
+
 namespace detail {
-void log_emit(LogLevel level, const char* file, int line, const std::string& msg) {
-  // Serialise whole lines so parallel repetitions do not interleave.
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(level), file, line,
-               msg.c_str());
+
+std::string log_time_prefix() {
+  if (!t_clock) return {};
+  const std::int64_t usec = t_clock();
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "[t=%lld.%06llds] ",
+                static_cast<long long>(usec / 1000000),
+                static_cast<long long>(usec % 1000000));
+  return buffer;
 }
+
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  const std::string prefix = log_time_prefix();
+  {
+    // Serialise whole lines so parallel repetitions do not interleave.
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "%s[%s] %s:%d %s\n", prefix.c_str(),
+                 level_name(level), file, line, msg.c_str());
+  }
+  if (level >= LogLevel::kWarn && t_mirror) t_mirror(level, msg);
+}
+
 }  // namespace detail
 
 }  // namespace canary

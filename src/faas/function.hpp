@@ -17,6 +17,7 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "faas/runtime.hpp"
+#include "obs/event_log.hpp"
 
 namespace canary::faas {
 
@@ -36,6 +37,10 @@ struct FunctionSpec {
   std::vector<StateSpec> states;
   /// fin_f: from the last state update to function completion.
   Duration finalize = Duration::zero();
+  /// Per-function completion deadline relative to submission; zero = none
+  /// (the job-level SLA, if any, applies instead). The platform arms the
+  /// SLO watchdog with whichever deadline is in effect.
+  Duration sla = Duration::zero();
   /// Trigger dependencies (paper §II-A: "a function can invoke other
   /// functions which work on the data produced by the previous
   /// functions"): indices of functions *within the same job* that must
@@ -93,6 +98,11 @@ struct Invocation {
   std::size_t next_state = 0;  // index of the next state to execute
   NodeId node;               // current/last hosting node
   ContainerId container;     // current/last container
+
+  /// Causal-trace position: the invocation's trace id plus its most
+  /// recent event (the parent of whatever happens to it next). Only
+  /// populated when an obs::EventLog is installed on the platform.
+  obs::TraceContext trace;
 
   TimePoint submit_time;
   TimePoint first_dispatch_time = TimePoint::max();

@@ -81,7 +81,7 @@ Platform::~Platform() = default;
 
 Platform::Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
                    cluster::NetworkModel& network, PlatformConfig config,
-                   sim::MetricsRecorder& metrics)
+                   obs::MetricRegistry& metrics)
     : sim_(simulator),
       cluster_(cluster),
       network_(network),
@@ -107,6 +107,31 @@ void Platform::obs_phase(InvocationInternal& inv, obs::SpanKind kind,
 void Platform::obs_end_phase(InvocationInternal& inv) {
   if (spans_ == nullptr) return;
   spans_->close(inv.phase_span, sim_.now());
+}
+
+obs::EventId Platform::obs_event(InvocationInternal& inv, obs::EventKind kind,
+                                 std::string name, obs::EventId cause) {
+  if (events_ == nullptr) return obs::kNoEvent;
+  if (!inv.trace.trace.valid()) inv.trace.trace = events_->new_trace();
+  return events_->extend(inv.trace, kind, std::move(name), sim_.now(),
+                         obs_labels(inv), cause);
+}
+
+void Platform::arm_slo(InvocationInternal& inv, Duration sla) {
+  if (slo_ == nullptr || sla <= Duration::zero()) return;
+  const TimePoint deadline = sim_.now() + sla;
+  slo_->arm(inv.id, deadline);
+  const FunctionId id = inv.id;
+  sim_.schedule_after(sla, [this, id, deadline] {
+    auto& target = internal(id);
+    if (target.phase == Phase::kCompleted &&
+        target.completion_time <= deadline) {
+      return;
+    }
+    if (!slo_->record_violation(id, sim_.now())) return;
+    metrics_.count("slo_violations");
+    obs_event(target, obs::EventKind::kSlaViolation, "sla_violation");
+  });
 }
 
 Platform::InvocationInternal& Platform::internal(FunctionId id) {
@@ -155,6 +180,8 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
     inv->spec = &fn;
     inv->index_in_job = i;
     inv->submit_time = sim_.now();
+    obs_event(*inv, obs::EventKind::kSubmit, fn.name);
+    arm_slo(*inv, fn.sla > Duration::zero() ? fn.sla : record->spec.sla);
     invocations_.emplace(fid, std::move(inv));
     record->functions.push_back(fid);
     // Functions with open dependencies wait for their trigger; the rest
@@ -426,6 +453,7 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
   inv.container = cid;
   metrics_.count("cold_starts");
   obs_phase(inv, obs::SpanKind::kLaunch, "launch");
+  obs_event(inv, obs::EventKind::kLaunch, "launch");
 
   const double speed = host.speed();
   arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/true));
@@ -460,6 +488,7 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
     containers_.at(cid)->state = ContainerState::kInitializing;
     target->phase = Phase::kInitializing;
     obs_phase(*target, obs::SpanKind::kInit, "init");
+    obs_event(*target, obs::EventKind::kInit, "init");
     target->progress_event =
         sim_.schedule_after(init, [this, guard, cid, setup, attempt] {
           auto* target = guard();
@@ -468,6 +497,7 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
           target->phase = Phase::kStarting;
           if (setup > Duration::zero()) {
             obs_phase(*target, obs::SpanKind::kRestore, "restore");
+            obs_event(*target, obs::EventKind::kRestore, "restore");
           }
           target->progress_event =
               sim_.schedule_after(setup, [this, guard, attempt] {
@@ -501,6 +531,7 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
   // Warm adoption skips launch+init (the replication win); the dispatch
   // window plus any checkpoint restore is the whole pre-exec cost.
   obs_phase(inv, obs::SpanKind::kRestore, "warm_dispatch");
+  obs_event(inv, obs::EventKind::kRestore, "warm_dispatch");
 
   const double speed = cluster_.node(c.node).speed();
   arm_kill_timer(inv, attempt_busy_estimate(inv, spec, speed, /*cold=*/false));
@@ -522,6 +553,7 @@ void Platform::begin_execution(InvocationInternal& inv, int attempt) {
   CANARY_CHECK(inv.attempt == attempt, "stale execution event");
   inv.phase = Phase::kExecuting;
   obs_phase(inv, obs::SpanKind::kExec, "exec");
+  obs_event(inv, obs::EventKind::kExec, "exec");
   if (inv.first_dispatch_time == TimePoint::max()) {
     inv.first_dispatch_time = sim_.now();
   }
@@ -538,6 +570,7 @@ void Platform::schedule_next_state(InvocationInternal& inv) {
   if (inv.next_state >= inv.spec->states.size()) {
     inv.phase = Phase::kFinalizing;
     obs_phase(inv, obs::SpanKind::kFinalize, "finalize");
+    obs_event(inv, obs::EventKind::kFinalize, "finalize");
     const Duration fin = inv.spec->finalize * speed;
     inv.progress_event = sim_.schedule_after(fin, [this, id, attempt] {
       auto& target = internal(id);
@@ -562,6 +595,8 @@ void Platform::schedule_next_state(InvocationInternal& inv) {
     }
     target.work_done += target.spec->states[idx].duration;
     target.next_state = idx + 1;
+    obs_event(target, obs::EventKind::kStateCommit,
+              "state_" + std::to_string(idx));
     if (hooks_ != nullptr) hooks_->on_state_committed(target, idx);
     resolve_recovery_markers(target);
     schedule_next_state(target);
@@ -581,6 +616,7 @@ void Platform::complete_function(InvocationInternal& inv) {
                              inv.first_dispatch_time - inv.submit_time);
   }
   resolve_recovery_markers(inv);
+  obs_event(inv, obs::EventKind::kComplete, "complete");
 
   if (inv.container.valid()) {
     auto it = containers_.find(inv.container);
@@ -648,6 +684,13 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   inv.kill_event.cancel();
   inv.timeout_event.cancel();
 
+  // The kFailure DAG node: opened before the markers so each marker can
+  // carry it — kRecovered draws its cause edge back to this event. During
+  // fail_node() the node-level kNodeFailure event is the failure's cause.
+  const obs::EventId fail_event =
+      obs_event(inv, obs::EventKind::kFailure,
+                std::string(to_string_view(kind)), node_failure_cause_);
+
   // In-flight partial state work is lost outright.
   if (inv.phase == Phase::kExecuting &&
       inv.next_state < inv.spec->states.size()) {
@@ -657,12 +700,12 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
           std::min(1.0, (sim_.now() - inv.state_start) / planned);
       const Duration partial = inv.spec->states[inv.next_state].duration * frac;
       inv.lost_work += partial;
-      inv.markers.push_back({inv.work_done + partial, sim_.now()});
+      inv.markers.push_back({inv.work_done + partial, sim_.now(), fail_event});
     } else {
-      inv.markers.push_back({inv.work_done, sim_.now()});
+      inv.markers.push_back({inv.work_done, sim_.now(), fail_event});
     }
   } else {
-    inv.markers.push_back({inv.work_done, sim_.now()});
+    inv.markers.push_back({inv.work_done, sim_.now(), fail_event});
   }
   inv.last_failure_work = inv.work_done;
 
@@ -693,6 +736,7 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   sim_.schedule_after(config_.failure_detect_delay, [this, id, attempt, info] {
     auto& target = internal(id);
     if (target.attempt != attempt || target.phase != Phase::kFailed) return;
+    obs_event(target, obs::EventKind::kDetect, "detect");
     if (recovery_ != nullptr) recovery_->on_failure(target, info);
   });
 }
@@ -710,6 +754,7 @@ void Platform::resolve_recovery_markers(InvocationInternal& inv) {
         spans_->record(obs::SpanKind::kRecovery, "recovery", it->fail_time,
                        now, obs_labels(inv));
       }
+      obs_event(inv, obs::EventKind::kRecovered, "recovered", it->fail_event);
       it = inv.markers.erase(it);
     } else {
       ++it;
@@ -719,6 +764,25 @@ void Platform::resolve_recovery_markers(InvocationInternal& inv) {
 
 void Platform::kill_function(FunctionId id, FailureKind kind) {
   handle_kill(internal(id), kind);
+}
+
+void Platform::log_recovery_action(FunctionId id, const char* action) {
+  obs_event(internal(id), obs::EventKind::kRecoveryAction, action);
+}
+
+void Platform::join_trace(FunctionId follower, FunctionId leader) {
+  if (events_ == nullptr) return;
+  auto& lead = internal(leader);
+  auto& follow = internal(follower);
+  if (!lead.trace.trace.valid()) lead.trace.trace = events_->new_trace();
+  if (follow.trace.trace == lead.trace.trace) return;
+  // Re-root the follower's chain onto the leader's trace: its first event
+  // becomes a child of the leader's latest, so primary and shadow share
+  // one DAG and the replica race is visible as a fork.
+  if (follow.trace.last != obs::kNoEvent) {
+    events_->rebind(follow.trace.last, lead.trace.trace, lead.trace.last);
+  }
+  follow.trace.trace = lead.trace.trace;
 }
 
 void Platform::discard_function(FunctionId id) {
@@ -738,6 +802,7 @@ void Platform::discard_function(FunctionId id) {
     if (waiter != capacity_waiters_.end()) capacity_waiters_.erase(waiter);
   }
   metrics_.count("functions_discarded");
+  obs_event(inv, obs::EventKind::kAnnotation, "discarded");
   complete_function(inv);
 }
 
@@ -749,6 +814,17 @@ void Platform::fail_node(NodeId node) {
     labels.node = node;
     spans_->instant(obs::SpanKind::kNodeFailure, "node_failure", sim_.now(),
                     labels);
+  }
+  // The node failure is an ambient root event on its own trace; every
+  // victim invocation's kFailure event points back to it via a cause
+  // edge, so one chrome flow fans out from the node to all casualties.
+  if (events_ != nullptr) {
+    obs::SpanLabels labels;
+    labels.node = node;
+    node_failure_cause_ =
+        events_->append_raw(events_->new_trace(), obs::kNoEvent,
+                            obs::EventKind::kNodeFailure, "node_failure",
+                            sim_.now(), labels);
   }
 
   std::vector<ContainerId> on_node;
@@ -770,6 +846,7 @@ void Platform::fail_node(NodeId node) {
       destroy_container(cid);
     }
   }
+  node_failure_cause_ = obs::kNoEvent;
 }
 
 Result<ContainerId> Platform::launch_warm_container(
@@ -788,7 +865,20 @@ Result<ContainerId> Platform::launch_warm_container(
       rt.cold_launch * speed * launch_contention_multiplier(node);
   const Duration init = rt.init * speed;
 
-  sim_.schedule_after(launch, [this, cid, init, node,
+  // Warm provisioning gets its own little trace: provision → ready. The
+  // adopting invocation later chains off its own trace, so these stay a
+  // side branch rather than polluting an invocation's critical path.
+  obs::TraceContext warm_trace;
+  if (events_ != nullptr) {
+    warm_trace.trace = events_->new_trace();
+    obs::SpanLabels labels;
+    labels.container = cid;
+    labels.node = node;
+    events_->extend(warm_trace, obs::EventKind::kReplica, "replica_provision",
+                    sim_.now(), labels);
+  }
+
+  sim_.schedule_after(launch, [this, cid, init, node, warm_trace,
                                on_ready = std::move(on_ready)]() mutable {
     auto it = containers_.find(cid);
     if (it == containers_.end() || !it->second->alive()) return;
@@ -797,10 +887,18 @@ Result<ContainerId> Platform::launch_warm_container(
       --launches->second;
     }
     it->second->state = ContainerState::kInitializing;
-    sim_.schedule_after(init, [this, cid, on_ready = std::move(on_ready)] {
+    sim_.schedule_after(init, [this, cid, warm_trace,
+                               on_ready = std::move(on_ready)] {
       auto inner = containers_.find(cid);
       if (inner == containers_.end() || !inner->second->alive()) return;
       inner->second->state = ContainerState::kWarm;
+      if (events_ != nullptr && warm_trace.valid()) {
+        obs::SpanLabels labels;
+        labels.container = cid;
+        labels.node = inner->second->node;
+        events_->append(warm_trace, obs::EventKind::kReplica, "replica_ready",
+                        sim_.now(), labels);
+      }
       for (auto* obs : observers_) obs->on_container_ready(*inner->second);
       if (on_ready) on_ready(cid);
     });

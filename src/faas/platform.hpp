@@ -29,8 +29,10 @@
 #include "faas/events.hpp"
 #include "faas/function.hpp"
 #include "faas/usage.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/slo_monitor.hpp"
 #include "obs/span.hpp"
-#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::faas {
@@ -85,7 +87,7 @@ class Platform {
  public:
   Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
            cluster::NetworkModel& network, PlatformConfig config,
-           sim::MetricsRecorder& metrics);
+           obs::MetricRegistry& metrics);
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
@@ -101,6 +103,16 @@ class Platform {
   /// clock. Null disables span recording (the default).
   void set_span_recorder(obs::SpanRecorder* spans) { spans_ = spans; }
   obs::SpanRecorder* spans() const { return spans_; }
+  /// Install a causal event log: every invocation becomes a trace whose
+  /// lifecycle steps, failures, detections and recovery actions chain
+  /// into a per-trace DAG. Null disables event recording (the default).
+  void set_event_log(obs::EventLog* events) { events_ = events; }
+  obs::EventLog* events() const { return events_; }
+  /// Install the SLO watchdog: SLA-carrying functions (FunctionSpec::sla,
+  /// falling back to the job deadline) are armed at submission and their
+  /// breaches recorded online as kSlaViolation events.
+  void set_slo_monitor(obs::SloMonitor* slo) { slo_ = slo; }
+  obs::SloMonitor* slo_monitor() const { return slo_; }
 
   // ---- job/function API ----------------------------------------------
   /// Validate against platform limits and enqueue every function of the
@@ -141,6 +153,16 @@ class Platform {
   /// Tear down an idle warm container (replica retirement).
   void destroy_warm_container(ContainerId id);
 
+  /// Append a kRecoveryAction event to `id`'s causal chain — recovery
+  /// strategies call this so the trace DAG records which path (retry,
+  /// replica migration, standby activation, ...) handled each failure.
+  void log_recovery_action(FunctionId id, const char* action);
+
+  /// Merge `follower`'s causal chain into `leader`'s trace. Request
+  /// replication joins each shadow to its primary so the whole race is
+  /// one trace.
+  void join_trace(FunctionId follower, FunctionId leader);
+
   const Container& container(ContainerId id) const;
   std::vector<const Container*> containers_on(NodeId node) const;
   std::size_t warm_container_count(RuntimeImage image) const;
@@ -166,7 +188,7 @@ class Platform {
   cluster::Cluster& cluster() { return cluster_; }
   const cluster::NetworkModel& network() const { return network_; }
   const PlatformConfig& config() const { return config_; }
-  sim::MetricsRecorder& metrics() { return metrics_; }
+  obs::MetricRegistry& metrics() { return metrics_; }
 
  private:
   struct InvocationInternal;
@@ -174,6 +196,7 @@ class Platform {
   struct RecoveryMarker {
     Duration floor;      // nominal work to regain
     TimePoint fail_time;
+    obs::EventId fail_event = obs::kNoEvent;  // the kFailure DAG node
   };
 
   InvocationInternal& internal(FunctionId id);
@@ -203,6 +226,13 @@ class Platform {
   /// Close the invocation's open phase span (if any).
   void obs_end_phase(InvocationInternal& inv);
   obs::SpanLabels obs_labels(const InvocationInternal& inv) const;
+  /// Append an event to the invocation's causal chain (no-op without an
+  /// installed EventLog). Returns the event id for cause edges.
+  obs::EventId obs_event(InvocationInternal& inv, obs::EventKind kind,
+                         std::string name,
+                         obs::EventId cause = obs::kNoEvent);
+  /// Arm the SLO watchdog for a newly submitted invocation.
+  void arm_slo(InvocationInternal& inv, Duration sla);
 
   void begin_execution(InvocationInternal& inv, int attempt);
   void schedule_next_state(InvocationInternal& inv);
@@ -214,12 +244,17 @@ class Platform {
   cluster::Cluster& cluster_;
   cluster::NetworkModel& network_;
   PlatformConfig config_;
-  sim::MetricsRecorder& metrics_;
+  obs::MetricRegistry& metrics_;
 
   FailurePolicy* failure_policy_ = nullptr;
   RecoveryHandler* recovery_ = nullptr;
   ExecutionHooks* hooks_ = nullptr;
   obs::SpanRecorder* spans_ = nullptr;
+  obs::EventLog* events_ = nullptr;
+  obs::SloMonitor* slo_ = nullptr;
+  /// While fail_node() kills a node's containers, the kNodeFailure event
+  /// whose cause edge every victim's kFailure event carries.
+  obs::EventId node_failure_cause_ = obs::kNoEvent;
   std::vector<PlatformObserver*> observers_;
 
   IdGenerator<JobId> job_ids_;

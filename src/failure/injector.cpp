@@ -4,6 +4,21 @@
 
 namespace canary::failure {
 
+namespace {
+/// Mark an injector-driven node failure in the causal log, so traces can
+/// distinguish injected chaos from organic deaths.
+void annotate_injection(sim::Simulator& simulator, faas::Platform& platform,
+                        NodeId node, const char* what) {
+  auto* events = platform.events();
+  if (events == nullptr) return;
+  obs::SpanLabels labels;
+  labels.node = node;
+  events->append_raw(events->new_trace(), obs::kNoEvent,
+                     obs::EventKind::kAnnotation, what, simulator.now(),
+                     labels);
+}
+}  // namespace
+
 std::optional<Duration> FailureInjector::plan_kill(const faas::Invocation& inv,
                                                    int attempt,
                                                    Duration busy_estimate) {
@@ -52,12 +67,13 @@ void FailureInjector::schedule_node_failure(sim::Simulator& simulator,
                                             faas::Platform& platform,
                                             kv::KvStore* store,
                                             TimePoint when) {
-  simulator.schedule_at(when, [this, &platform, store] {
+  simulator.schedule_at(when, [this, &simulator, &platform, store] {
     auto victim = platform.cluster().weighted_random_alive(rng_);
     if (!victim) return;
     // Keep at least one node alive so the workload can finish.
     if (platform.cluster().alive_count() <= 1) return;
     ++node_kills_;
+    annotate_injection(simulator, platform, *victim, "injected_node_failure");
     platform.fail_node(*victim);
     if (store != nullptr) store->fail_node(*victim);
   });
@@ -94,10 +110,12 @@ void FailureInjector::schedule_correlated_node_failure(
       });
     }
     // Terminal failure.
-    simulator.schedule_at(when, [this, &platform, store, node] {
+    simulator.schedule_at(when, [this, &simulator, &platform, store, node] {
       if (!platform.cluster().node(node).alive()) return;
       if (platform.cluster().alive_count() <= 1) return;
       ++node_kills_;
+      annotate_injection(simulator, platform, node,
+                         "injected_correlated_node_failure");
       platform.fail_node(node);
       if (store != nullptr) store->fail_node(node);
     });

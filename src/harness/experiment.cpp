@@ -15,6 +15,9 @@ void Aggregate::add(const RunResult& run) {
   sla_violations.add(run.sla_violations);
   for (const auto& [name, value] : run.counters) counter_sums[name] += value;
   metrics.merge(run.metrics);
+  breakdown.merge(run.breakdown);
+  span_health.merge({run.spans_recorded, run.spans_dropped});
+  event_health.merge({run.events_recorded, run.events_dropped});
   if (!run.completed) ++incomplete_runs;
 }
 
@@ -34,6 +37,9 @@ Aggregate run_repetitions(ScenarioConfig config,
     // reproducible from the base seed.
     std::uint64_t sm = config.seed + static_cast<std::uint64_t>(rep);
     rep_config.seed = splitmix64(sm);
+    // The flight recorder writes files; one repetition (the base seed) is
+    // enough and keeps dump names collision-free.
+    if (rep > 0) rep_config.flight_recorder_path.clear();
     futures.push_back(std::async(std::launch::async, [rep_config, &jobs] {
       return ScenarioRunner::run(rep_config, jobs);
     }));
@@ -74,6 +80,9 @@ obs::RunReport make_report(std::string name, const ScenarioConfig& config,
   report.set_scalar("incomplete_runs",
                     static_cast<double>(agg.incomplete_runs));
   report.metrics = agg.metrics;
+  report.breakdown = agg.breakdown;
+  report.span_health = agg.span_health;
+  report.event_health = agg.event_health;
   return report;
 }
 

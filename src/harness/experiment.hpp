@@ -30,6 +30,12 @@ struct Aggregate {
   /// Merged registry across repetitions: counters sum, histograms merge
   /// bucket-wise (so percentiles cover every repetition's samples).
   obs::MetricRegistry metrics;
+  /// Merged critical-path breakdown across repetitions: component seconds
+  /// sum, recovery/violation counts accumulate.
+  obs::BreakdownReport breakdown;
+  /// Recorder overflow accounting summed across repetitions.
+  obs::RecorderHealth span_health;
+  obs::RecorderHealth event_health;
 
   void add(const RunResult& run);
   double counter_mean(const std::string& name) const;

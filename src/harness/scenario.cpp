@@ -8,9 +8,11 @@
 #include "cluster/storage.hpp"
 #include "common/logging.hpp"
 #include "faas/retry.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/event_log.hpp"
+#include "obs/slo_monitor.hpp"
 #include "recovery/active_standby.hpp"
 #include "recovery/request_replication.hpp"
-#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::harness {
@@ -25,7 +27,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   auto storage =
       config.storage.value_or(cluster::StorageHierarchy::testbed());
   kv::KvStore store(config.kv, cluster.node_ids());
-  sim::MetricsRecorder metrics;
+  obs::MetricRegistry metrics;
   faas::Platform platform(simulator, cluster, network, config.platform,
                           metrics);
 
@@ -34,6 +36,28 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     spans = std::make_shared<obs::SpanRecorder>();
     platform.set_span_recorder(spans.get());
   }
+
+  std::shared_ptr<obs::EventLog> events;
+  obs::SloMonitor slo;
+  if (config.record_events) {
+    events = std::make_shared<obs::EventLog>();
+    if (!config.flight_recorder_path.empty()) {
+      events->set_flight_recorder(config.flight_recorder_path);
+    }
+    platform.set_event_log(events.get());
+  }
+  platform.set_slo_monitor(&slo);
+
+  // While this run is live, this thread's log records carry the simulated
+  // time and kWarn+ records mirror into the causal log as annotations.
+  // Each repetition runs on its own thread, so parallel runs don't mix.
+  ScopedLogClock log_clock(
+      [&simulator] { return simulator.now().count_usec(); });
+  ScopedLogMirror log_mirror([&](LogLevel, const std::string& msg) {
+    if (events == nullptr) return;
+    events->append_raw(events->new_trace(), obs::kNoEvent,
+                       obs::EventKind::kAnnotation, msg, simulator.now());
+  });
 
   const bool ideal = config.strategy.kind == StrategyKind::kIdeal;
   failure::InjectorConfig injector_config;
@@ -149,8 +173,19 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   result.cost = cost_model.breakdown(platform.usage());
   result.cost_usd = result.cost.total_usd;
   result.counters = metrics.counters();
+  if (spans != nullptr) {
+    result.spans_recorded = spans->size();
+    result.spans_dropped = spans->dropped();
+  }
+  if (events != nullptr) {
+    result.events_recorded = events->size();
+    result.events_dropped = events->dropped();
+    obs::CriticalPathAnalyzer analyzer(*events);
+    result.breakdown = analyzer.report(slo.targets());
+  }
   result.metrics = std::move(metrics);
   result.spans = std::move(spans);
+  result.events = std::move(events);
   return result;
 }
 

@@ -15,6 +15,8 @@
 #include "faas/function.hpp"
 #include "faas/platform.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/span.hpp"
 #include "recovery/strategies.hpp"
@@ -55,6 +57,14 @@ struct ScenarioConfig {
   /// replication, recoveries) into RunResult::spans for chrome://tracing
   /// export. Off by default: spans cost memory proportional to events.
   bool record_spans = false;
+  /// Record the per-invocation causal event DAG into RunResult::events and
+  /// derive RunResult::breakdown from it. On by default: events are cheap
+  /// and the critical-path breakdown feeds the v2 run report.
+  bool record_events = true;
+  /// When non-empty, arm the event log's flight recorder: on each node
+  /// failure or SLA breach the last events are dumped to
+  /// "<path>.<n>.json" (at most 4 dumps per run).
+  std::string flight_recorder_path;
 };
 
 struct RunResult {
@@ -76,6 +86,17 @@ struct RunResult {
   obs::MetricRegistry metrics;
   /// Span timeline; non-null only when ScenarioConfig::record_spans.
   std::shared_ptr<obs::SpanRecorder> spans;
+  /// Causal event DAG; non-null only when ScenarioConfig::record_events.
+  std::shared_ptr<obs::EventLog> events;
+  /// Critical-path decomposition of end-to-end latency and every
+  /// failure-to-recovery window, plus the SLO watchdog's verdicts.
+  /// Derived from `events`; empty when event recording is off.
+  obs::BreakdownReport breakdown;
+  /// Recorder overflow accounting (events/spans recorded vs. dropped).
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
 };
 
 class ScenarioRunner {

@@ -44,24 +44,112 @@ void write_event(JsonWriter& json, const Span& span) {
   json.end_object();
 }
 
+std::int64_t event_tid(const Event& event) {
+  return event.labels.node.valid()
+             ? static_cast<std::int64_t>(event.labels.node.value())
+             : std::int64_t{0};
+}
+
+void write_log_event(JsonWriter& json, const Event& event) {
+  json.begin_object();
+  json.field("name", event.name);
+  json.field("cat", to_string_view(event.kind));
+  json.field("ph", "i");
+  json.field("ts", event.at.count_usec());
+  json.field("s", "t");
+  json.field("pid", std::int64_t{1});
+  json.field("tid", event_tid(event));
+  json.key("args").begin_object();
+  json.field("event", event.id);
+  if (event.trace.valid()) json.field("trace", event.trace.value());
+  if (event.parent != kNoEvent) json.field("parent", event.parent);
+  if (event.cause != kNoEvent) json.field("cause", event.cause);
+  if (event.labels.function.valid()) {
+    json.field("function",
+               static_cast<std::int64_t>(event.labels.function.value()));
+  }
+  if (event.labels.attempt > 0) json.field("attempt", event.labels.attempt);
+  json.end_object();
+  json.end_object();
+}
+
+/// A `cause` edge renders as a flow arrow: a start record at the cause
+/// event's (time, track) and a binding-point-enclosing finish record at
+/// the effect's. Chrome pairs the two through the shared id.
+void write_flow_pair(JsonWriter& json, const Event& cause,
+                     const Event& effect) {
+  json.begin_object();
+  json.field("name", effect.name);
+  json.field("cat", "causal");
+  json.field("ph", "s");
+  json.field("id", effect.id);
+  json.field("ts", cause.at.count_usec());
+  json.field("pid", std::int64_t{1});
+  json.field("tid", event_tid(cause));
+  json.end_object();
+
+  json.begin_object();
+  json.field("name", effect.name);
+  json.field("cat", "causal");
+  json.field("ph", "f");
+  json.field("bp", "e");
+  json.field("id", effect.id);
+  json.field("ts", effect.at.count_usec());
+  json.field("pid", std::int64_t{1});
+  json.field("tid", event_tid(effect));
+  json.end_object();
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const SpanRecorder& spans) {
+  write_chrome_trace(os, &spans, nullptr);
+}
+
+void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
+                        const EventLog* events) {
   JsonWriter json(os, /*indent=*/0);
   json.begin_object();
   json.key("displayTimeUnit").value("ms");
   json.key("traceEvents").begin_array();
-  for (const Span& span : spans.spans()) write_event(json, span);
+  if (spans != nullptr) {
+    for (const Span& span : spans->spans()) write_event(json, span);
+  }
+  if (events != nullptr) {
+    for (const Event& event : events->events()) {
+      write_log_event(json, event);
+      if (event.cause != kNoEvent) {
+        if (const Event* cause = events->find(event.cause)) {
+          write_flow_pair(json, *cause, event);
+        }
+      }
+    }
+  }
   json.end_array();
+  // Recorder health: a truncated stream means this timeline is partial.
+  json.key("otherData").begin_object();
+  json.field("spans_dropped",
+             spans != nullptr ? static_cast<std::uint64_t>(spans->dropped())
+                              : std::uint64_t{0});
+  json.field("events_dropped",
+             events != nullptr ? static_cast<std::uint64_t>(events->dropped())
+                               : std::uint64_t{0});
+  json.end_object();
   json.end_object();
   os << '\n';
 }
 
 bool write_chrome_trace_file(const std::string& path,
                              const SpanRecorder& spans) {
+  return write_chrome_trace_file(path, &spans, nullptr);
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder* spans,
+                             const EventLog* events) {
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(out, spans);
+  write_chrome_trace(out, spans, events);
   return out.good();
 }
 

@@ -6,11 +6,17 @@
 // lifecycle phases nested per function attempt, checkpoint/replication/
 // recovery windows overlaid. Open chrome://tracing (or ui.perfetto.dev)
 // and load the file.
+//
+// The combined overload also serialises an EventLog: causal events become
+// instant markers, and every cross-chain `cause` edge (node failure ->
+// container kill, failure -> recovery completion) becomes a flow-event
+// pair ("ph":"s" / "ph":"f") that renders as an arrow across tracks.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "obs/event_log.hpp"
 #include "obs/span.hpp"
 
 namespace canary::obs {
@@ -18,9 +24,17 @@ namespace canary::obs {
 /// Write the full trace JSON document for `spans` to `os`.
 void write_chrome_trace(std::ostream& os, const SpanRecorder& spans);
 
+/// Combined export: span timeline plus causal events with flow arrows for
+/// cause edges. Either input may be null.
+void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
+                        const EventLog* events);
+
 /// Write to `path`; returns false (and leaves no partial file guarantees)
 /// when the file cannot be opened.
 bool write_chrome_trace_file(const std::string& path,
                              const SpanRecorder& spans);
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder* spans,
+                             const EventLog* events);
 
 }  // namespace canary::obs

@@ -1,0 +1,251 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace canary::obs {
+
+std::string_view to_string_view(PathComponent component) {
+  switch (component) {
+    case PathComponent::kDetection: return "detection";
+    case PathComponent::kScheduling: return "scheduling";
+    case PathComponent::kLaunch: return "launch";
+    case PathComponent::kInit: return "init";
+    case PathComponent::kRestore: return "restore";
+    case PathComponent::kExec: return "exec";
+    case PathComponent::kReExec: return "re_exec";
+    case PathComponent::kFinalize: return "finalize";
+  }
+  return "unknown";
+}
+
+double ComponentSums::total() const {
+  double sum = 0.0;
+  for (const double s : seconds) sum += s;
+  return sum;
+}
+
+void ComponentSums::merge(const ComponentSums& other) {
+  for (std::size_t i = 0; i < seconds.size(); ++i) {
+    seconds[i] += other.seconds[i];
+  }
+}
+
+PathComponent ComponentSums::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < seconds.size(); ++i) {
+    if (seconds[i] > seconds[best]) best = i;
+  }
+  return static_cast<PathComponent>(best);
+}
+
+void BreakdownReport::FunctionBreakdown::merge(const FunctionBreakdown& other) {
+  functions += other.functions;
+  recoveries += other.recoveries;
+  window_s += other.window_s;
+  recovery_components.merge(other.recovery_components);
+  end_to_end_components.merge(other.end_to_end_components);
+}
+
+void BreakdownReport::merge(const BreakdownReport& other) {
+  recovery_count += other.recovery_count;
+  recovery_window_s += other.recovery_window_s;
+  recovery_components.merge(other.recovery_components);
+  end_to_end_components.merge(other.end_to_end_components);
+  for (const auto& [family, fb] : other.per_function) {
+    per_function[family].merge(fb);
+  }
+  slo_targets += other.slo_targets;
+  slo_violations += other.slo_violations;
+  for (const auto& [component, count] : other.slo_breaches_by_component) {
+    slo_breaches_by_component[component] += count;
+  }
+}
+
+std::string base_function_name(std::string_view name) {
+  const auto trailing_digits_start = [](std::string_view s) {
+    std::size_t i = s.size();
+    while (i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1]))) --i;
+    return i;
+  };
+  std::size_t end = name.size();
+  // Replica suffix "+r<k>" (request replication's expand_job).
+  std::size_t d = trailing_digits_start(name.substr(0, end));
+  if (d < end && d >= 2 && name[d - 1] == 'r' && name[d - 2] == '+') {
+    end = d - 2;
+  }
+  // Instance suffix "-<i>" (workload generators).
+  const std::string_view core = name.substr(0, end);
+  d = trailing_digits_start(core);
+  if (d < core.size() && d >= 1 && core[d - 1] == '-') end = d - 1;
+  return std::string(name.substr(0, end));
+}
+
+namespace {
+
+constexpr int kStateEnd = -1;  // kComplete: nothing after is attributed
+
+int state_for(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmit: return static_cast<int>(PathComponent::kScheduling);
+    case EventKind::kLaunch: return static_cast<int>(PathComponent::kLaunch);
+    case EventKind::kInit: return static_cast<int>(PathComponent::kInit);
+    case EventKind::kRestore: return static_cast<int>(PathComponent::kRestore);
+    case EventKind::kExec: return static_cast<int>(PathComponent::kExec);
+    case EventKind::kFinalize:
+      return static_cast<int>(PathComponent::kFinalize);
+    case EventKind::kFailure:
+      return static_cast<int>(PathComponent::kDetection);
+    case EventKind::kDetect:
+      return static_cast<int>(PathComponent::kScheduling);
+    case EventKind::kComplete: return kStateEnd;
+    default: return -2;  // no phase change
+  }
+}
+
+}  // namespace
+
+struct CriticalPathAnalyzer::FunctionTimeline {
+  std::string family;
+  /// (time, phase) transitions in event order; phase kStateEnd terminates.
+  std::vector<std::pair<TimePoint, int>> transitions;
+  /// Resolved recovery windows [failed, recovered].
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  /// SLA breach instants.
+  std::vector<TimePoint> breaches;
+  /// Latest event time seen; closes the final open interval on runs that
+  /// end mid-execution.
+  TimePoint last_seen = TimePoint::origin();
+
+  /// Decompose [from, to] into components. Execution time overlapping a
+  /// recovery window counts as re-execution.
+  ComponentSums accumulate(TimePoint from, TimePoint to) const {
+    ComponentSums sums;
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      const int state = transitions[i].second;
+      if (state == kStateEnd) break;
+      const TimePoint start = transitions[i].first;
+      const TimePoint end =
+          i + 1 < transitions.size() ? transitions[i + 1].first : last_seen;
+      const TimePoint a = std::max(start, from);
+      const TimePoint b = std::min(end, to);
+      if (b <= a) continue;
+      const double span_s = (b - a).to_seconds();
+      if (state == static_cast<int>(PathComponent::kExec)) {
+        const double re_s = window_overlap_seconds(a, b);
+        sums[PathComponent::kReExec] += re_s;
+        sums[PathComponent::kExec] += span_s - re_s;
+      } else {
+        sums.seconds[static_cast<std::size_t>(state)] += span_s;
+      }
+    }
+    return sums;
+  }
+
+  /// Seconds of [a, b] covered by the union of the recovery windows.
+  double window_overlap_seconds(TimePoint a, TimePoint b) const {
+    // Windows are few per function; clip, sort, and merge.
+    std::vector<std::pair<TimePoint, TimePoint>> clipped;
+    for (const auto& [failed, recovered] : windows) {
+      const TimePoint lo = std::max(failed, a);
+      const TimePoint hi = std::min(recovered, b);
+      if (hi > lo) clipped.emplace_back(lo, hi);
+    }
+    std::sort(clipped.begin(), clipped.end());
+    double total = 0.0;
+    TimePoint cursor = a;
+    for (const auto& [lo, hi] : clipped) {
+      const TimePoint start = std::max(lo, cursor);
+      if (hi > start) {
+        total += (hi - start).to_seconds();
+        cursor = hi;
+      }
+    }
+    return total;
+  }
+};
+
+CriticalPathAnalyzer::CriticalPathAnalyzer(const EventLog& log) {
+  analyze(log);
+}
+
+void CriticalPathAnalyzer::analyze(const EventLog& log) {
+  std::map<FunctionId, FunctionTimeline> timelines;
+  for (const Event& event : log.events()) {
+    const FunctionId fn = event.labels.function;
+    if (!fn.valid()) continue;
+    FunctionTimeline& tl = timelines[fn];
+    if (event.at > tl.last_seen) tl.last_seen = event.at;
+    if (event.kind == EventKind::kSubmit && tl.family.empty()) {
+      tl.family = base_function_name(event.name);
+    }
+    if (event.kind == EventKind::kRecovered && event.cause != kNoEvent) {
+      if (const Event* failure = log.find(event.cause)) {
+        tl.windows.emplace_back(failure->at, event.at);
+      }
+      continue;
+    }
+    if (event.kind == EventKind::kSlaViolation) {
+      tl.breaches.push_back(event.at);
+      continue;
+    }
+    const int state = state_for(event.kind);
+    if (state == -2) continue;
+    tl.transitions.emplace_back(event.at, state);
+  }
+
+  for (auto& [fn, tl] : timelines) {
+    if (tl.family.empty()) tl.family = "unknown";
+    if (tl.transitions.empty()) continue;
+    const TimePoint first = tl.transitions.front().first;
+
+    PerFunction& pf = functions_[fn];
+    pf.family = tl.family;
+    pf.end_to_end = tl.accumulate(first, tl.last_seen);
+
+    for (const auto& [failed, recovered] : tl.windows) {
+      RecoveryWindow window;
+      window.function = fn;
+      window.family = tl.family;
+      window.failed = failed;
+      window.recovered = recovered;
+      window.components = tl.accumulate(failed, recovered);
+      pf.recoveries += 1;
+      pf.window_s += window.window().to_seconds();
+      pf.recovery.merge(window.components);
+      windows_.push_back(std::move(window));
+    }
+
+    for (const TimePoint breach : tl.breaches) {
+      const ComponentSums to_breach = tl.accumulate(first, breach);
+      breaches_.emplace_back(tl.family, to_breach.dominant());
+    }
+  }
+}
+
+BreakdownReport CriticalPathAnalyzer::report(std::uint64_t slo_targets) const {
+  BreakdownReport out;
+  out.slo_targets = slo_targets;
+  for (const RecoveryWindow& window : windows_) {
+    out.recovery_count += 1;
+    out.recovery_window_s += window.window().to_seconds();
+    out.recovery_components.merge(window.components);
+  }
+  for (const auto& [fn, pf] : functions_) {
+    out.end_to_end_components.merge(pf.end_to_end);
+    BreakdownReport::FunctionBreakdown& fb = out.per_function[pf.family];
+    fb.functions += 1;
+    fb.recoveries += pf.recoveries;
+    fb.window_s += pf.window_s;
+    fb.recovery_components.merge(pf.recovery);
+    fb.end_to_end_components.merge(pf.end_to_end);
+  }
+  for (const auto& breach : breaches_) {
+    out.slo_violations += 1;
+    out.slo_breaches_by_component[std::string(to_string_view(breach.second))] +=
+        1;
+  }
+  return out;
+}
+
+}  // namespace canary::obs

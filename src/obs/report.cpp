@@ -8,6 +8,27 @@
 
 namespace canary::obs {
 
+namespace {
+
+void write_components(JsonWriter& json, const ComponentSums& sums) {
+  json.begin_object();
+  for (std::size_t i = 0; i < kPathComponentCount; ++i) {
+    json.field(to_string_view(static_cast<PathComponent>(i)),
+               sums.seconds[i]);
+  }
+  json.end_object();
+}
+
+void write_health(JsonWriter& json, const RecorderHealth& health) {
+  json.begin_object();
+  json.field("recorded", health.recorded);
+  json.field("dropped", health.dropped);
+  json.field("truncated", health.truncated());
+  json.end_object();
+}
+
+}  // namespace
+
 void RunReport::set_param(const std::string& key, double value) {
   params[key] = JsonWriter::format_double(value);
 }
@@ -46,6 +67,47 @@ void RunReport::write_json(std::ostream& os) const {
     json.end_object();
   }
   json.end_object();
+  json.end_object();
+
+  json.key("breakdown").begin_object();
+  json.key("recoveries").begin_object();
+  json.field("count", breakdown.recovery_count);
+  json.field("window_s", breakdown.recovery_window_s);
+  json.key("components");
+  write_components(json, breakdown.recovery_components);
+  json.end_object();
+  json.key("end_to_end").begin_object();
+  json.key("components");
+  write_components(json, breakdown.end_to_end_components);
+  json.end_object();
+  json.key("per_function").begin_object();
+  for (const auto& [family, fb] : breakdown.per_function) {
+    json.key(family).begin_object();
+    json.field("functions", fb.functions);
+    json.field("recoveries", fb.recoveries);
+    json.field("window_s", fb.window_s);
+    json.key("components");
+    write_components(json, fb.recovery_components);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("slo").begin_object();
+  json.field("targets", breakdown.slo_targets);
+  json.field("violations", breakdown.slo_violations);
+  json.field("violation_ratio", breakdown.slo_violation_ratio());
+  json.key("breaches_by_component").begin_object();
+  for (const auto& [component, count] : breakdown.slo_breaches_by_component) {
+    json.field(component, count);
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+
+  json.key("obs").begin_object();
+  json.key("spans");
+  write_health(json, span_health);
+  json.key("events");
+  write_health(json, event_health);
   json.end_object();
 
   json.key("series").begin_array();

@@ -1,4 +1,4 @@
-// Machine-readable run report (the `run_report.json` schema, v1).
+// Machine-readable run report (the `run_report.json` schema, v2).
 //
 // Every bench binary and the experiment CLI emit one of these so results
 // stop living in ad-hoc stdout tables: CI archives BENCH_<name>.json per
@@ -6,7 +6,7 @@
 // deliberately small and stable:
 //
 //   {
-//     "schema": "canary.run_report/v1",
+//     "schema": "canary.run_report/v2",
 //     "name": "<binary or experiment id>",
 //     "params": { "<key>": "<string value>", ... },
 //     "scalars": { "<key>": <number>, ... },
@@ -17,6 +17,18 @@
 //         "<name>": { "count", "mean", "min", "max", "p50", "p95", "p99" }
 //       }
 //     },
+//     "breakdown": {                    // v2: critical-path decomposition
+//       "recoveries": { "count", "window_s", "components": {..} },
+//       "end_to_end": { "components": {..} },
+//       "per_function": { "<family>": { "functions", "recoveries",
+//                                       "window_s", "components": {..} } },
+//       "slo": { "targets", "violations", "violation_ratio",
+//                "breaches_by_component": {..} }
+//     },
+//     "obs": {                          // v2: recorder health
+//       "spans":  { "recorded", "dropped", "truncated" },
+//       "events": { "recorded", "dropped", "truncated" }
+//     },
 //     "series": [ { "name", "columns": [..], "rows": [[..], ..] }, .. ],
 //     "claims": [ { "claim", "measured", "unit" }, .. ]
 //   }
@@ -26,16 +38,32 @@
 // two identical seeded runs produce byte-identical reports.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/metric_registry.hpp"
 
 namespace canary::obs {
 
-inline constexpr std::string_view kRunReportSchema = "canary.run_report/v1";
+inline constexpr std::string_view kRunReportSchema = "canary.run_report/v2";
+
+/// Health of one capacity-capped recorder stream. A truncated stream means
+/// every count derived from it is a lower bound — the report says so
+/// explicitly instead of silently under-reporting.
+struct RecorderHealth {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+
+  bool truncated() const { return dropped > 0; }
+  void merge(const RecorderHealth& other) {
+    recorded += other.recorded;
+    dropped += other.dropped;
+  }
+};
 
 struct RunReport {
   std::string name;
@@ -46,6 +74,12 @@ struct RunReport {
   std::map<std::string, double> scalars;
   /// Full metric registry snapshot (merged across repetitions).
   MetricRegistry metrics;
+  /// Critical-path decomposition (merged across repetitions); zero-valued
+  /// when the run recorded no causal events.
+  BreakdownReport breakdown;
+  /// Recorder capacity-cap health for the span and event streams.
+  RecorderHealth span_health;
+  RecorderHealth event_health;
 
   /// A named table, e.g. one reproduced figure's series.
   struct Series {

@@ -1,0 +1,28 @@
+#include "obs/slo_monitor.hpp"
+
+namespace canary::obs {
+
+void SloMonitor::arm(FunctionId fn, TimePoint deadline) {
+  targets_[fn] = deadline;
+}
+
+std::optional<TimePoint> SloMonitor::deadline(FunctionId fn) const {
+  auto it = targets_.find(fn);
+  if (it == targets_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SloMonitor::record_violation(FunctionId fn, TimePoint at) {
+  auto [it, inserted] = violated_.emplace(fn, true);
+  if (!inserted) return false;
+  breaches_.emplace_back(fn, at);
+  return true;
+}
+
+void SloMonitor::clear() {
+  targets_.clear();
+  violated_.clear();
+  breaches_.clear();
+}
+
+}  // namespace canary::obs

@@ -1,0 +1,56 @@
+// SLO watchdog bookkeeping.
+//
+// The platform registers one deadline per SLA-carrying function at
+// submission (faas::FunctionSpec::sla, falling back to the job-level
+// deadline) and arms a sim-timer; when the timer fires before the
+// function completed in time, it reports the breach here and appends a
+// kSlaViolation event to the invocation's causal chain. The monitor is
+// pure bookkeeping — targets, breaches, ratios — so it stays free of sim
+// and faas dependencies; the CriticalPathAnalyzer later attributes each
+// breach to the critical-path component that dominated it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace canary::obs {
+
+class SloMonitor {
+ public:
+  /// Register a completion deadline for `fn`. Re-arming replaces the
+  /// previous target (retries keep the original submission deadline, so
+  /// the platform arms exactly once per function).
+  void arm(FunctionId fn, TimePoint deadline);
+
+  std::optional<TimePoint> deadline(FunctionId fn) const;
+
+  /// Record a breach; returns false when this function's breach was
+  /// already recorded (violations are per-function, not per-attempt).
+  bool record_violation(FunctionId fn, TimePoint at);
+
+  std::size_t targets() const { return targets_.size(); }
+  std::size_t violations() const { return breaches_.size(); }
+  double violation_ratio() const {
+    return targets_.empty() ? 0.0
+                            : static_cast<double>(breaches_.size()) /
+                                  static_cast<double>(targets_.size());
+  }
+  /// Breaches in detection order.
+  const std::vector<std::pair<FunctionId, TimePoint>>& breaches() const {
+    return breaches_;
+  }
+
+  void clear();
+
+ private:
+  std::map<FunctionId, TimePoint> targets_;
+  std::map<FunctionId, bool> violated_;
+  std::vector<std::pair<FunctionId, TimePoint>> breaches_;
+};
+
+}  // namespace canary::obs

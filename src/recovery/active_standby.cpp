@@ -67,6 +67,7 @@ void ActiveStandbyHandler::on_failure(const faas::Invocation& inv,
     start.from_state = 0;
     start.container = standby;
     platform_.metrics().count("as_standby_activations");
+    platform_.log_recovery_action(inv.id, "as_standby_activation");
     if (spans != nullptr) {
       spans->instant(obs::SpanKind::kRecovery, "as_standby_activation",
                      platform_.simulator().now(), labels);
@@ -76,6 +77,7 @@ void ActiveStandbyHandler::on_failure(const faas::Invocation& inv,
     // Standby not ready (still launching, or lost with its node): cold
     // restart, as a retry would.
     platform_.metrics().count("as_cold_restarts");
+    platform_.log_recovery_action(inv.id, "as_cold_restart");
     if (spans != nullptr) {
       spans->instant(obs::SpanKind::kRecovery, "as_cold_restart",
                      platform_.simulator().now(), labels);

@@ -34,6 +34,9 @@ void RequestReplicationHandler::track_job(JobId job) {
       group.members.push_back(member);
       group.down.push_back(false);
       index_[member] = {job, g};
+      // Primary and shadows race as one logical request: merge every
+      // shadow's causal chain into the primary's trace.
+      if (r > 0) platform_.join_trace(member, group.members.front());
     }
   }
 }
@@ -77,6 +80,7 @@ void RequestReplicationHandler::on_failure(const faas::Invocation& inv,
   }
   for (std::size_t i = 0; i < group->members.size(); ++i) {
     group->down[i] = false;
+    platform_.log_recovery_action(group->members[i], "rr_group_restart");
     platform_.start_attempt(group->members[i], faas::StartSpec{});
   }
 }

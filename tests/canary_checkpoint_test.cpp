@@ -47,7 +47,7 @@ class CheckpointingTest : public ::testing::Test {
   cluster::StorageHierarchy storage_;
   kv::KvStore store_;
   MetadataStore metadata_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
 };
 
 TEST_F(CheckpointingTest, DisabledModuleIsFree) {

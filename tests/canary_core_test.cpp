@@ -76,7 +76,7 @@ class CoreModuleTest : public ::testing::Test {
   cluster::NetworkModel network_;
   cluster::StorageHierarchy storage_;
   kv::KvStore store_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   std::optional<faas::Platform> platform_;
   std::optional<CoreModule> core_;
 };

@@ -64,7 +64,7 @@ class ReplicationTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   faas::Platform platform_;
   faas::RetryHandler retry_;
   MetadataStore metadata_;

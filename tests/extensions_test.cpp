@@ -123,7 +123,7 @@ TEST(SlaRecoveryTest, UrgentFunctionClaimsLaunchingReplica) {
   cluster::NetworkModel network(&cluster, {});
   auto storage = cluster::StorageHierarchy::testbed();
   kv::KvStore store(kv::KvConfig{}, cluster.node_ids());
-  sim::MetricsRecorder metrics;
+  obs::MetricRegistry metrics;
   faas::PlatformConfig pconfig;
   pconfig.scheduler_overhead = Duration::zero();
   faas::Platform platform(sim, cluster, network, pconfig, metrics);
@@ -171,7 +171,7 @@ TEST(SlaRecoveryTest, NonSlaJobFallsBackCold) {
   cluster::NetworkModel network(&cluster, {});
   auto storage = cluster::StorageHierarchy::testbed();
   kv::KvStore store(kv::KvConfig{}, cluster.node_ids());
-  sim::MetricsRecorder metrics;
+  obs::MetricRegistry metrics;
   faas::PlatformConfig pconfig;
   pconfig.scheduler_overhead = Duration::zero();
   faas::Platform platform(sim, cluster, network, pconfig, metrics);

@@ -9,7 +9,7 @@
 #include "cluster/network.hpp"
 #include "faas/platform.hpp"
 #include "faas/retry.hpp"
-#include "sim/metrics.hpp"
+#include "obs/metric_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::faas {
@@ -77,7 +77,7 @@ class PlatformTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   std::optional<Platform> platform_;
   std::optional<RetryHandler> retry_;
 };

@@ -160,7 +160,7 @@ TEST(FailureInjectorTest, NodeFailureTakesDownNodeAndKvCopies) {
   sim::Simulator sim;
   auto cluster = cluster::Cluster::testbed(4);
   cluster::NetworkModel network(&cluster, {});
-  sim::MetricsRecorder metrics;
+  obs::MetricRegistry metrics;
   faas::Platform platform(sim, cluster, network, {}, metrics);
   faas::RetryHandler retry(platform);
   platform.set_recovery_handler(&retry);
@@ -182,7 +182,7 @@ TEST(FailureInjectorTest, NodeFailureSparesLastNode) {
   sim::Simulator sim;
   auto cluster = cluster::Cluster::testbed(1);
   cluster::NetworkModel network(&cluster, {});
-  sim::MetricsRecorder metrics;
+  obs::MetricRegistry metrics;
   faas::Platform platform(sim, cluster, network, {}, metrics);
   FailureInjector injector(Rng(10), {0.0, InjectionMode::kOncePerFunction, 1});
   injector.schedule_node_failure(sim, platform, nullptr,

@@ -238,7 +238,7 @@ TEST(RunReportTest, JsonRoundTripContainsEveryField) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   for (const char* needle :
-       {"\"schema\": \"canary.run_report/v1\"", "\"name\": \"unit\"",
+       {"\"schema\": \"canary.run_report/v2\"", "\"name\": \"unit\"",
         "\"strategy\": \"canary-dr\"", "\"error_rate\": \"0.25\"",
         "\"makespan_s_mean\": 12.5", "\"failures\": 7", "\"lat\"",
         "\"p50\"", "\"sweep\"", "\"recovers faster\"", "\"measured\": 81"}) {

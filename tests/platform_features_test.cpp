@@ -42,7 +42,7 @@ class FeatureTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   std::optional<faas::Platform> platform_;
   std::optional<faas::RetryHandler> retry_;
 };
@@ -196,7 +196,7 @@ class CompressionTest : public ::testing::Test {
   cluster::StorageHierarchy storage_;
   kv::KvStore store_;
   core::MetadataStore metadata_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
 };
 
 TEST_F(CompressionTest, CompressionAvoidsSpill) {

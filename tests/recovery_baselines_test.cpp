@@ -62,7 +62,7 @@ class BaselineTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   KillSet kills_;
   std::optional<faas::Platform> platform_;
 };

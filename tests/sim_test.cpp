@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "sim/metrics.hpp"
+#include "obs/metric_registry.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::sim {
@@ -149,16 +149,16 @@ TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
 
 // ---- metrics ------------------------------------------------------------
 
-TEST(MetricsRecorderTest, CountersAccumulate) {
-  MetricsRecorder m;
+TEST(MetricRegistryTest, CountersAccumulate) {
+  obs::MetricRegistry m;
   m.count("x");
   m.count("x", 2.5);
   EXPECT_DOUBLE_EQ(m.counter("x"), 3.5);
   EXPECT_DOUBLE_EQ(m.counter("missing"), 0.0);
 }
 
-TEST(MetricsRecorderTest, SamplesRecorded) {
-  MetricsRecorder m;
+TEST(MetricRegistryTest, SamplesRecorded) {
+  obs::MetricRegistry m;
   m.sample("lat", 1.0);
   m.sample("lat", 3.0);
   m.sample_duration("dur", Duration::msec(500));

@@ -40,7 +40,7 @@ class TraceTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   std::optional<Platform> platform_;
   std::optional<RetryHandler> retry_;
   std::optional<TraceLog> trace_;

@@ -42,7 +42,7 @@ class WorkflowTest : public ::testing::Test {
   sim::Simulator sim_;
   cluster::Cluster cluster_;
   cluster::NetworkModel network_;
-  sim::MetricsRecorder metrics_;
+  obs::MetricRegistry metrics_;
   std::optional<faas::Platform> platform_;
   std::optional<faas::RetryHandler> retry_;
 };
@@ -136,7 +136,7 @@ TEST_F(WorkflowTest, UpstreamFailureDelaysDownstream) {
     sim::Simulator sim;
     auto cluster = cluster::Cluster(uniform_nodes(4));
     cluster::NetworkModel network(&cluster, {});
-    sim::MetricsRecorder metrics;
+    obs::MetricRegistry metrics;
     faas::PlatformConfig config;
     config.scheduler_overhead = Duration::zero();
     faas::Platform platform(sim, cluster, network, config, metrics);

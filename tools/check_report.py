@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate a canary.run_report/v2 JSON file.
+
+Structural check for the machine-readable run reports emitted by the
+benches, the experiment CLI and harness::make_report: verifies the v2
+schema tag, the presence and types of every section, that the breakdown's
+component maps carry exactly the known critical-path components, and that
+the recovery components sum to the recovery window within tolerance
+(1 sim-ms per recovery, the acceptance bound of the decomposition).
+
+Usage:  check_report.py report.json [report2.json ...]
+
+Exits non-zero on the first invalid report. Stdlib only.
+"""
+
+import json
+import sys
+
+SCHEMA = "canary.run_report/v2"
+COMPONENTS = [
+    "detection",
+    "scheduling",
+    "launch",
+    "init",
+    "restore",
+    "exec",
+    "re_exec",
+    "finalize",
+]
+
+
+class Invalid(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def check_number(obj, key, path):
+    expect(key in obj, f"{path}: missing '{key}'")
+    expect(isinstance(obj[key], (int, float)) and not isinstance(obj[key], bool),
+           f"{path}.{key}: expected a number, got {type(obj[key]).__name__}")
+
+
+def check_components(obj, path):
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    expect(sorted(obj.keys()) == sorted(COMPONENTS),
+           f"{path}: component keys {sorted(obj.keys())} != {sorted(COMPONENTS)}")
+    for key in COMPONENTS:
+        check_number(obj, key, path)
+    return sum(obj[key] for key in COMPONENTS)
+
+
+def check_health(obj, path):
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    check_number(obj, "recorded", path)
+    check_number(obj, "dropped", path)
+    expect(isinstance(obj.get("truncated"), bool),
+           f"{path}.truncated: expected a bool")
+    expect((obj["dropped"] > 0) == obj["truncated"],
+           f"{path}: truncated flag inconsistent with dropped={obj['dropped']}")
+
+
+def check_breakdown(breakdown):
+    expect(isinstance(breakdown, dict), "breakdown: expected an object")
+
+    recoveries = breakdown.get("recoveries")
+    expect(isinstance(recoveries, dict), "breakdown.recoveries: missing")
+    check_number(recoveries, "count", "breakdown.recoveries")
+    check_number(recoveries, "window_s", "breakdown.recoveries")
+    total = check_components(recoveries.get("components"),
+                             "breakdown.recoveries.components")
+    # Acceptance bound: the components partition the recovery windows.
+    tolerance = 1e-3 * max(1, recoveries["count"])
+    expect(abs(total - recoveries["window_s"]) <= tolerance,
+           f"breakdown.recoveries: components sum {total:.6f} != "
+           f"window_s {recoveries['window_s']:.6f} (tolerance {tolerance})")
+
+    end_to_end = breakdown.get("end_to_end")
+    expect(isinstance(end_to_end, dict), "breakdown.end_to_end: missing")
+    check_components(end_to_end.get("components"),
+                     "breakdown.end_to_end.components")
+
+    per_function = breakdown.get("per_function")
+    expect(isinstance(per_function, dict), "breakdown.per_function: missing")
+    for family, fb in per_function.items():
+        path = f"breakdown.per_function.{family}"
+        expect(isinstance(fb, dict), f"{path}: expected an object")
+        for key in ("functions", "recoveries", "window_s"):
+            check_number(fb, key, path)
+        check_components(fb.get("components"), f"{path}.components")
+
+    slo = breakdown.get("slo")
+    expect(isinstance(slo, dict), "breakdown.slo: missing")
+    for key in ("targets", "violations", "violation_ratio"):
+        check_number(slo, key, "breakdown.slo")
+    expect(slo["violations"] <= slo["targets"],
+           "breakdown.slo: more violations than targets")
+    breaches = slo.get("breaches_by_component")
+    expect(isinstance(breaches, dict),
+           "breakdown.slo.breaches_by_component: missing")
+    for component, count in breaches.items():
+        expect(component in COMPONENTS,
+               f"breakdown.slo.breaches_by_component: unknown '{component}'")
+        expect(isinstance(count, int) and count >= 0,
+               f"breakdown.slo.breaches_by_component.{component}: bad count")
+    expect(sum(breaches.values()) == slo["violations"],
+           "breakdown.slo: breaches_by_component does not sum to violations")
+
+
+def check_report(report, path):
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == SCHEMA,
+           f"schema: expected '{SCHEMA}', got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    for section in ("params", "scalars"):
+        expect(isinstance(report.get(section), dict),
+               f"{section}: expected an object")
+
+    metrics = report.get("metrics")
+    expect(isinstance(metrics, dict), "metrics: expected an object")
+    for sub in ("counters", "gauges", "histograms"):
+        expect(isinstance(metrics.get(sub), dict),
+               f"metrics.{sub}: expected an object")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "mean", "min", "max", "p50", "p95", "p99"):
+            check_number(hist, key, f"metrics.histograms.{name}")
+
+    check_breakdown(report.get("breakdown"))
+
+    obs = report.get("obs")
+    expect(isinstance(obs, dict), "obs: expected an object")
+    check_health(obs.get("spans"), "obs.spans")
+    check_health(obs.get("events"), "obs.events")
+
+    series = report.get("series")
+    expect(isinstance(series, list), "series: expected an array")
+    for i, s in enumerate(series):
+        expect(isinstance(s, dict) and isinstance(s.get("name"), str),
+               f"series[{i}]: expected an object with a name")
+        columns = s.get("columns")
+        expect(isinstance(columns, list), f"series[{i}].columns: missing")
+        for j, row in enumerate(s.get("rows", [])):
+            expect(isinstance(row, list) and len(row) == len(columns),
+                   f"series[{i}].rows[{j}]: width != {len(columns)} columns")
+
+    claims = report.get("claims")
+    expect(isinstance(claims, list), "claims: expected an array")
+    for i, c in enumerate(claims):
+        expect(isinstance(c, dict) and isinstance(c.get("claim"), str),
+               f"claims[{i}]: expected an object with a claim")
+        check_number(c, "measured", f"claims[{i}]")
+
+    print(f"{path}: OK ({SCHEMA}, "
+          f"{report['breakdown']['recoveries']['count']} recoveries, "
+          f"{len(series)} series, {len(claims)} claims)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+            check_report(report, path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: unreadable: {err}", file=sys.stderr)
+            return 1
+        except Invalid as err:
+            print(f"{path}: INVALID: {err}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
