@@ -48,6 +48,56 @@ void BM_EventCancellation(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancellation);
 
+void BM_EventTimerChurn(benchmark::State& state) {
+  // The platform's kill-timer pattern: every work event cancels a
+  // companion timeout scheduled further out, so the heap carries a
+  // moving population of tombstones and the lazy-deletion compactor
+  // runs continuously.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> timeouts(n);
+    std::uint64_t resolved = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      timeouts[i] = sim.schedule_after(
+          Duration::usec(2000 + static_cast<std::int64_t>(i % 1000)), [] {});
+      sim.schedule_after(Duration::usec(static_cast<std::int64_t>(i % 1000)),
+                         [&resolved, &timeouts, i] {
+                           timeouts[i].cancel();
+                           ++resolved;
+                         });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(resolved);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventTimerChurn)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueHeapArity(benchmark::State& state) {
+  // Same schedule/run workload across heap arities: dispatch order is
+  // identical by construction (total order on (time, seq)), so this
+  // isolates the cache behaviour of the d-ary sift loops.
+  sim::SimulatorOptions options;
+  options.heap_arity = static_cast<unsigned>(state.range(0));
+  constexpr std::uint64_t kEvents = 100000;
+  for (auto _ : state) {
+    sim::Simulator sim(options);
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      sim.schedule_after(
+          Duration::usec(static_cast<std::int64_t>((i * 2654435761u) % 10000)),
+          [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueHeapArity)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_KvPut(benchmark::State& state) {
   std::vector<NodeId> nodes;
   for (std::uint64_t i = 1; i <= 4; ++i) nodes.push_back(NodeId{i});

@@ -1,0 +1,341 @@
+// Million-invocation scale stress for the simulation substrate.
+//
+// Unlike the figure benches (which reproduce the paper's plots) this
+// binary answers an engineering question: how fast is the event engine
+// and the platform above it, and does the hot path allocate? It runs
+// three phases and emits a machine-readable canary.bench/v1 report that
+// CI diffs against a committed baseline (>20% events/sec regression
+// fails the perf-smoke job):
+//
+//   engine_steady   schedule/dispatch churn on a bare sim::Simulator
+//   engine_cancel   timer churn: every work event cancels a timeout
+//                   event, exercising lazy deletion + compaction
+//   platform_scale  >= 1M invocations across 256 nodes through the full
+//                   FaaS platform (quick mode: 32k across 64 nodes)
+//
+// Allocation counts come from interposing global operator new in this
+// binary, so allocations/event is exact, not sampled. Peak RSS comes
+// from getrusage(RUSAGE_SELF).
+//
+// Usage: scale_stress [--quick] [--out=PATH]
+//   --quick       shrink the workload for CI smoke runs (also CANARY_QUICK=1)
+//   --out=PATH    write the JSON report to PATH (default:
+//                 $CANARY_REPORT_DIR/BENCH_scale.json or ./BENCH_scale.json)
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "support.hpp"
+
+#include "common/table.hpp"
+#include "harness/scenario.hpp"
+#include "obs/json.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+// ---------------------------------------------------------------------
+// Global operator new/delete interposition: exact allocation counting.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t al = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + al - 1) / al * al;
+  if (void* p = std::aligned_alloc(al, rounded != 0 ? rounded : al)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace canary::bench {
+namespace {
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ull;
+}
+
+struct PhaseResult {
+  std::string name;
+  std::uint64_t events = 0;       // events dispatched or resolved
+  double wall_s = 0.0;
+  std::uint64_t allocations = 0;  // operator new calls during the phase
+  double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  double allocations_per_event() const {
+    return events > 0
+               ? static_cast<double>(allocations) / static_cast<double>(events)
+               : 0.0;
+  }
+};
+
+/// Deterministic xorshift so phase workloads don't depend on libstdc++
+/// distribution internals (and never allocate).
+struct XorShift {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+/// Pure schedule/dispatch churn: batches of short timers drained to
+/// empty, repeated until `target` events have fired. One untimed batch
+/// first warms the slab, heap, and callback storage so the measured
+/// steady state reflects reuse, not growth.
+PhaseResult engine_steady(std::uint64_t target) {
+  constexpr std::uint64_t kBatch = 4096;
+  sim::Simulator sim;
+  XorShift rng;
+  std::uint64_t fired = 0;
+
+  auto run_batch = [&](std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sim.schedule_after(Duration::usec(static_cast<std::int64_t>(
+                             rng.next() % 1000)),
+                         [&fired] { ++fired; });
+    }
+    sim.run();
+  };
+
+  run_batch(kBatch);  // warm-up, not measured
+  fired = 0;
+
+  const std::uint64_t alloc_start = allocations_now();
+  const auto start = std::chrono::steady_clock::now();
+  while (fired < target) {
+    run_batch(std::min<std::uint64_t>(kBatch, target - fired));
+  }
+  PhaseResult result;
+  result.name = "engine_steady";
+  result.events = fired;
+  result.wall_s = wall_seconds_since(start);
+  result.allocations = allocations_now() - alloc_start;
+  return result;
+}
+
+/// Timer churn modelled on the platform's execution kill timers: every
+/// work event cancels a companion timeout that would otherwise fire
+/// later, leaving tombstones for the lazy-deletion compactor. `target`
+/// counts resolved pairs (one dispatch + one cancellation each).
+PhaseResult engine_cancel(std::uint64_t target) {
+  constexpr std::uint64_t kBatch = 4096;
+  sim::Simulator sim;
+  XorShift rng;
+  std::uint64_t resolved = 0;
+  std::vector<sim::EventHandle> timeouts(kBatch);
+
+  auto run_batch = [&](std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      timeouts[i] = sim.schedule_after(
+          Duration::usec(2000 + static_cast<std::int64_t>(rng.next() % 1000)),
+          [] {});
+      sim.schedule_after(
+          Duration::usec(static_cast<std::int64_t>(rng.next() % 1000)),
+          [&resolved, &timeouts, i] {
+            timeouts[i].cancel();
+            ++resolved;
+          });
+    }
+    sim.run();
+  };
+
+  run_batch(kBatch);  // warm-up, not measured
+  resolved = 0;
+
+  const std::uint64_t alloc_start = allocations_now();
+  const auto start = std::chrono::steady_clock::now();
+  while (resolved < target) {
+    run_batch(std::min<std::uint64_t>(kBatch, target - resolved));
+  }
+  PhaseResult result;
+  result.name = "engine_cancel";
+  // Each resolved pair is two scheduled events: one fired, one cancelled.
+  result.events = resolved * 2;
+  result.wall_s = wall_seconds_since(start);
+  result.allocations = allocations_now() - alloc_start;
+  return result;
+}
+
+/// The full stack at scale: `jobs` x `functions_per_job` web-service
+/// invocations over `nodes` nodes with a small hazard error rate, event
+/// and span recording off (this phase measures the platform, not the
+/// recorders). Reports simulated events/sec.
+PhaseResult platform_scale(std::size_t nodes, std::size_t jobs,
+                           std::size_t functions_per_job,
+                           std::uint64_t* invocations_out) {
+  harness::ScenarioConfig config =
+      scenario(recovery::StrategyConfig::retry(), /*error_rate=*/0.02, nodes);
+  config.record_spans = false;
+  config.record_events = false;
+
+  std::vector<faas::JobSpec> batch;
+  batch.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    batch.push_back(workloads::make_job(workloads::WorkloadKind::kWebService,
+                                        functions_per_job,
+                                        "scale_" + std::to_string(j)));
+  }
+  *invocations_out =
+      static_cast<std::uint64_t>(jobs) * functions_per_job;
+
+  const std::uint64_t alloc_start = allocations_now();
+  const auto start = std::chrono::steady_clock::now();
+  const harness::RunResult run = harness::ScenarioRunner::run(config, batch);
+  PhaseResult result;
+  result.name = "platform_scale";
+  result.events = run.simulated_events;
+  result.wall_s = wall_seconds_since(start);
+  result.allocations = allocations_now() - alloc_start;
+  if (!run.completed) {
+    std::cerr << "platform_scale: run did not complete\n";
+    std::exit(1);
+  }
+  return result;
+}
+
+void write_report(const std::string& path, bool quick, std::size_t nodes,
+                  std::uint64_t invocations,
+                  const std::vector<PhaseResult>& phases) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "failed to open " << path << "\n";
+    std::exit(1);
+  }
+  obs::JsonWriter json(out, /*indent=*/2);
+  json.begin_object();
+  json.field("schema", "canary.bench/v1");
+  json.field("name", "scale");
+  json.field("quick", quick);
+  json.key("config").begin_object();
+  json.field("nodes", static_cast<std::uint64_t>(nodes));
+  json.field("invocations", invocations);
+  json.end_object();
+  json.key("phases").begin_array();
+  for (const PhaseResult& phase : phases) {
+    json.begin_object();
+    json.field("name", phase.name);
+    json.field("events", phase.events);
+    json.field("wall_s", phase.wall_s);
+    json.field("events_per_sec", phase.events_per_sec());
+    json.field("allocations", phase.allocations);
+    json.field("allocations_per_event", phase.allocations_per_event());
+    json.end_object();
+  }
+  json.end_array();
+  json.field("peak_rss_bytes", peak_rss_bytes());
+  json.end_object();
+  out << '\n';
+  std::cout << "\nreport: " << path << "\n";
+}
+
+int run(int argc, char** argv) {
+  bool quick = quick_mode();
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: scale_stress [--quick] [--out=PATH]\n";
+      return 2;
+    }
+  }
+  if (out_path.empty()) {
+    const char* dir = std::getenv("CANARY_REPORT_DIR");
+    out_path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+    out_path += "BENCH_scale.json";
+  }
+
+  // Full mode: >= 1M invocations over 256 nodes, 4M-event engine phases.
+  // Quick mode: 32k invocations over 64 nodes, 256k-event engine phases —
+  // large enough that events/sec is stable, small enough for CI.
+  const std::uint64_t engine_events = quick ? 262'144 : 4'194'304;
+  const std::uint64_t cancel_pairs = quick ? 131'072 : 2'097'152;
+  const std::size_t nodes = quick ? 64 : 256;
+  const std::size_t jobs = quick ? 8 : 245;
+  const std::size_t functions_per_job = 4096;  // 245 * 4096 = 1,003,520
+
+  std::cout << "=== scale_stress (" << (quick ? "quick" : "full")
+            << "): engine + platform hot-path throughput ===\n";
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(engine_steady(engine_events));
+  phases.push_back(engine_cancel(cancel_pairs));
+  std::uint64_t invocations = 0;
+  phases.push_back(
+      platform_scale(nodes, jobs, functions_per_job, &invocations));
+
+  TextTable table(
+      {"phase", "events", "wall [s]", "events/sec", "allocs", "allocs/event"});
+  for (const PhaseResult& phase : phases) {
+    table.add_row({phase.name, std::to_string(phase.events),
+                   TextTable::num(phase.wall_s, 3),
+                   TextTable::num(phase.events_per_sec(), 0),
+                   std::to_string(phase.allocations),
+                   TextTable::num(phase.allocations_per_event(), 4)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nplatform invocations: " << invocations << " across " << nodes
+            << " nodes\npeak rss: " << peak_rss_bytes() / (1024 * 1024)
+            << " MiB\n";
+
+  write_report(out_path, quick, nodes, invocations, phases);
+  return 0;
+}
+
+}  // namespace
+}  // namespace canary::bench
+
+int main(int argc, char** argv) { return canary::bench::run(argc, argv); }

@@ -12,6 +12,42 @@ Cluster::Cluster(std::vector<NodeSpec> specs) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     nodes_.emplace_back(NodeId{i + 1}, specs[i]);
   }
+  attach_and_rebuild_index();
+}
+
+Cluster::Cluster(Cluster&& other) noexcept : nodes_(std::move(other.nodes_)) {
+  attach_and_rebuild_index();
+}
+
+Cluster& Cluster::operator=(Cluster&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    attach_and_rebuild_index();
+  }
+  return *this;
+}
+
+void Cluster::attach_and_rebuild_index() {
+  std::uint32_t max_slots = 0;
+  for (const auto& n : nodes_) {
+    max_slots = std::max(max_slots, n.spec().container_slots);
+  }
+  occupancy_.assign(max_slots + 1, {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].set_usage_listener(this);
+    if (nodes_[i].alive()) {
+      occupancy_[nodes_[i].used_slots()].insert(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void Cluster::on_node_usage_changed(const Node& node,
+                                    std::uint32_t old_used_slots,
+                                    bool was_alive) {
+  const auto idx = static_cast<std::uint32_t>(index_of(node.id()));
+  if (was_alive) occupancy_[old_used_slots].erase(idx);
+  if (node.alive()) occupancy_[node.used_slots()].insert(idx);
 }
 
 Cluster Cluster::testbed(std::size_t node_count) {
@@ -68,16 +104,21 @@ std::optional<NodeId> Cluster::least_loaded(Bytes memory) const {
 
 std::optional<NodeId> Cluster::least_loaded_excluding(
     Bytes memory, const std::vector<NodeId>& excluded) const {
-  const Node* best = nullptr;
-  for (const auto& n : nodes_) {
-    if (!n.can_host(memory)) continue;
-    if (std::find(excluded.begin(), excluded.end(), n.id()) != excluded.end()) {
-      continue;
+  // Emptiest bucket first, lowest id inside a bucket: the first node that
+  // passes the memory/exclusion checks is exactly the node the old full
+  // scan would have picked.
+  for (const auto& bucket : occupancy_) {
+    for (const std::uint32_t idx : bucket) {
+      const Node& n = nodes_[idx];
+      if (!n.can_host(memory)) continue;
+      if (std::find(excluded.begin(), excluded.end(), n.id()) !=
+          excluded.end()) {
+        continue;
+      }
+      return n.id();
     }
-    if (best == nullptr || n.used_slots() < best->used_slots()) best = &n;
   }
-  if (best == nullptr) return std::nullopt;
-  return best->id();
+  return std::nullopt;
 }
 
 std::optional<NodeId> Cluster::weighted_random_alive(Rng& rng) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -17,9 +18,21 @@
 
 namespace canary::cluster {
 
-class Cluster {
+/// The scheduler probes for the least-loaded host on every container
+/// placement, so a linear scan over hundreds of nodes sits on the
+/// million-invocation hot path. The cluster keeps an occupancy index —
+/// alive nodes bucketed by used slot count, id-ordered inside a bucket —
+/// maintained through NodeUsageListener, so a probe walks the emptiest
+/// bucket first and usually returns after one membership test. Selection
+/// is identical to the old full scan: minimum used_slots among hosts that
+/// can take the memory, lowest id on ties.
+class Cluster : private NodeUsageListener {
  public:
   explicit Cluster(std::vector<NodeSpec> specs);
+  Cluster(Cluster&& other) noexcept;
+  Cluster& operator=(Cluster&& other) noexcept;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   /// Builds an n-node cluster mirroring the Chameleon testbed: CPU
   /// classes interleaved 6126 / 6240R / 6242, four nodes per rack.
@@ -57,7 +70,13 @@ class Cluster {
 
  private:
   std::size_t index_of(NodeId id) const;
+  void on_node_usage_changed(const Node& node, std::uint32_t old_used_slots,
+                             bool was_alive) override;
+  void attach_and_rebuild_index();
+
   std::vector<Node> nodes_;
+  /// occupancy_[k] = indices of alive nodes with k used slots, ascending.
+  std::vector<std::set<std::uint32_t>> occupancy_;
 };
 
 }  // namespace canary::cluster

@@ -39,6 +39,7 @@ Status Node::reserve(Bytes memory) {
   }
   ++used_slots_;
   used_memory_ += memory;
+  notify(used_slots_ - 1, /*was_alive=*/true);
   return Status::ok_status();
 }
 
@@ -49,6 +50,7 @@ void Node::release(Bytes memory) {
                "memory release exceeds reservation");
   --used_slots_;
   used_memory_ = Bytes::of(used_memory_.count() - memory.count());
+  notify(used_slots_ + 1, /*was_alive=*/true);
 }
 
 }  // namespace canary::cluster

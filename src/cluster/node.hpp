@@ -40,6 +40,21 @@ struct NodeSpec {
   std::uint32_t rack = 0;
 };
 
+class Node;
+
+/// Observes node capacity/liveness transitions. The Cluster installs one
+/// on every node to keep its least-loaded index current even though
+/// callers mutate nodes directly through Cluster::node().
+class NodeUsageListener {
+ public:
+  virtual void on_node_usage_changed(const Node& node,
+                                     std::uint32_t old_used_slots,
+                                     bool was_alive) = 0;
+
+ protected:
+  ~NodeUsageListener() = default;
+};
+
 /// Mutable node state: capacity accounting plus liveness. Containers
 /// reserve a slot and a memory allocation for their lifetime.
 class Node {
@@ -52,11 +67,23 @@ class Node {
   double fail_weight() const { return failure_weight(spec_.cpu); }
 
   bool alive() const { return alive_; }
-  void mark_failed() { alive_ = false; }
+  void mark_failed() {
+    const std::uint32_t old_slots = used_slots_;
+    const bool was_alive = alive_;
+    alive_ = false;
+    notify(old_slots, was_alive);
+  }
   void mark_restored() {
+    const std::uint32_t old_slots = used_slots_;
+    const bool was_alive = alive_;
     alive_ = true;
     used_slots_ = 0;
     used_memory_ = Bytes::zero();
+    notify(old_slots, was_alive);
+  }
+
+  void set_usage_listener(NodeUsageListener* listener) {
+    listener_ = listener;
   }
 
   std::uint32_t used_slots() const { return used_slots_; }
@@ -76,11 +103,18 @@ class Node {
   void release(Bytes memory);
 
  private:
+  void notify(std::uint32_t old_slots, bool was_alive) {
+    if (listener_ != nullptr) {
+      listener_->on_node_usage_changed(*this, old_slots, was_alive);
+    }
+  }
+
   NodeId id_;
   NodeSpec spec_;
   bool alive_ = true;
   std::uint32_t used_slots_ = 0;
   Bytes used_memory_ = Bytes::zero();
+  NodeUsageListener* listener_ = nullptr;
 };
 
 }  // namespace canary::cluster

@@ -6,33 +6,6 @@
 
 namespace canary::faas {
 
-struct Platform::InvocationInternal : Invocation {
-  std::size_t index_in_job = 0;
-  sim::EventHandle progress_event;
-  sim::EventHandle kill_event;
-  sim::EventHandle timeout_event;
-  obs::SpanHandle phase_span;
-  std::vector<RecoveryMarker> markers;
-  TimePoint state_start;
-  TimePoint state_planned_end;
-  /// work_done captured at the last failure; used to compute lost work
-  /// once the restore point of the next attempt is known.
-  Duration last_failure_work = Duration::zero();
-  bool counted_running = false;
-};
-
-struct Platform::JobRecord {
-  JobSpec spec;
-  std::vector<FunctionId> functions;
-  std::size_t remaining = 0;
-  TimePoint submitted;
-  TimePoint completed = TimePoint::max();
-  /// Trigger graph: dependents[i] lists the function indices unblocked by
-  /// function i's completion; unmet_deps[i] counts i's open dependencies.
-  std::vector<std::vector<std::size_t>> dependents;
-  std::vector<std::size_t> unmet_deps;
-};
-
 namespace {
 /// Builds the trigger graph (reverse adjacency + indegrees) and verifies
 /// it is acyclic with in-range dependency indices (Kahn's algorithm).
@@ -65,9 +38,7 @@ bool build_trigger_graph(const JobSpec& spec,
   }
   return processed == n;
 }
-}  // namespace
 
-namespace {
 Duration work_floor(const FunctionSpec& spec, std::size_t from_state) {
   Duration floor = Duration::zero();
   for (std::size_t i = 0; i < from_state && i < spec.states.size(); ++i) {
@@ -77,8 +48,6 @@ Duration work_floor(const FunctionSpec& spec, std::size_t from_state) {
 }
 }  // namespace
 
-Platform::~Platform() = default;
-
 Platform::Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
                    cluster::NetworkModel& network, PlatformConfig config,
                    obs::MetricRegistry& metrics)
@@ -86,7 +55,8 @@ Platform::Platform(sim::Simulator& simulator, cluster::Cluster& cluster,
       cluster_(cluster),
       network_(network),
       config_(config),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      inflight_launches_(cluster.size(), 0u) {}
 
 void Platform::add_observer(PlatformObserver* observer) {
   observers_.push_back(observer);
@@ -129,21 +99,75 @@ void Platform::arm_slo(InvocationInternal& inv, Duration sla) {
       return;
     }
     if (!slo_->record_violation(id, sim_.now())) return;
-    metrics_.count("slo_violations");
+    m_slo_violations_.add();
     obs_event(target, obs::EventKind::kSlaViolation, "sla_violation");
   });
 }
 
 Platform::InvocationInternal& Platform::internal(FunctionId id) {
-  auto it = invocations_.find(id);
-  CANARY_CHECK(it != invocations_.end(), "unknown function id");
-  return *it->second;
+  CANARY_CHECK(id.valid() && id.value() <= invocations_.size(),
+               "unknown function id");
+  return invocations_[id.value() - 1];
 }
 
 const Platform::InvocationInternal& Platform::internal(FunctionId id) const {
-  auto it = invocations_.find(id);
-  CANARY_CHECK(it != invocations_.end(), "unknown function id");
-  return *it->second;
+  CANARY_CHECK(id.valid() && id.value() <= invocations_.size(),
+               "unknown function id");
+  return invocations_[id.value() - 1];
+}
+
+Platform::JobRecord& Platform::job_record(JobId id) {
+  CANARY_CHECK(id.valid() && id.value() <= jobs_.size(), "unknown job id");
+  return jobs_[id.value() - 1];
+}
+
+const Platform::JobRecord& Platform::job_record(JobId id) const {
+  CANARY_CHECK(id.valid() && id.value() <= jobs_.size(), "unknown job id");
+  return jobs_[id.value() - 1];
+}
+
+Container& Platform::container_ref(ContainerId id) {
+  CANARY_CHECK(id.valid() && id.value() <= containers_.size(),
+               "unknown container");
+  return containers_[id.value() - 1];
+}
+
+const Container& Platform::container_ref(ContainerId id) const {
+  CANARY_CHECK(id.valid() && id.value() <= containers_.size(),
+               "unknown container");
+  return containers_[id.value() - 1];
+}
+
+Container* Platform::alive_container(ContainerId id) {
+  if (!id.valid() || id.value() > containers_.size()) return nullptr;
+  Container& c = containers_[id.value() - 1];
+  return c.alive() ? &c : nullptr;
+}
+
+Platform::InvocationInternal* Platform::attempt_guard(FunctionId id,
+                                                      int attempt,
+                                                      ContainerId cid) {
+  auto& target = internal(id);
+  if (target.attempt != attempt) return nullptr;
+  if (alive_container(cid) == nullptr) return nullptr;
+  return &target;
+}
+
+void Platform::warm_index_add(const Container& c) {
+  warm_idle_[static_cast<std::size_t>(c.purpose)]
+            [static_cast<std::size_t>(c.image)]
+                .insert(c.id);
+}
+
+void Platform::warm_index_remove(const Container& c) {
+  warm_idle_[static_cast<std::size_t>(c.purpose)]
+            [static_cast<std::size_t>(c.image)]
+                .erase(c.id);
+}
+
+void Platform::release_inflight_launch(NodeId node) {
+  unsigned& inflight = inflight_launches_[node.value() - 1];
+  if (inflight > 0) --inflight;
 }
 
 Result<JobId> Platform::submit_job(JobSpec spec) {
@@ -160,35 +184,44 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
     }
   }
 
-  const JobId job_id = job_ids_.next();
-  auto record = std::make_unique<JobRecord>();
-  record->spec = std::move(spec);
-  record->submitted = sim_.now();
-  record->remaining = record->spec.functions.size();
-  if (!build_trigger_graph(record->spec, record->dependents,
-                           record->unmet_deps)) {
+  // Validate the trigger graph before issuing any ids: ids index the
+  // entity slabs, so a rejected job must not consume one.
+  std::vector<std::vector<std::size_t>> dependents;
+  std::vector<std::size_t> unmet_deps;
+  if (!build_trigger_graph(spec, dependents, unmet_deps)) {
     return Error::invalid_argument(
         "job trigger graph has a cycle or an out-of-range dependency");
   }
 
-  for (std::size_t i = 0; i < record->spec.functions.size(); ++i) {
-    const auto& fn = record->spec.functions[i];
+  const JobId job_id = job_ids_.next();
+  CANARY_CHECK(job_id.value() == jobs_.size() + 1, "job id / slab desync");
+  jobs_.emplace_back();
+  JobRecord& record = jobs_.back();
+  record.spec = std::move(spec);
+  record.submitted = sim_.now();
+  record.remaining = record.spec.functions.size();
+  record.dependents = std::move(dependents);
+  record.unmet_deps = std::move(unmet_deps);
+
+  for (std::size_t i = 0; i < record.spec.functions.size(); ++i) {
+    const auto& fn = record.spec.functions[i];
     const FunctionId fid = function_ids_.next();
-    auto inv = std::make_unique<InvocationInternal>();
-    inv->id = fid;
-    inv->job = job_id;
-    inv->spec = &fn;
-    inv->index_in_job = i;
-    inv->submit_time = sim_.now();
-    obs_event(*inv, obs::EventKind::kSubmit, fn.name);
-    arm_slo(*inv, fn.sla > Duration::zero() ? fn.sla : record->spec.sla);
-    invocations_.emplace(fid, std::move(inv));
-    record->functions.push_back(fid);
+    CANARY_CHECK(fid.value() == invocations_.size() + 1,
+                 "function id / slab desync");
+    invocations_.emplace_back();
+    InvocationInternal& inv = invocations_.back();
+    inv.id = fid;
+    inv.job = job_id;
+    inv.spec = &fn;
+    inv.index_in_job = i;
+    inv.submit_time = sim_.now();
+    obs_event(inv, obs::EventKind::kSubmit, fn.name);
+    arm_slo(inv, fn.sla > Duration::zero() ? fn.sla : record.spec.sla);
+    record.functions.push_back(fid);
     // Functions with open dependencies wait for their trigger; the rest
     // queue immediately.
-    if (record->unmet_deps[i] == 0) pending_.push_back(fid);
+    if (record.unmet_deps[i] == 0) pending_.push_back(fid);
   }
-  jobs_.emplace(job_id, std::move(record));
 
   for (auto* obs : observers_) obs->on_job_submitted(job_id);
   pump_pending_queue();
@@ -200,54 +233,46 @@ const Invocation& Platform::invocation(FunctionId id) const {
 }
 
 const JobSpec& Platform::job_spec(JobId id) const {
-  auto it = jobs_.find(id);
-  CANARY_CHECK(it != jobs_.end(), "unknown job id");
-  return it->second->spec;
+  return job_record(id).spec;
 }
 
 const std::vector<FunctionId>& Platform::job_functions(JobId id) const {
-  auto it = jobs_.find(id);
-  CANARY_CHECK(it != jobs_.end(), "unknown job id");
-  return it->second->functions;
+  return job_record(id).functions;
 }
 
 bool Platform::job_completed(JobId id) const {
-  auto it = jobs_.find(id);
-  CANARY_CHECK(it != jobs_.end(), "unknown job id");
-  return it->second->remaining == 0;
+  return job_record(id).remaining == 0;
 }
 
 bool Platform::all_jobs_completed() const {
-  return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
-    return kv.second->remaining == 0;
-  });
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const JobRecord& j) { return j.remaining == 0; });
 }
 
 TimePoint Platform::job_submit_time(JobId id) const {
-  auto it = jobs_.find(id);
-  CANARY_CHECK(it != jobs_.end(), "unknown job id");
-  return it->second->submitted;
+  return job_record(id).submitted;
 }
 
 TimePoint Platform::job_completion_time(JobId id) const {
-  auto it = jobs_.find(id);
-  CANARY_CHECK(it != jobs_.end(), "unknown job id");
-  return it->second->completed;
+  return job_record(id).completed;
 }
 
 std::vector<JobId> Platform::all_job_ids() const {
+  // Slab order is id order, so no sort is needed.
   std::vector<JobId> ids;
   ids.reserve(jobs_.size());
-  for (const auto& [id, record] : jobs_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    ids.push_back(JobId{i + 1});
+  }
   return ids;
 }
 
 std::vector<FunctionId> Platform::all_function_ids() const {
   std::vector<FunctionId> ids;
   ids.reserve(invocations_.size());
-  for (const auto& [id, inv] : invocations_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    ids.push_back(FunctionId{i + 1});
+  }
   return ids;
 }
 
@@ -309,9 +334,7 @@ void Platform::start_attempt(FunctionId id, StartSpec spec) {
   }
 
   if (spec.container) {
-    auto it = containers_.find(*spec.container);
-    CANARY_CHECK(it != containers_.end(), "unknown container");
-    Container& c = *it->second;
+    Container& c = container_ref(*spec.container);
     CANARY_CHECK(c.warm_idle(), "container is not warm-idle");
     CANARY_CHECK(cluster_.node(c.node).alive(), "container's node is down");
     start_warm(inv, c, spec);
@@ -324,8 +347,8 @@ void Platform::start_attempt(FunctionId id, StartSpec spec) {
     const auto pooled = find_warm_container(inv.spec->runtime, spec.node_pref,
                                             ContainerPurpose::kFunction);
     if (pooled) {
-      metrics_.count("pool_reuses");
-      start_warm(inv, *containers_.at(*pooled), spec);
+      m_pool_reuses_.add();
+      start_warm(inv, container_ref(*pooled), spec);
       return;
     }
   }
@@ -336,7 +359,7 @@ void Platform::start_attempt(FunctionId id, StartSpec spec) {
     inv.phase = Phase::kPending;
     spec.container.reset();
     capacity_waiters_.emplace_back(id, spec);
-    metrics_.count("capacity_waits");
+    m_capacity_waits_.add();
     return;
   }
   start_cold(inv, *node, spec);
@@ -346,23 +369,24 @@ ContainerId Platform::create_container(NodeId node, RuntimeImage image,
                                        Bytes memory,
                                        ContainerPurpose purpose) {
   const ContainerId cid = container_ids_.next();
-  auto c = std::make_unique<Container>();
-  c->id = cid;
-  c->node = node;
-  c->image = image;
-  c->memory = memory;
-  c->purpose = purpose;
-  c->state = ContainerState::kLaunching;
-  c->created = sim_.now();
-  ledger_.open(*c);
-  containers_.emplace(cid, std::move(c));
-  ++inflight_launches_[node];
+  CANARY_CHECK(cid.value() == containers_.size() + 1,
+               "container id / slab desync");
+  containers_.emplace_back();
+  Container& c = containers_.back();
+  c.id = cid;
+  c.node = node;
+  c.image = image;
+  c.memory = memory;
+  c.purpose = purpose;
+  c.state = ContainerState::kLaunching;
+  c.created = sim_.now();
+  ledger_.open(c);
+  ++inflight_launches_[node.value() - 1];
   return cid;
 }
 
 double Platform::launch_contention_multiplier(NodeId node) const {
-  auto it = inflight_launches_.find(node);
-  const unsigned inflight = it == inflight_launches_.end() ? 0 : it->second;
+  const unsigned inflight = inflight_launches_[node.value() - 1];
   if (inflight <= 1) return 1.0;
   const double mult =
       1.0 + config_.cold_start_contention * static_cast<double>(inflight - 1);
@@ -409,7 +433,7 @@ void Platform::arm_kill_timer(InvocationInternal& inv,
               target.phase == Phase::kFailed) {
             return;
           }
-          metrics_.count("timeouts");
+          m_timeouts_.add();
           handle_kill(target, FailureKind::kTimeout);
         });
   }
@@ -448,10 +472,13 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
 
   const ContainerId cid = create_container(node, inv.spec->runtime, memory,
                                            ContainerPurpose::kFunction);
-  containers_.at(cid)->assigned = inv.id;
-  containers_.at(cid)->state = ContainerState::kLaunching;
+  {
+    Container& c = container_ref(cid);
+    c.assigned = inv.id;
+    c.state = ContainerState::kLaunching;
+  }
   inv.container = cid;
-  metrics_.count("cold_starts");
+  m_cold_starts_.add();
   obs_phase(inv, obs::SpanKind::kLaunch, "launch");
   obs_event(inv, obs::EventKind::kLaunch, "launch");
 
@@ -465,43 +492,32 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
   const Duration setup = spec.extra_setup;
   const FunctionId id = inv.id;
 
-  auto guard = [this, id, attempt, cid]() -> InvocationInternal* {
-    auto& target = internal(id);
-    if (target.attempt != attempt) return nullptr;
-    auto it = containers_.find(cid);
-    if (it == containers_.end() || !it->second->alive()) return nullptr;
-    return &target;
-  };
-
-  inv.progress_event = sim_.schedule_after(launch, [this, guard, cid, init,
-                                                    setup, attempt] {
+  inv.progress_event = sim_.schedule_after(launch, [this, id, attempt, cid,
+                                                    init, setup] {
     // A container destroyed mid-launch already released its in-flight
     // launch slot in destroy_container().
-    auto it = containers_.find(cid);
-    if (it == containers_.end() || !it->second->alive()) return;
-    auto launches = inflight_launches_.find(it->second->node);
-    if (launches != inflight_launches_.end() && launches->second > 0) {
-      --launches->second;
-    }
-    auto* target = guard();
+    Container* c = alive_container(cid);
+    if (c == nullptr) return;
+    release_inflight_launch(c->node);
+    auto* target = attempt_guard(id, attempt, cid);
     if (target == nullptr) return;
-    containers_.at(cid)->state = ContainerState::kInitializing;
+    c->state = ContainerState::kInitializing;
     target->phase = Phase::kInitializing;
     obs_phase(*target, obs::SpanKind::kInit, "init");
     obs_event(*target, obs::EventKind::kInit, "init");
     target->progress_event =
-        sim_.schedule_after(init, [this, guard, cid, setup, attempt] {
-          auto* target = guard();
+        sim_.schedule_after(init, [this, id, attempt, cid, setup] {
+          auto* target = attempt_guard(id, attempt, cid);
           if (target == nullptr) return;
-          containers_.at(cid)->state = ContainerState::kBusy;
+          container_ref(cid).state = ContainerState::kBusy;
           target->phase = Phase::kStarting;
           if (setup > Duration::zero()) {
             obs_phase(*target, obs::SpanKind::kRestore, "restore");
             obs_event(*target, obs::EventKind::kRestore, "restore");
           }
           target->progress_event =
-              sim_.schedule_after(setup, [this, guard, attempt] {
-                auto* target = guard();
+              sim_.schedule_after(setup, [this, id, attempt, cid] {
+                auto* target = attempt_guard(id, attempt, cid);
                 if (target == nullptr) return;
                 begin_execution(*target, attempt);
               });
@@ -518,6 +534,7 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
   inv.node = c.node;
   inv.container = c.id;
   inv.phase = Phase::kStarting;
+  warm_index_remove(c);  // leaving the Warm state (keyed by old purpose)
   c.state = ContainerState::kBusy;
   c.assigned = inv.id;
   c.idle_since = TimePoint::max();
@@ -527,7 +544,7 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
   ledger_.close(c.id, sim_.now());
   c.purpose = ContainerPurpose::kFunction;
   ledger_.open_at(c, sim_.now());
-  metrics_.count("warm_starts");
+  m_warm_starts_.add();
   // Warm adoption skips launch+init (the replication win); the dispatch
   // window plus any checkpoint restore is the whole pre-exec cost.
   obs_phase(inv, obs::SpanKind::kRestore, "warm_dispatch");
@@ -541,11 +558,9 @@ void Platform::start_warm(InvocationInternal& inv, Container& c,
   const FunctionId id = inv.id;
   const ContainerId cid = c.id;
   inv.progress_event = sim_.schedule_after(setup, [this, id, attempt, cid] {
-    auto& target = internal(id);
-    if (target.attempt != attempt) return;
-    auto it = containers_.find(cid);
-    if (it == containers_.end() || !it->second->alive()) return;
-    begin_execution(target, attempt);
+    auto* target = attempt_guard(id, attempt, cid);
+    if (target == nullptr) return;
+    begin_execution(*target, attempt);
   });
 }
 
@@ -610,35 +625,33 @@ void Platform::complete_function(InvocationInternal& inv) {
   inv.timeout_event.cancel();
   inv.progress_event.cancel();
   obs_end_phase(inv);
-  metrics_.sample_duration("function_latency", sim_.now() - inv.submit_time);
+  m_function_latency_.record_duration(sim_.now() - inv.submit_time);
   if (inv.first_dispatch_time != TimePoint::max()) {
-    metrics_.sample_duration("function_queue_wait",
-                             inv.first_dispatch_time - inv.submit_time);
+    m_function_queue_wait_.record_duration(inv.first_dispatch_time -
+                                           inv.submit_time);
   }
   resolve_recovery_markers(inv);
   obs_event(inv, obs::EventKind::kComplete, "complete");
 
   if (inv.container.valid()) {
-    auto it = containers_.find(inv.container);
-    if (it != containers_.end() && it->second->alive()) {
-      if (config_.reuse_containers &&
-          cluster_.node(it->second->node).alive()) {
+    Container* c = alive_container(inv.container);
+    if (c != nullptr) {
+      if (config_.reuse_containers && cluster_.node(c->node).alive()) {
         // Return the container to the warm pool: billing pauses, and an
         // idle timer reclaims it if nothing adopts it.
-        Container& c = *it->second;
-        c.state = ContainerState::kWarm;
-        c.assigned = FunctionId::invalid();
-        c.idle_since = sim_.now();
-        ledger_.close(c.id, sim_.now());
-        metrics_.count("containers_pooled");
-        const ContainerId cid = c.id;
-        const TimePoint idle_mark = c.idle_since;
+        c->state = ContainerState::kWarm;
+        c->assigned = FunctionId::invalid();
+        c->idle_since = sim_.now();
+        warm_index_add(*c);
+        ledger_.close(c->id, sim_.now());
+        m_containers_pooled_.add();
+        const ContainerId cid = c->id;
+        const TimePoint idle_mark = c->idle_since;
         sim_.schedule_after(config_.warm_pool_idle_timeout,
                             [this, cid, idle_mark] {
-                              auto pooled = containers_.find(cid);
-                              if (pooled == containers_.end()) return;
-                              if (!pooled->second->warm_idle()) return;
-                              if (pooled->second->idle_since != idle_mark) {
+                              Container& pooled = container_ref(cid);
+                              if (!pooled.warm_idle()) return;
+                              if (pooled.idle_since != idle_mark) {
                                 return;  // re-pooled since; newer timer owns it
                               }
                               destroy_container(cid);
@@ -653,12 +666,10 @@ void Platform::complete_function(InvocationInternal& inv) {
     CANARY_CHECK(running_count_ > 0, "running count underflow");
     --running_count_;
   }
-  metrics_.count("functions_completed");
+  m_functions_completed_.add();
   for (auto* obs : observers_) obs->on_function_completed(inv);
 
-  auto job_it = jobs_.find(inv.job);
-  CANARY_CHECK(job_it != jobs_.end(), "invocation belongs to unknown job");
-  auto& job = *job_it->second;
+  auto& job = job_record(inv.job);
   CANARY_CHECK(job.remaining > 0, "job function count underflow");
   // Trigger the dependents whose last dependency just completed.
   for (const std::size_t next : job.dependents[inv.index_in_job]) {
@@ -711,7 +722,7 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
 
   ++inv.failures;
   inv.phase = Phase::kFailed;
-  metrics_.count("failures");
+  m_failures_.add();
   obs_end_phase(inv);
   if (spans_ != nullptr) {
     spans_->instant(obs::SpanKind::kFailure, std::string(to_string_view(kind)),
@@ -723,11 +734,8 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   info.node = inv.node;
   info.container = inv.container;
 
-  if (inv.container.valid()) {
-    auto it = containers_.find(inv.container);
-    if (it != containers_.end() && it->second->alive()) {
-      destroy_container(inv.container);
-    }
+  if (inv.container.valid() && alive_container(inv.container) != nullptr) {
+    destroy_container(inv.container);
   }
   for (auto* obs : observers_) obs->on_function_failed(inv, info);
 
@@ -748,8 +756,8 @@ void Platform::resolve_recovery_markers(InvocationInternal& inv) {
     if (it->floor <= inv.work_done) {
       const Duration recovery = now - it->fail_time;
       inv.recovery_time += recovery;
-      metrics_.sample_duration("recovery_time", recovery);
-      metrics_.count("recoveries");
+      m_recovery_time_.record_duration(recovery);
+      m_recoveries_.add();
       if (spans_ != nullptr) {
         spans_->record(obs::SpanKind::kRecovery, "recovery", it->fail_time,
                        now, obs_labels(inv));
@@ -801,14 +809,14 @@ void Platform::discard_function(FunctionId id) {
         [id](const auto& entry) { return entry.first == id; });
     if (waiter != capacity_waiters_.end()) capacity_waiters_.erase(waiter);
   }
-  metrics_.count("functions_discarded");
+  m_functions_discarded_.add();
   obs_event(inv, obs::EventKind::kAnnotation, "discarded");
   complete_function(inv);
 }
 
 void Platform::fail_node(NodeId node) {
   cluster_.fail_node(node);
-  metrics_.count("node_failures");
+  m_node_failures_.add();
   if (spans_ != nullptr) {
     obs::SpanLabels labels;
     labels.node = node;
@@ -827,13 +835,13 @@ void Platform::fail_node(NodeId node) {
                             sim_.now(), labels);
   }
 
+  // Slab order is id order, so the victim list is already sorted.
   std::vector<ContainerId> on_node;
-  for (const auto& [cid, c] : containers_) {
-    if (c->node == node && c->alive()) on_node.push_back(cid);
+  for (const auto& c : containers_) {
+    if (c.node == node && c.alive()) on_node.push_back(c.id);
   }
-  std::sort(on_node.begin(), on_node.end());
   for (const ContainerId cid : on_node) {
-    auto& c = *containers_.at(cid);
+    auto& c = container_ref(cid);
     if (!c.alive()) continue;  // may have died while killing its sibling
     // Any container with an assigned function — launching, initializing,
     // or executing — takes its invocation down with it; only unassigned
@@ -880,26 +888,24 @@ Result<ContainerId> Platform::launch_warm_container(
 
   sim_.schedule_after(launch, [this, cid, init, node, warm_trace,
                                on_ready = std::move(on_ready)]() mutable {
-    auto it = containers_.find(cid);
-    if (it == containers_.end() || !it->second->alive()) return;
-    auto launches = inflight_launches_.find(node);
-    if (launches != inflight_launches_.end() && launches->second > 0) {
-      --launches->second;
-    }
-    it->second->state = ContainerState::kInitializing;
+    Container* c = alive_container(cid);
+    if (c == nullptr) return;
+    release_inflight_launch(node);
+    c->state = ContainerState::kInitializing;
     sim_.schedule_after(init, [this, cid, warm_trace,
                                on_ready = std::move(on_ready)] {
-      auto inner = containers_.find(cid);
-      if (inner == containers_.end() || !inner->second->alive()) return;
-      inner->second->state = ContainerState::kWarm;
+      Container* inner = alive_container(cid);
+      if (inner == nullptr) return;
+      inner->state = ContainerState::kWarm;
+      warm_index_add(*inner);
       if (events_ != nullptr && warm_trace.valid()) {
         obs::SpanLabels labels;
         labels.container = cid;
-        labels.node = inner->second->node;
+        labels.node = inner->node;
         events_->append(warm_trace, obs::EventKind::kReplica, "replica_ready",
                         sim_.now(), labels);
       }
-      for (auto* obs : observers_) obs->on_container_ready(*inner->second);
+      for (auto* obs : observers_) obs->on_container_ready(*inner);
       if (on_ready) on_ready(cid);
     });
   });
@@ -909,68 +915,78 @@ Result<ContainerId> Platform::launch_warm_container(
 std::optional<ContainerId> Platform::find_warm_container(
     RuntimeImage image, std::optional<NodeId> prefer_node,
     std::optional<ContainerPurpose> purpose) const {
-  const Container* best = nullptr;
-  for (const auto& [cid, c] : containers_) {
-    if (!c->warm_idle() || c->image != image) continue;
-    if (purpose && c->purpose != *purpose) continue;
-    if (!cluster_.node(c->node).alive()) continue;
-    const bool preferred = prefer_node && c->node == *prefer_node;
-    const bool best_preferred =
-        best != nullptr && prefer_node && best->node == *prefer_node;
-    if (best == nullptr || (preferred && !best_preferred) ||
-        (preferred == best_preferred && c->id < best->id)) {
-      best = c.get();
+  const std::size_t img = static_cast<std::size_t>(image);
+  // Selection mirrors the old full scan exactly: a container on the
+  // preferred node wins (lowest id among those), else the lowest id
+  // overall. The index sets are ascending, so the first alive hit per set
+  // is that set's lowest candidate.
+  ContainerId best_preferred = ContainerId::invalid();
+  ContainerId best_any = ContainerId::invalid();
+  auto scan = [&](const std::set<ContainerId>& pool) {
+    for (const ContainerId cid : pool) {
+      const Container& c = container_ref(cid);
+      // A node death destroys its containers synchronously, but observers
+      // run mid-teardown, so skip (don't trust) dead-node entries.
+      if (!cluster_.node(c.node).alive()) continue;
+      if (!best_any.valid() || cid < best_any) best_any = cid;
+      if (prefer_node && c.node == *prefer_node) {
+        if (!best_preferred.valid() || cid < best_preferred) {
+          best_preferred = cid;
+        }
+        break;  // ascending set: later entries can't beat this one
+      }
+      if (!prefer_node) break;  // lowest id found and no preference to chase
+    }
+  };
+  if (purpose) {
+    scan(warm_idle_[static_cast<std::size_t>(*purpose)][img]);
+  } else {
+    for (std::size_t p = 0; p < kPurposeCount; ++p) {
+      scan(warm_idle_[p][img]);
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return best->id;
+  if (best_preferred.valid()) return best_preferred;
+  if (best_any.valid()) return best_any;
+  return std::nullopt;
 }
 
 void Platform::destroy_warm_container(ContainerId id) {
-  auto it = containers_.find(id);
-  CANARY_CHECK(it != containers_.end(), "unknown container");
-  CANARY_CHECK(it->second->warm_idle(), "container is not warm-idle");
+  Container& c = container_ref(id);
+  CANARY_CHECK(c.warm_idle(), "container is not warm-idle");
   destroy_container(id);
 }
 
 const Container& Platform::container(ContainerId id) const {
-  auto it = containers_.find(id);
-  CANARY_CHECK(it != containers_.end(), "unknown container");
-  return *it->second;
+  return container_ref(id);
 }
 
 std::vector<const Container*> Platform::containers_on(NodeId node) const {
+  // Slab order is id order, so the result needs no sort.
   std::vector<const Container*> result;
-  for (const auto& [cid, c] : containers_) {
-    if (c->node == node && c->alive()) result.push_back(c.get());
+  for (const auto& c : containers_) {
+    if (c.node == node && c.alive()) result.push_back(&c);
   }
-  std::sort(result.begin(), result.end(),
-            [](const Container* a, const Container* b) { return a->id < b->id; });
   return result;
 }
 
 std::size_t Platform::warm_container_count(RuntimeImage image) const {
+  const std::size_t img = static_cast<std::size_t>(image);
   std::size_t count = 0;
-  for (const auto& [cid, c] : containers_) {
-    if (c->warm_idle() && c->image == image &&
-        cluster_.node(c->node).alive()) {
-      ++count;
+  for (std::size_t p = 0; p < kPurposeCount; ++p) {
+    for (const ContainerId cid : warm_idle_[p][img]) {
+      if (cluster_.node(container_ref(cid).node).alive()) ++count;
     }
   }
   return count;
 }
 
 void Platform::destroy_container(ContainerId id) {
-  auto it = containers_.find(id);
-  CANARY_CHECK(it != containers_.end(), "unknown container");
-  Container& c = *it->second;
+  Container& c = container_ref(id);
   if (!c.alive()) return;
   if (c.state == ContainerState::kLaunching) {
-    auto launches = inflight_launches_.find(c.node);
-    if (launches != inflight_launches_.end() && launches->second > 0) {
-      --launches->second;
-    }
+    release_inflight_launch(c.node);
   }
+  if (c.state == ContainerState::kWarm) warm_index_remove(c);
   c.state = ContainerState::kDead;
   c.destroyed = sim_.now();
   ledger_.close(id, sim_.now());

@@ -16,9 +16,8 @@
 #pragma once
 
 #include <deque>
-#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -91,7 +90,6 @@ class Platform {
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
-  ~Platform();  // out-of-line: members hold unique_ptrs to internal types
 
   // ---- policy installation -------------------------------------------
   void set_failure_policy(FailurePolicy* policy) { failure_policy_ = policy; }
@@ -191,16 +189,61 @@ class Platform {
   obs::MetricRegistry& metrics() { return metrics_; }
 
  private:
-  struct InvocationInternal;
-  struct JobRecord;
+  static constexpr std::size_t kPurposeCount = 4;
+  static constexpr std::size_t kImageCount = 8;
   struct RecoveryMarker {
     Duration floor;      // nominal work to regain
     TimePoint fail_time;
     obs::EventId fail_event = obs::kNoEvent;  // the kFailure DAG node
   };
 
+  // Defined in the header (not pimpl'd) so the records can live directly
+  // in the entity slabs below — std::deque needs a complete element type.
+  struct InvocationInternal : Invocation {
+    std::size_t index_in_job = 0;
+    sim::EventHandle progress_event;
+    sim::EventHandle kill_event;
+    sim::EventHandle timeout_event;
+    obs::SpanHandle phase_span;
+    std::vector<RecoveryMarker> markers;
+    TimePoint state_start;
+    TimePoint state_planned_end;
+    /// work_done captured at the last failure; used to compute lost work
+    /// once the restore point of the next attempt is known.
+    Duration last_failure_work = Duration::zero();
+    bool counted_running = false;
+  };
+
+  struct JobRecord {
+    JobSpec spec;
+    std::vector<FunctionId> functions;
+    std::size_t remaining = 0;
+    TimePoint submitted;
+    TimePoint completed = TimePoint::max();
+    /// Trigger graph: dependents[i] lists the function indices unblocked
+    /// by function i's completion; unmet_deps[i] counts i's open
+    /// dependencies.
+    std::vector<std::vector<std::size_t>> dependents;
+    std::vector<std::size_t> unmet_deps;
+  };
+
   InvocationInternal& internal(FunctionId id);
   const InvocationInternal& internal(FunctionId id) const;
+  JobRecord& job_record(JobId id);
+  const JobRecord& job_record(JobId id) const;
+  Container& container_ref(ContainerId id);
+  const Container& container_ref(ContainerId id) const;
+  /// The container if it exists and is alive, else nullptr. Replaces the
+  /// old map-find-plus-alive guard on deferred event paths.
+  Container* alive_container(ContainerId id);
+  /// Deferred-event guard: the invocation if it is still on `attempt`
+  /// with `cid` alive, else nullptr (the event is stale).
+  InvocationInternal* attempt_guard(FunctionId id, int attempt,
+                                    ContainerId cid);
+
+  void warm_index_add(const Container& c);
+  void warm_index_remove(const Container& c);
+  void release_inflight_launch(NodeId node);
 
   void pump_pending_queue();
   void retry_capacity_waiters();
@@ -261,10 +304,24 @@ class Platform {
   IdGenerator<FunctionId> function_ids_;
   IdGenerator<ContainerId> container_ids_;
 
-  std::unordered_map<JobId, std::unique_ptr<JobRecord>> jobs_;
-  std::unordered_map<FunctionId, std::unique_ptr<InvocationInternal>> invocations_;
-  std::unordered_map<ContainerId, std::unique_ptr<Container>> containers_;
-  std::unordered_map<NodeId, unsigned> inflight_launches_;
+  // Entity slabs. Ids are issued sequentially from 1 and records are
+  // never erased, so a deque indexed by id-1 replaces the old
+  // unordered_map<Id, unique_ptr<T>> tables: O(1) lookup with no hashing,
+  // stable addresses across growth, and chunked allocation instead of one
+  // heap node per record (the dominant allocation source at
+  // million-invocation scale).
+  std::deque<JobRecord> jobs_;
+  std::deque<InvocationInternal> invocations_;
+  std::deque<Container> containers_;
+  /// In-flight cold launches per node, indexed by node id - 1 (the
+  /// cluster's node set is fixed at construction).
+  std::vector<unsigned> inflight_launches_;
+
+  /// Warm-idle container index: [purpose][image] -> ids of containers in
+  /// the Warm state, ascending. Maintained at every transition into/out
+  /// of Warm so find_warm_container()/warm_container_count() touch only
+  /// actual candidates instead of scanning every container ever created.
+  std::set<ContainerId> warm_idle_[kPurposeCount][kImageCount];
 
   std::deque<FunctionId> pending_;  // waiting on account concurrency
   std::deque<std::pair<FunctionId, StartSpec>> capacity_waiters_;
@@ -272,6 +329,24 @@ class Platform {
   bool pump_scheduled_ = false;
 
   UsageLedger ledger_;
+
+  // Per-event metric handles: one map lookup each for the whole run
+  // instead of one per increment.
+  obs::CounterHandle m_cold_starts_{metrics_, "cold_starts"};
+  obs::CounterHandle m_warm_starts_{metrics_, "warm_starts"};
+  obs::CounterHandle m_pool_reuses_{metrics_, "pool_reuses"};
+  obs::CounterHandle m_capacity_waits_{metrics_, "capacity_waits"};
+  obs::CounterHandle m_functions_completed_{metrics_, "functions_completed"};
+  obs::CounterHandle m_functions_discarded_{metrics_, "functions_discarded"};
+  obs::CounterHandle m_failures_{metrics_, "failures"};
+  obs::CounterHandle m_recoveries_{metrics_, "recoveries"};
+  obs::CounterHandle m_timeouts_{metrics_, "timeouts"};
+  obs::CounterHandle m_containers_pooled_{metrics_, "containers_pooled"};
+  obs::CounterHandle m_node_failures_{metrics_, "node_failures"};
+  obs::CounterHandle m_slo_violations_{metrics_, "slo_violations"};
+  obs::HistogramHandle m_function_latency_{metrics_, "function_latency"};
+  obs::HistogramHandle m_function_queue_wait_{metrics_, "function_queue_wait"};
+  obs::HistogramHandle m_recovery_time_{metrics_, "recovery_time"};
 };
 
 }  // namespace canary::faas

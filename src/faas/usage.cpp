@@ -13,23 +13,24 @@ void UsageLedger::open_at(const Container& c, TimePoint start) {
   rec.purpose = c.purpose;
   rec.start = start;
   rec.end = TimePoint::max();
+  open_[c.id] = records_.size();
   records_.push_back(rec);
 }
 
 void UsageLedger::close(ContainerId id, TimePoint end) {
-  // Scan from the back: the open record for a container is its newest.
-  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    if (it->container == id && it->end == TimePoint::max()) {
-      it->end = end;
-      return;
-    }
-  }
+  // A container has at most one open interval; the index replaces the old
+  // backwards scan over the (ever-growing) ledger.
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  records_[it->second].end = end;
+  open_.erase(it);
 }
 
 void UsageLedger::close_all_open(TimePoint end) {
   for (auto& rec : records_) {
     if (rec.end == TimePoint::max()) rec.end = end;
   }
+  open_.clear();
 }
 
 double UsageLedger::total_gb_seconds() const {

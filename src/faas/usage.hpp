@@ -7,6 +7,8 @@
 // to primary execution vs. replication/standby overhead.
 #pragma once
 
+#include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -49,6 +51,11 @@ class UsageLedger {
 
  private:
   std::vector<UsageRecord> records_;
+  /// Open-interval index: container id -> index of its open record in
+  /// records_. A container has at most one open interval at a time, so
+  /// close() is a hash lookup instead of a backwards scan over the whole
+  /// ledger (which grows with every pooled/destroyed container).
+  std::unordered_map<ContainerId, std::size_t> open_;
 };
 
 }  // namespace canary::faas

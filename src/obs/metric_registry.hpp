@@ -31,6 +31,18 @@ class MetricRegistry {
   double counter(const std::string& name) const;
   const std::map<std::string, double>& counters() const { return counters_; }
 
+  // ---- hot-path handles -----------------------------------------------
+  // A per-event count()/sample() pays a map lookup on every call, which
+  // dominates the platform's bookkeeping at million-invocation scale.
+  // Hot recorders resolve their metric once and increment through the
+  // returned reference instead. Map nodes are stable, so handles stay
+  // valid for the registry's lifetime — except across clear(), after
+  // which they must be re-acquired.
+  double& counter_ref(const std::string& name) { return counters_[name]; }
+  Histogram& histogram_ref(const std::string& name) {
+    return histograms_[name];
+  }
+
   // ---- gauges (last-write-wins levels) --------------------------------
   void set_gauge(const std::string& name, double value) {
     gauges_[name] = value;
@@ -62,6 +74,46 @@ class MetricRegistry {
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
+};
+
+/// Lazily-resolved counter handle for per-event recorders. The first
+/// add() resolves the registry slot (one map lookup); every later add()
+/// is a pointer bump. Resolution is lazy on purpose: a counter that
+/// never fires must stay absent from the registry, because reports list
+/// exactly the counters that were ever recorded.
+class CounterHandle {
+ public:
+  CounterHandle(MetricRegistry& registry, const char* name)
+      : registry_(&registry), name_(name) {}
+
+  void add(double delta = 1.0) {
+    if (slot_ == nullptr) slot_ = &registry_->counter_ref(name_);
+    *slot_ += delta;
+  }
+
+ private:
+  MetricRegistry* registry_;
+  const char* name_;
+  double* slot_ = nullptr;
+};
+
+/// Histogram counterpart of CounterHandle, with the same lazy-resolution
+/// contract.
+class HistogramHandle {
+ public:
+  HistogramHandle(MetricRegistry& registry, const char* name)
+      : registry_(&registry), name_(name) {}
+
+  void record(double value) {
+    if (slot_ == nullptr) slot_ = &registry_->histogram_ref(name_);
+    slot_->record(value);
+  }
+  void record_duration(Duration d) { record(d.to_seconds()); }
+
+ private:
+  MetricRegistry* registry_;
+  const char* name_;
+  Histogram* slot_ = nullptr;
 };
 
 }  // namespace canary::obs

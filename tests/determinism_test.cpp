@@ -1,0 +1,105 @@
+// Byte-level determinism: the same scenario run twice in the same
+// process must produce byte-identical run_report v2 JSON and
+// byte-identical chrome-trace output. This is the property the figure
+// pipeline (and CI's cross-run `cmp`) relies on, asserted here without
+// touching the filesystem so it also runs under sanitizers cheaply.
+//
+// In-process repetition is the stricter variant of CI's two-process
+// check: it additionally catches state leaking between runs through
+// globals, statics, or allocator-address-dependent ordering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "obs/chrome_trace.hpp"
+#include "recovery/strategies.hpp"
+#include "workloads/workloads.hpp"
+
+namespace canary {
+namespace {
+
+harness::ScenarioConfig scenario_under_test() {
+  harness::ScenarioConfig config;
+  config.strategy = recovery::StrategyConfig::canary_full();
+  config.error_rate = 0.15;
+  config.cluster_nodes = 8;
+  config.seed = 20220101;
+  config.node_failure_offsets.push_back(Duration::sec(5.0));
+  config.record_spans = true;
+  config.record_events = true;
+  return config;
+}
+
+std::vector<faas::JobSpec> jobs_under_test() {
+  std::vector<faas::JobSpec> jobs;
+  jobs.push_back(workloads::make_mixed_batch(12));
+  jobs.push_back(workloads::make_mapreduce_job(4, 2));
+  return jobs;
+}
+
+std::string render_report(const harness::Aggregate& agg) {
+  obs::RunReport report =
+      harness::make_report("determinism_probe", scenario_under_test(), agg);
+  return report.to_json();
+}
+
+std::string render_trace(const harness::RunResult& result) {
+  std::ostringstream out;
+  obs::write_chrome_trace(out, result.spans.get(), result.events.get());
+  return out.str();
+}
+
+TEST(DeterminismTest, RunReportJsonIsByteIdenticalAcrossRuns) {
+  const harness::ScenarioConfig config = scenario_under_test();
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const std::string first =
+      render_report(harness::run_repetitions(config, jobs, 3));
+  const std::string second =
+      render_report(harness::run_repetitions(config, jobs, 3));
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "run_report v2 JSON diverged between runs";
+  EXPECT_NE(first.find("canary.run_report/v2"), std::string::npos);
+}
+
+TEST(DeterminismTest, ChromeTraceIsByteIdenticalAcrossRuns) {
+  const harness::ScenarioConfig config = scenario_under_test();
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const harness::RunResult a = harness::ScenarioRunner::run(config, jobs);
+  const harness::RunResult b = harness::ScenarioRunner::run(config, jobs);
+
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  ASSERT_NE(a.spans, nullptr);
+  ASSERT_NE(a.events, nullptr);
+
+  const std::string trace_a = render_trace(a);
+  const std::string trace_b = render_trace(b);
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b) << "chrome trace diverged between runs";
+}
+
+TEST(DeterminismTest, HeadlineScalarsAreReproducible) {
+  const harness::ScenarioConfig config = scenario_under_test();
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const harness::RunResult a = harness::ScenarioRunner::run(config, jobs);
+  const harness::RunResult b = harness::ScenarioRunner::run(config, jobs);
+
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.total_recovery_s, b.total_recovery_s);
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+  EXPECT_EQ(a.simulated_events, b.simulated_events);
+  EXPECT_EQ(a.metrics.counters(), b.metrics.counters());
+}
+
+}  // namespace
+}  // namespace canary

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a canary.run_report/v2 JSON file.
+"""Validate canary report JSON files.
 
-Structural check for the machine-readable run reports emitted by the
-benches, the experiment CLI and harness::make_report: verifies the v2
-schema tag, the presence and types of every section, that the breakdown's
-component maps carry exactly the known critical-path components, and that
-the recovery components sum to the recovery window within tolerance
-(1 sim-ms per recovery, the acceptance bound of the decomposition).
+Two schemas are understood, dispatched on the report's `schema` tag:
 
-Usage:  check_report.py report.json [report2.json ...]
+canary.run_report/v2 — the machine-readable run reports emitted by the
+benches, the experiment CLI and harness::make_report. Verifies the
+presence and types of every section, that the breakdown's component maps
+carry exactly the known critical-path components, and that the recovery
+components sum to the recovery window within tolerance (1 sim-ms per
+recovery, the acceptance bound of the decomposition).
+
+canary.bench/v1 — the throughput reports emitted by bench/scale_stress:
+named phases with events, wall time, events/sec and exact allocation
+counts, plus peak RSS. With --baseline, each phase's events/sec is
+compared against the same phase in the baseline report and the check
+fails if any phase regressed by more than --max-regress (default 0.20,
+i.e. 20%).
+
+Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
+            report.json [report2.json ...]
 
 Exits non-zero on the first invalid report. Stdlib only.
 """
@@ -17,6 +27,7 @@ import json
 import sys
 
 SCHEMA = "canary.run_report/v2"
+BENCH_SCHEMA = "canary.bench/v1"
 COMPONENTS = [
     "detection",
     "scheduling",
@@ -160,15 +171,121 @@ def check_report(report, path):
           f"{len(series)} series, {len(claims)} claims)")
 
 
+def check_bench_report(report, path):
+    """Validate a canary.bench/v1 report; returns {phase name: events/sec}."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == BENCH_SCHEMA,
+           f"schema: expected '{BENCH_SCHEMA}', got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+    expect(isinstance(report.get("quick"), bool), "quick: expected a bool")
+
+    config = report.get("config")
+    expect(isinstance(config, dict), "config: expected an object")
+    for key in ("nodes", "invocations"):
+        check_number(config, key, "config")
+        expect(config[key] > 0, f"config.{key}: must be positive")
+
+    phases = report.get("phases")
+    expect(isinstance(phases, list) and phases,
+           "phases: expected a non-empty array")
+    rates = {}
+    for i, phase in enumerate(phases):
+        p = f"phases[{i}]"
+        expect(isinstance(phase, dict) and isinstance(phase.get("name"), str),
+               f"{p}: expected an object with a name")
+        for key in ("events", "wall_s", "events_per_sec", "allocations",
+                    "allocations_per_event"):
+            check_number(phase, key, p)
+        expect(phase["events"] > 0, f"{p}.events: must be positive")
+        expect(phase["wall_s"] > 0, f"{p}.wall_s: must be positive")
+        expect(phase["events_per_sec"] > 0,
+               f"{p}.events_per_sec: must be positive")
+        expect(phase["allocations"] >= 0, f"{p}.allocations: negative")
+        measured_rate = phase["events"] / phase["wall_s"]
+        expect(abs(measured_rate - phase["events_per_sec"])
+               <= 0.01 * measured_rate,
+               f"{p}.events_per_sec inconsistent with events/wall_s")
+        expect(phase["name"] not in rates, f"{p}: duplicate phase name")
+        rates[phase["name"]] = phase["events_per_sec"]
+
+    check_number(report, "peak_rss_bytes", "top level")
+    expect(report["peak_rss_bytes"] > 0, "peak_rss_bytes: must be positive")
+
+    summary = ", ".join(
+        f"{name} {rate / 1e6:.2f}M ev/s" for name, rate in rates.items())
+    print(f"{path}: OK ({BENCH_SCHEMA}, {summary})")
+    return rates
+
+
+def compare_bench(rates, baseline_rates, max_regress, path):
+    """Fail if any phase's events/sec regressed beyond max_regress."""
+    for name, base_rate in baseline_rates.items():
+        expect(name in rates, f"{path}: phase '{name}' missing vs baseline")
+        floor = base_rate * (1.0 - max_regress)
+        rate = rates[name]
+        expect(rate >= floor,
+               f"{path}: phase '{name}' regressed: {rate:.0f} ev/s < "
+               f"{floor:.0f} ev/s (baseline {base_rate:.0f}, "
+               f"max regression {max_regress:.0%})")
+        delta = (rate - base_rate) / base_rate
+        print(f"{path}: {name}: {rate / 1e6:.2f}M ev/s vs baseline "
+              f"{base_rate / 1e6:.2f}M ({delta:+.1%})")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def main(argv):
-    if len(argv) < 2:
+    baseline_path = None
+    max_regress = 0.20
+    paths = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--baseline":
+            expect_args = i + 1 < len(argv)
+            if not expect_args:
+                print("--baseline requires a file argument", file=sys.stderr)
+                return 2
+            baseline_path = argv[i + 1]
+            i += 2
+        elif arg == "--max-regress":
+            if i + 1 >= len(argv):
+                print("--max-regress requires a number", file=sys.stderr)
+                return 2
+            max_regress = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(arg)
+            i += 1
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for path in argv[1:]:
+
+    baseline_rates = None
+    if baseline_path is not None:
         try:
-            with open(path, encoding="utf-8") as fh:
-                report = json.load(fh)
-            check_report(report, path)
+            baseline_rates = check_bench_report(load(baseline_path),
+                                                baseline_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{baseline_path}: unreadable: {err}", file=sys.stderr)
+            return 1
+        except Invalid as err:
+            print(f"{baseline_path}: INVALID: {err}", file=sys.stderr)
+            return 1
+
+    for path in paths:
+        try:
+            report = load(path)
+            if report.get("schema") == BENCH_SCHEMA:
+                rates = check_bench_report(report, path)
+                if baseline_rates is not None:
+                    compare_bench(rates, baseline_rates, max_regress, path)
+            else:
+                check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
             print(f"{path}: unreadable: {err}", file=sys.stderr)
             return 1
