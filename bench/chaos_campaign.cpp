@@ -1,0 +1,218 @@
+// Chaos campaign: hundreds of seeded multi-fault scenarios (container
+// kills, node failures, gray slowdowns, heartbeat delay/drop, KV
+// checkpoint loss/corruption) run under Canary with heartbeat detection
+// and the recovery watchdog, each checked against the invariant oracles
+// in harness/chaos.hpp. Any violation fails the binary (exit 1) — this is
+// the robustness gate CI runs in quick mode on every push.
+//
+// Usage: chaos_campaign [--quick] [--scenarios N] [--seed BASE]
+// Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/chaos.hpp"
+
+namespace {
+
+bool quick_mode_env() {
+  const char* v = std::getenv("CANARY_QUICK");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using canary::harness::ChaosOutcome;
+
+  bool quick = quick_mode_env();
+  std::size_t scenarios = 0;  // 0 = derive from quick flag below
+  std::uint64_t base_seed = 90001;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--scenarios" && i + 1 < argc) {
+      scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      base_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: chaos_campaign [--quick] [--scenarios N] "
+                   "[--seed BASE]\n";
+      return 2;
+    }
+  }
+  if (scenarios == 0) scenarios = quick ? 24 : 240;
+
+  std::cout << "chaos campaign: " << scenarios << " scenarios, base seed "
+            << base_seed << (quick ? " (quick)" : "") << "\n";
+
+  // Seeded scenarios are independent; run them in parallel batches.
+  std::vector<ChaosOutcome> outcomes(scenarios);
+  const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t next = 0;
+  while (next < scenarios) {
+    const std::size_t batch = std::min(workers, scenarios - next);
+    std::vector<std::future<ChaosOutcome>> futures;
+    futures.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::uint64_t seed = base_seed + next + i;
+      futures.push_back(std::async(std::launch::async, [seed] {
+        return canary::harness::run_chaos_scenario(seed);
+      }));
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      outcomes[next + i] = futures[i].get();
+    }
+    next += batch;
+  }
+
+  // ---- aggregate --------------------------------------------------------
+  std::uint64_t violations = 0;
+  std::uint64_t node_kills = 0, gray = 0, hb_dropped = 0, hb_delayed = 0;
+  std::uint64_t store_dropped = 0, store_corrupted = 0;
+  std::uint64_t suspicions = 0, false_suspicions = 0, stalls = 0;
+  double total_failures = 0.0;
+  double max_detection = 0.0;
+  std::vector<const ChaosOutcome*> failed;
+  for (const ChaosOutcome& out : outcomes) {
+    violations += out.violations.size();
+    node_kills += out.node_kills;
+    gray += out.gray_windows;
+    hb_dropped += out.heartbeats_dropped;
+    hb_delayed += out.heartbeats_delayed;
+    store_dropped += out.store_entries_dropped;
+    store_corrupted += out.store_entries_corrupted;
+    suspicions += out.detector_suspicions;
+    false_suspicions += out.detector_false_suspicions;
+    stalls += out.recovery_stalls;
+    total_failures += out.failures;
+    max_detection = std::max(max_detection, out.max_detection_latency_s);
+    if (!out.violations.empty()) failed.push_back(&out);
+  }
+
+  canary::TextTable table({"metric", "total"});
+  table.add_row({"scenarios", std::to_string(scenarios)});
+  table.add_row({"function failures", canary::TextTable::num(total_failures, 0)});
+  table.add_row({"node kills", std::to_string(node_kills)});
+  table.add_row({"gray windows", std::to_string(gray)});
+  table.add_row({"heartbeats dropped", std::to_string(hb_dropped)});
+  table.add_row({"heartbeats delayed", std::to_string(hb_delayed)});
+  table.add_row({"checkpoints destroyed", std::to_string(store_dropped)});
+  table.add_row({"checkpoints corrupted", std::to_string(store_corrupted)});
+  table.add_row({"worker suspicions", std::to_string(suspicions)});
+  table.add_row({"false suspicions", std::to_string(false_suspicions)});
+  table.add_row({"recovery stalls", std::to_string(stalls)});
+  table.add_row({"max detection latency [s]",
+                 canary::TextTable::num(max_detection, 3)});
+  table.add_row({"oracle violations", std::to_string(violations)});
+  table.print(std::cout);
+
+  if (!failed.empty()) {
+    std::cout << "\nFAILED scenarios:\n";
+    for (const ChaosOutcome* out : failed) {
+      std::cout << "  seed " << out->seed << ":\n";
+      for (const std::string& v : out->violations) {
+        std::cout << "    - " << v << "\n";
+      }
+    }
+  }
+
+  // ---- canary.chaos/v1 report ------------------------------------------
+  const char* dir = std::getenv("CANARY_REPORT_DIR");
+  std::string path =
+      (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+  path += "BENCH_chaos_campaign.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"schema\": \"canary.chaos/v1\",\n";
+  os << "  \"name\": \"chaos_campaign\",\n";
+  os << "  \"params\": {\n";
+  os << "    \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "    \"scenarios\": " << scenarios << ",\n";
+  os << "    \"base_seed\": " << base_seed << "\n";
+  os << "  },\n";
+  os << "  \"fault_totals\": {\n";
+  os << "    \"function_failures\": " << num(total_failures) << ",\n";
+  os << "    \"node_kills\": " << node_kills << ",\n";
+  os << "    \"gray_windows\": " << gray << ",\n";
+  os << "    \"heartbeats_dropped\": " << hb_dropped << ",\n";
+  os << "    \"heartbeats_delayed\": " << hb_delayed << ",\n";
+  os << "    \"store_entries_dropped\": " << store_dropped << ",\n";
+  os << "    \"store_entries_corrupted\": " << store_corrupted << "\n";
+  os << "  },\n";
+  os << "  \"detection\": {\n";
+  os << "    \"suspicions\": " << suspicions << ",\n";
+  os << "    \"false_suspicions\": " << false_suspicions << ",\n";
+  os << "    \"recovery_stalls\": " << stalls << ",\n";
+  os << "    \"max_latency_s\": " << num(max_detection) << "\n";
+  os << "  },\n";
+  os << "  \"oracles\": {\n";
+  os << "    \"checked\": [\"completion\", \"exactly_once\", "
+        "\"no_corrupt_restore\", \"detection_bound\", \"ledger_balance\", "
+        "\"no_stranded_failures\"],\n";
+  os << "    \"violations\": " << violations << "\n";
+  os << "  },\n";
+  os << "  \"failed_scenarios\": [";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"seed\": " << failed[i]->seed << ", \"violations\": [";
+    const auto& vs = failed[i]->violations;
+    for (std::size_t v = 0; v < vs.size(); ++v) {
+      os << (v == 0 ? "" : ", ") << "\"" << json_escape(vs[v]) << "\"";
+    }
+    os << "]}";
+  }
+  os << (failed.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  os.close();
+  std::cout << "\nreport: " << path << "\n";
+
+  if (violations > 0) {
+    std::cerr << "\nchaos campaign FAILED: " << violations
+              << " oracle violation(s)\n";
+    return 1;
+  }
+  std::cout << "\nchaos campaign passed: " << scenarios
+            << " scenarios, zero oracle violations\n";
+  return 0;
+}

@@ -126,7 +126,16 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
     // so in-KV checkpoints survive node failures immediately.
     row.flushed_to_shared = true;
     const Status put = store_.put(key, meta.str(), payload);
-    CANARY_CHECK(put.ok(), "KV put within the entry limit must succeed");
+    if (!put.ok()) {
+      // A degraded store (shard fault, capacity) must never crash the
+      // checkpoint path: the state commit stands, this checkpoint is
+      // simply not durable — recovery falls back to an older intact row
+      // or full re-execution.
+      metrics_.count("checkpoint_write_failures");
+      CANARY_LOG_WARN("checkpoint put failed for " << key << ": "
+                                                   << put.error().message);
+      return;
+    }
   } else {
     const auto tier = storage_.spill_tier_for(payload);
     row.location = tier.value_or(cluster::StorageTier::kNfs);
@@ -134,7 +143,12 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
     row.flushed_to_shared = tier_profile.shared;
     meta << ";loc=" << to_string_view(row.location);
     const Status put = store_.put(key, meta.str(), config_.metadata_size);
-    CANARY_CHECK(put.ok(), "KV metadata put must succeed");
+    if (!put.ok()) {
+      metrics_.count("checkpoint_write_failures");
+      CANARY_LOG_WARN("checkpoint metadata put failed for "
+                      << key << ": " << put.error().message);
+      return;
+    }
     metrics_.count("checkpoint_spills");
   }
   metrics_.count("checkpoints_written");
@@ -203,6 +217,13 @@ RestorePlan CheckpointingModule::restore_plan(FunctionId fn,
     Duration read = Duration::zero();
     if (row.location == cluster::StorageTier::kKvStore) {
       if (!store_.contains(row.kv_key)) continue;  // lost with cache nodes
+      if (!store_.intact(row.kv_key)) {
+        // Checksum mismatch: the entry survived but its payload is
+        // damaged. Restoring it would silently resurrect corrupt state —
+        // skip to the next-older checkpoint (or full re-execution).
+        metrics_.count("checkpoint_corrupt_skipped");
+        continue;
+      }
       read = storage_.read_time(cluster::StorageTier::kKvStore, row.payload);
     } else {
       const auto& tier_profile = storage_.profile(row.location);
@@ -224,6 +245,13 @@ RestorePlan CheckpointingModule::restore_plan(FunctionId fn,
     plan.from_state = row.state_index + 1;
     plan.restore_time = read + decompression_time(row.payload);
     plan.checkpoint = row.checkpoint;
+    // Oracle tripwire: a selected KV checkpoint must be intact (the skip
+    // above filters corrupt ones). The chaos campaign asserts this
+    // counter stays zero.
+    if (row.location == cluster::StorageTier::kKvStore &&
+        !store_.intact(row.kv_key)) {
+      metrics_.count("restored_corrupt_checkpoints");
+    }
     return plan;
   }
   return plan;  // no usable checkpoint: restart from the first state

@@ -36,6 +36,11 @@ void CoreModule::refresh_worker_table() {
   for (const NodeId id : platform_.cluster().node_ids()) {
     const auto& node = platform_.cluster().node(id);
     WorkerInfoRow row;
+    if (const WorkerInfoRow* existing = metadata_.worker(id)) {
+      // Preserve the failure detector's heartbeat lease fields — the
+      // refresh only re-reads the hardware facts and liveness.
+      row = *existing;
+    }
     row.node = id;
     row.cpu = node.spec().cpu;
     row.memory = node.spec().memory;
@@ -44,6 +49,10 @@ void CoreModule::refresh_worker_table() {
     row.alive = node.alive();
     metadata_.upsert_worker(row);
   }
+}
+
+bool CoreModule::node_suspect(NodeId node) const {
+  return mitigator_.is_suspect(node) || detector_suspects_.count(node) > 0;
 }
 
 Result<JobId> CoreModule::submit_job(faas::JobSpec spec) {
@@ -108,19 +117,28 @@ bool CoreModule::sla_urgent(const faas::Invocation& inv) const {
   return done_if_cold > it->second;
 }
 
-void CoreModule::recover_cold(const faas::Invocation& inv) {
+void CoreModule::recover_cold(const faas::Invocation& inv,
+                              std::optional<NodeId> avoid) {
   // No replica ready (mass failure burst or replication disabled): fall
   // back to a cold container but still restore from the checkpoint.
-  // Avoid the failed worker if it is predicted to be failing.
+  // Avoid the failed worker if it is predicted to be failing or stalled.
   std::optional<NodeId> prefer;
-  if (platform_.cluster().node(inv.node).alive() &&
-      !mitigator_.is_suspect(inv.node)) {
+  if (platform_.cluster().node(inv.node).alive() && !node_suspect(inv.node) &&
+      (!avoid || *avoid != inv.node)) {
     prefer = inv.node;
   }
-  const NodeId target = prefer.value_or(
-      platform_.cluster()
-          .least_loaded(inv.spec->effective_memory())
-          .value_or(inv.node));
+  NodeId target;
+  if (prefer) {
+    target = *prefer;
+  } else if (avoid) {
+    target = platform_.cluster()
+                 .least_loaded_excluding(inv.spec->effective_memory(), {*avoid})
+                 .value_or(inv.node);
+  } else {
+    target = platform_.cluster()
+                 .least_loaded(inv.spec->effective_memory())
+                 .value_or(inv.node);
+  }
   const RestorePlan plan = checkpointing_.restore_plan(inv.id, target);
   faas::StartSpec start;
   start.from_state = plan.from_state;
@@ -128,6 +146,7 @@ void CoreModule::recover_cold(const faas::Invocation& inv) {
   start.extra_setup = plan.restore_time;
   platform_.metrics().count("cold_fallback_recoveries");
   recovery_instant(inv, "cold_fallback_recovery");
+  arm_recovery_watch(inv.id, target);
   platform_.start_attempt(inv.id, start);
 }
 
@@ -137,14 +156,26 @@ void CoreModule::on_failure(const faas::Invocation& inv,
   replication_.on_failure_observed(inv);
   refresh_worker_table();
 
+  // A watchdog-initiated kill recorded the stalled worker; route this
+  // dispatch away from it.
+  std::optional<NodeId> avoid;
+  if (auto it = avoid_.find(inv.id); it != avoid_.end()) {
+    avoid = it->second;
+    avoid_.erase(it);
+  }
+  dispatch_recovery(inv, avoid);
+}
+
+void CoreModule::dispatch_recovery(const faas::Invocation& inv,
+                                   std::optional<NodeId> avoid) {
   const faas::RuntimeImage image = inv.spec->runtime;
   const std::optional<NodeId> prefer =
-      platform_.cluster().node(inv.node).alive() &&
-              !mitigator_.is_suspect(inv.node)
+      platform_.cluster().node(inv.node).alive() && !node_suspect(inv.node) &&
+              (!avoid || *avoid != inv.node)
           ? std::optional(inv.node)
           : std::nullopt;
 
-  auto replica = runtime_manager_.acquire(image, prefer);
+  auto replica = runtime_manager_.acquire(image, prefer, avoid);
   if (replica) {
     // Fast path: migrate onto the warm replicated runtime and restore the
     // latest checkpoint there.
@@ -157,6 +188,7 @@ void CoreModule::on_failure(const faas::Invocation& inv,
     platform_.metrics().count("replica_recoveries");
     recovery_instant(inv, "replica_recovery");
     replication_.on_replica_consumed(image);
+    arm_recovery_watch(inv.id, replica->worker);
     platform_.start_attempt(inv.id, start);
     return;
   }
@@ -173,12 +205,79 @@ void CoreModule::on_failure(const faas::Invocation& inv,
       platform_.metrics().count("sla_promised_recoveries");
       recovery_instant(inv, "sla_promised_recovery");
       replication_.on_replica_consumed(image);
+      arm_recovery_watch(inv.id, pending->worker);
       return;  // dispatch happens in on_container_ready
     }
   }
 
   replication_.reconcile(image);  // provision replicas for the next failure
-  recover_cold(inv);
+  recover_cold(inv, avoid);
+}
+
+// ---- recovery watchdog ------------------------------------------------------
+
+void CoreModule::arm_recovery_watch(FunctionId id, NodeId target) {
+  if (config_.recovery_action_timeout <= Duration::zero()) return;
+  RecoveryWatch& watch = watches_[id];
+  watch.timer.cancel();
+  watch.target = target;
+  // Capped exponential backoff: every stall of this function widens the
+  // window, so a loaded-but-healthy cluster converges instead of looping.
+  Duration window = config_.recovery_action_timeout;
+  for (int i = 0; i < watch.stalls; ++i) {
+    window = window * config_.recovery_backoff_factor;
+    if (window >= config_.recovery_backoff_cap) {
+      window = config_.recovery_backoff_cap;
+      break;
+    }
+  }
+  watch.timer = platform_.simulator().schedule_after(
+      window, [this, id] { recovery_watch_fired(id); });
+}
+
+void CoreModule::disarm_recovery_watch(FunctionId id) {
+  auto it = watches_.find(id);
+  if (it == watches_.end()) return;
+  it->second.timer.cancel();
+  watches_.erase(it);
+}
+
+void CoreModule::recovery_watch_fired(FunctionId id) {
+  auto it = watches_.find(id);
+  if (it == watches_.end()) return;
+  const auto& inv = platform_.invocation(id);
+  if (inv.phase == faas::Phase::kExecuting ||
+      inv.phase == faas::Phase::kFinalizing ||
+      inv.phase == faas::Phase::kCompleted) {
+    watches_.erase(it);  // the recovery made it; nothing to do
+    return;
+  }
+  RecoveryWatch& watch = it->second;
+  ++watch.stalls;
+  ++recovery_stalls_;
+  platform_.metrics().count("recovery_stalls");
+  const NodeId stalled = watch.target;
+  if (inv.phase == faas::Phase::kLaunching ||
+      inv.phase == faas::Phase::kInitializing ||
+      inv.phase == faas::Phase::kStarting) {
+    // The claimed container is stuck launching/restoring — a gray worker
+    // signature. Kill the attempt and re-route the next dispatch away
+    // from the stalled node. kRecoveryStall skips the invoker detection
+    // delay (the controller initiated the kill, it already knows).
+    recovery_instant(inv, "recovery_stall_reroute");
+    avoid_[id] = stalled;
+    platform_.kill_function(id, faas::FailureKind::kRecoveryStall);
+    return;  // on_failure re-dispatches and re-arms the watch
+  }
+  // Queued or promised attempts must not be killed — they would re-enter
+  // the capacity queue and double-start. Keep waiting, window widened.
+  // Give up re-arming after enough stalls that the cluster is clearly
+  // wedged — an unbounded timer chain would keep the simulator spinning.
+  if (watch.stalls >= 64) {
+    watches_.erase(it);
+    return;
+  }
+  arm_recovery_watch(id, stalled);
 }
 
 // ---- ExecutionHooks ---------------------------------------------------------
@@ -224,6 +323,7 @@ void CoreModule::on_job_submitted(JobId job) {
 }
 
 void CoreModule::on_attempt_started(const faas::Invocation& inv) {
+  disarm_recovery_watch(inv.id);  // the recovery reached execution
   if (auto* row = metadata_.mutable_function(inv.id)) {
     row->worker = inv.node;
     row->container = inv.container;
@@ -233,6 +333,8 @@ void CoreModule::on_attempt_started(const faas::Invocation& inv) {
 }
 
 void CoreModule::on_function_completed(const faas::Invocation& inv) {
+  disarm_recovery_watch(inv.id);
+  avoid_.erase(inv.id);
   if (auto* row = metadata_.mutable_function(inv.id)) {
     row->completed = true;
   }
@@ -314,5 +416,21 @@ void CoreModule::on_container_destroyed(const faas::Container& c) {
 }
 
 void CoreModule::on_job_completed(JobId job) { (void)job; }
+
+// ---- FailureDetectorListener ------------------------------------------------
+
+void CoreModule::on_worker_suspected(NodeId node, double suspicion) {
+  (void)suspicion;
+  detector_suspects_.insert(node);
+}
+
+void CoreModule::on_worker_unsuspected(NodeId node) {
+  detector_suspects_.erase(node);
+}
+
+void CoreModule::on_worker_confirmed_dead(NodeId node) {
+  detector_suspects_.erase(node);  // dead, not merely suspect
+  refresh_worker_table();
+}
 
 }  // namespace canary::core

@@ -17,9 +17,12 @@
 
 #include <deque>
 
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "canary/checkpointing.hpp"
+#include "canary/failure_detector.hpp"
 #include "canary/metadata.hpp"
 #include "canary/proactive.hpp"
 #include "canary/replication.hpp"
@@ -44,11 +47,24 @@ struct CanaryConfig {
   /// Reassignment/routing overhead when migrating a failed function onto
   /// a replicated runtime (in addition to checkpoint restore time).
   Duration migration_overhead = Duration::msec(50);
+  /// Recovery-action watchdog: a recovery dispatch (replica claim or cold
+  /// fallback) that has not begun executing within this window is treated
+  /// as stalled — the attempt is killed with FailureKind::kRecoveryStall
+  /// and re-routed away from the stalled worker (gray nodes launch
+  /// containers arbitrarily slowly but never fail them). zero() disables
+  /// the watchdog (the legacy behaviour).
+  Duration recovery_action_timeout = Duration::zero();
+  /// Each consecutive stall of the same function widens the watchdog
+  /// window by this factor (capped), so a genuinely slow cluster is not
+  /// re-routed into a kill storm.
+  double recovery_backoff_factor = 2.0;
+  Duration recovery_backoff_cap = Duration::sec(8.0);
 };
 
 class CoreModule final : public faas::RecoveryHandler,
                          public faas::ExecutionHooks,
-                         public faas::PlatformObserver {
+                         public faas::PlatformObserver,
+                         public FailureDetectorListener {
  public:
   CoreModule(faas::Platform& platform, kv::KvStore& store,
              const cluster::StorageHierarchy& storage, CanaryConfig config);
@@ -92,11 +108,31 @@ class CoreModule final : public faas::RecoveryHandler,
   void on_container_destroyed(const faas::Container& c) override;
   void on_job_completed(JobId job) override;
 
+  // ---- FailureDetectorListener ---------------------------------------------
+  /// Heartbeat-suspected workers are avoided by recovery placement and
+  /// replica acquisition exactly like the proactive mitigator's suspects.
+  void on_worker_suspected(NodeId node, double suspicion) override;
+  void on_worker_unsuspected(NodeId node) override;
+  void on_worker_confirmed_dead(NodeId node) override;
+
+  std::uint64_t recovery_stalls() const { return recovery_stalls_; }
+
  private:
   void refresh_worker_table();
   void drain_queue();
+  /// Suspect by either signal source: the reactive proactive-mitigation
+  /// predictor or the heartbeat failure detector.
+  bool node_suspect(NodeId node) const;
+  /// Dispatch a recovery for `inv`, routing around `avoid` (a worker the
+  /// watchdog observed stalling this function's previous recovery).
+  void dispatch_recovery(const faas::Invocation& inv,
+                         std::optional<NodeId> avoid);
   /// Cold-path recovery: restore the checkpoint onto a fresh container.
-  void recover_cold(const faas::Invocation& inv);
+  void recover_cold(const faas::Invocation& inv,
+                    std::optional<NodeId> avoid = std::nullopt);
+  void arm_recovery_watch(FunctionId id, NodeId target);
+  void recovery_watch_fired(FunctionId id);
+  void disarm_recovery_watch(FunctionId id);
   /// Whether the function's job deadline is threatened if recovery pays a
   /// full cold start.
   bool sla_urgent(const faas::Invocation& inv) const;
@@ -119,6 +155,20 @@ class CoreModule final : public faas::RecoveryHandler,
   std::unordered_map<JobId, TimePoint> deadlines_;
   /// Launching replicas promised to SLA-urgent functions.
   std::unordered_map<ContainerId, FunctionId> promised_;
+
+  /// Workers currently suspected by the heartbeat failure detector.
+  std::unordered_set<NodeId> detector_suspects_;
+  /// Recovery-action watchdog state per recovering function.
+  struct RecoveryWatch {
+    int stalls = 0;
+    sim::EventHandle timer;
+    NodeId target;
+  };
+  std::unordered_map<FunctionId, RecoveryWatch> watches_;
+  /// Worker to route the next recovery of a function away from (set when
+  /// the watchdog killed a stalled attempt on it).
+  std::unordered_map<FunctionId, NodeId> avoid_;
+  std::uint64_t recovery_stalls_ = 0;
 };
 
 }  // namespace canary::core

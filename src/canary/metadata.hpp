@@ -30,6 +30,14 @@ struct WorkerInfoRow {
   std::uint32_t rack = 0;
   bool alive = true;
   std::string role = "invoker";
+  /// Heartbeat lease state published by the failure detector (§IV-C1:
+  /// the Core Module monitors worker_info heartbeats). last_heartbeat is
+  /// the worker-side send time of the latest delivered heartbeat;
+  /// suspicion is the phi-style level (missed intervals) at the last
+  /// detector sweep.
+  TimePoint last_heartbeat = TimePoint::origin();
+  double suspicion = 0.0;
+  bool suspected = false;
 };
 
 struct JobInfoRow {

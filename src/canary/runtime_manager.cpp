@@ -34,13 +34,15 @@ void RuntimeManagerModule::mark_dead(ContainerId container) {
 }
 
 std::optional<ReplicationInfoRow> RuntimeManagerModule::acquire(
-    faas::RuntimeImage image, std::optional<NodeId> prefer) {
+    faas::RuntimeImage image, std::optional<NodeId> prefer,
+    std::optional<NodeId> avoid) {
   ReplicationInfoRow* best = nullptr;
   int best_score = 0;
   for (const auto* row_view : metadata_.replicas_of(image)) {
     auto* row = metadata_.mutable_replica(row_view->replica);
     if (row->status != ReplicaStatus::kActive) continue;
     if (!cluster_.node(row->worker).alive()) continue;
+    if (avoid && row->worker == *avoid) continue;
     // Locality score: same node beats same rack beats anywhere.
     int score = 1;
     if (prefer && cluster_.contains(*prefer)) {

@@ -34,9 +34,12 @@ class RuntimeManagerModule {
 
   /// Best active replica for `image`: same node as `prefer`, then same
   /// rack, then lowest replica id. The replica is marked consumed — its
-  /// container now belongs to the recovering function.
-  std::optional<ReplicationInfoRow> acquire(faas::RuntimeImage image,
-                                            std::optional<NodeId> prefer);
+  /// container now belongs to the recovering function. Replicas hosted on
+  /// `avoid` are skipped (without being consumed) — the recovery watchdog
+  /// routes stalled functions away from gray workers this way.
+  std::optional<ReplicationInfoRow> acquire(
+      faas::RuntimeImage image, std::optional<NodeId> prefer,
+      std::optional<NodeId> avoid = std::nullopt);
 
   /// Replicas that are warm and unconsumed.
   std::size_t active_count(faas::RuntimeImage image) const;

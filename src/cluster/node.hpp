@@ -63,8 +63,15 @@ class Node {
 
   NodeId id() const { return id_; }
   const NodeSpec& spec() const { return spec_; }
-  double speed() const { return speed_factor(spec_.cpu); }
+  double speed() const { return speed_factor(spec_.cpu) * slowdown_; }
   double fail_weight() const { return failure_weight(spec_.cpu); }
+
+  /// Gray-failure multiplier on top of the CPU class: > 1.0 makes every
+  /// duration scheduled on this node that much longer (a straggler that
+  /// trips timeouts without dying). Sampled at scheduling time only —
+  /// already-scheduled state transitions keep their original end time.
+  double slowdown() const { return slowdown_; }
+  void set_slowdown(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
 
   bool alive() const { return alive_; }
   void mark_failed() {
@@ -111,6 +118,7 @@ class Node {
 
   NodeId id_;
   NodeSpec spec_;
+  double slowdown_ = 1.0;
   bool alive_ = true;
   std::uint32_t used_slots_ = 0;
   Bytes used_memory_ = Bytes::zero();

@@ -23,6 +23,10 @@ enum class FailureKind {
   kContainerKill,  // injected container kill (docker kill equivalent)
   kNodeFailure,    // hosting node died
   kTimeout,        // exceeded the platform's function timeout
+  /// A recovery dispatch stalled (gray node, slow launch) and the
+  /// controller's watchdog killed it to re-route. Controller-initiated,
+  /// so it skips the failure-detection delay entirely.
+  kRecoveryStall,
 };
 
 inline std::string_view to_string_view(FailureKind kind) {
@@ -30,6 +34,7 @@ inline std::string_view to_string_view(FailureKind kind) {
     case FailureKind::kContainerKill: return "container_kill";
     case FailureKind::kNodeFailure: return "node_failure";
     case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kRecoveryStall: return "recovery_stall";
   }
   return "unknown";
 }

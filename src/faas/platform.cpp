@@ -741,12 +741,53 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
 
   const FunctionId id = inv.id;
   const int attempt = inv.attempt;
-  sim_.schedule_after(config_.failure_detect_delay, [this, id, attempt, info] {
+  if (config_.detection_mode == DetectionMode::kHeartbeat &&
+      kind == FailureKind::kNodeFailure) {
+    // Nobody watches a dead node's containers: the failure surfaces only
+    // once the heartbeat detector confirms the node (confirm_node_dead).
+    undetected_.push_back({id, attempt, info});
+    return;
+  }
+  // Watchdog stalls are controller-initiated — the controller already
+  // knows, so the invoker's detection delay does not apply.
+  const Duration detect_delay = kind == FailureKind::kRecoveryStall
+                                    ? Duration::zero()
+                                    : config_.failure_detect_delay;
+  sim_.schedule_after(detect_delay, [this, id, attempt, info] {
     auto& target = internal(id);
     if (target.attempt != attempt || target.phase != Phase::kFailed) return;
     obs_event(target, obs::EventKind::kDetect, "detect");
     if (recovery_ != nullptr) recovery_->on_failure(target, info);
   });
+}
+
+void Platform::confirm_node_dead(NodeId node) {
+  if (cluster_.contains(node) && cluster_.node(node).alive()) {
+    // Fencing: the detector may confirm a live-but-unresponsive worker.
+    // Killing it outright before redeploying its functions is what makes
+    // recovery exactly-once — the fenced attempts can never complete
+    // concurrently with their replacements. The kills stash into
+    // undetected_ and drain below.
+    metrics_.count("nodes_fenced");
+    fail_node(node);
+  }
+  std::vector<UndetectedFailure> drained;
+  for (auto it = undetected_.begin(); it != undetected_.end();) {
+    if (it->info.node == node) {
+      drained.push_back(*it);
+      it = undetected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const UndetectedFailure& stash : drained) {
+    auto& target = internal(stash.id);
+    if (target.attempt != stash.attempt || target.phase != Phase::kFailed) {
+      continue;
+    }
+    obs_event(target, obs::EventKind::kDetect, "detect");
+    if (recovery_ != nullptr) recovery_->on_failure(target, stash.info);
+  }
 }
 
 void Platform::resolve_recovery_markers(InvocationInternal& inv) {

@@ -50,6 +50,20 @@ struct PlatformLimits {
   Duration function_timeout = Duration::max();
 };
 
+/// How the platform learns about node-level failures.
+enum class DetectionMode {
+  /// Legacy oracle: every failure is reported to the recovery handler a
+  /// constant `failure_detect_delay` after it happens.
+  kOracle,
+  /// Heartbeat detection: node-level failures are *not* reported until a
+  /// failure detector (canary::core::FailureDetector or equivalent) calls
+  /// confirm_node_dead() — detection latency becomes an emergent quantity
+  /// of the heartbeat interval, timeout multiplier and injected network
+  /// faults. Container-local failures (kills, timeouts) are still noticed
+  /// by the node's invoker after `failure_detect_delay`.
+  kHeartbeat,
+};
+
 struct PlatformConfig {
   PlatformLimits limits;
   /// Controller overhead to schedule one invocation.
@@ -57,6 +71,9 @@ struct PlatformConfig {
   /// Delay between a container dying and the failure being detected and
   /// reported to the recovery handler.
   Duration failure_detect_delay = Duration::msec(300);
+  /// Node-failure detection mode; kOracle preserves the legacy constant
+  /// delay, kHeartbeat defers to confirm_node_dead().
+  DetectionMode detection_mode = DetectionMode::kOracle;
   /// Cold-launch slowdown per additional concurrent launch on the same
   /// node, capped at `contention_cap` (multiplier on cold_launch).
   double cold_start_contention = 0.12;
@@ -176,6 +193,15 @@ class Platform {
   /// Node-level failure: every hosted container dies; busy invocations
   /// fail, warm replicas are destroyed.
   void fail_node(NodeId node);
+  /// Heartbeat-mode detection endpoint: the failure detector confirmed
+  /// `node` dead. A still-alive node is fenced first (failed outright —
+  /// the exactly-once guarantee for false confirmations on gray or
+  /// partitioned workers), then every stashed undetected failure on the
+  /// node is reported to the recovery handler. No-op in kOracle mode
+  /// unless failures were stashed (there never are).
+  void confirm_node_dead(NodeId node);
+  /// Node failures awaiting heartbeat confirmation (kHeartbeat mode).
+  std::size_t undetected_failures() const { return undetected_.size(); }
 
   // ---- accounting ------------------------------------------------------
   const UsageLedger& usage() const { return ledger_; }
@@ -322,6 +348,16 @@ class Platform {
   /// of Warm so find_warm_container()/warm_container_count() touch only
   /// actual candidates instead of scanning every container ever created.
   std::set<ContainerId> warm_idle_[kPurposeCount][kImageCount];
+
+  /// Node failures not yet reported to the recovery handler: in
+  /// kHeartbeat mode a dead node's victims wait here until the failure
+  /// detector calls confirm_node_dead().
+  struct UndetectedFailure {
+    FunctionId id;
+    int attempt = 0;
+    FailureInfo info;
+  };
+  std::vector<UndetectedFailure> undetected_;
 
   std::deque<FunctionId> pending_;  // waiting on account concurrency
   std::deque<std::pair<FunctionId, StartSpec>> capacity_waiters_;

@@ -63,19 +63,42 @@ std::optional<Duration> FailureInjector::plan_kill(const faas::Invocation& inv,
   return busy_estimate * plan.fraction;
 }
 
+void FailureInjector::fire_node_failure(sim::Simulator& simulator,
+                                        faas::Platform& platform,
+                                        kv::KvStore* store, NodeId victim,
+                                        const char* what) {
+  ++node_kills_;
+  annotate_injection(simulator, platform, victim, what);
+  platform.fail_node(victim);
+  if (store != nullptr) store->fail_node(victim);
+}
+
 void FailureInjector::schedule_node_failure(sim::Simulator& simulator,
                                             faas::Platform& platform,
-                                            kv::KvStore* store,
-                                            TimePoint when) {
-  simulator.schedule_at(when, [this, &simulator, &platform, store] {
-    auto victim = platform.cluster().weighted_random_alive(rng_);
-    if (!victim) return;
+                                            kv::KvStore* store, TimePoint when,
+                                            std::optional<NodeId> victim) {
+  simulator.schedule_at(when, [this, &simulator, &platform, store, victim] {
     // Keep at least one node alive so the workload can finish.
     if (platform.cluster().alive_count() <= 1) return;
-    ++node_kills_;
-    annotate_injection(simulator, platform, *victim, "injected_node_failure");
-    platform.fail_node(*victim);
-    if (store != nullptr) store->fail_node(*victim);
+    NodeId target;
+    if (victim) {
+      // Regression guard: a victim already taken down by an earlier
+      // failure event must not be killed again — a second fail_node would
+      // re-count the death and a second store->fail_node would re-drop
+      // (and in partitioned mode re-prune) its KV entries.
+      if (!platform.cluster().contains(*victim) ||
+          !platform.cluster().node(*victim).alive()) {
+        ++skipped_node_kills_;
+        return;
+      }
+      target = *victim;
+    } else {
+      auto drawn = platform.cluster().weighted_random_alive(rng_);
+      if (!drawn) return;
+      target = *drawn;
+    }
+    fire_node_failure(simulator, platform, store, target,
+                      "injected_node_failure");
   });
 }
 
@@ -113,12 +136,118 @@ void FailureInjector::schedule_correlated_node_failure(
     simulator.schedule_at(when, [this, &simulator, &platform, store, node] {
       if (!platform.cluster().node(node).alive()) return;
       if (platform.cluster().alive_count() <= 1) return;
-      ++node_kills_;
-      annotate_injection(simulator, platform, node,
-                         "injected_correlated_node_failure");
-      platform.fail_node(node);
-      if (store != nullptr) store->fail_node(node);
+      fire_node_failure(simulator, platform, store, node,
+                        "injected_correlated_node_failure");
     });
+  });
+}
+
+void FailureInjector::schedule_gray_window(sim::Simulator& simulator,
+                                           faas::Platform& platform,
+                                           TimePoint start, Duration duration,
+                                           double slowdown,
+                                           std::optional<NodeId> victim) {
+  simulator.schedule_at(start, [this, &simulator, &platform, duration,
+                                slowdown, victim] {
+    NodeId target;
+    if (victim && platform.cluster().contains(*victim) &&
+        platform.cluster().node(*victim).alive()) {
+      target = *victim;
+    } else if (!victim) {
+      auto drawn = platform.cluster().weighted_random_alive(rng_);
+      if (!drawn) return;
+      target = *drawn;
+    } else {
+      return;  // requested victim already dead
+    }
+    ++gray_windows_;
+    auto& node = platform.cluster().node(target);
+    // Stack with any narrower gray window already in force.
+    node.set_slowdown(node.slowdown() * slowdown);
+    annotate_injection(simulator, platform, target, "injected_gray_start");
+    simulator.schedule_after(duration, [this, &simulator, &platform, target,
+                                        slowdown] {
+      if (!platform.cluster().contains(target) ||
+          !platform.cluster().node(target).alive()) {
+        return;  // died mid-window; slowdown dies with it
+      }
+      auto& healed = platform.cluster().node(target);
+      healed.set_slowdown(healed.slowdown() / slowdown);
+      annotate_injection(simulator, platform, target, "injected_gray_end");
+    });
+  });
+}
+
+void FailureInjector::add_heartbeat_fault(HeartbeatFault fault) {
+  heartbeat_faults_.push_back(fault);
+}
+
+std::optional<Duration> FailureInjector::heartbeat_delay(NodeId node,
+                                                         TimePoint send_time) {
+  Duration delay = Duration::zero();
+  for (const HeartbeatFault& fault : heartbeat_faults_) {
+    if (fault.node && *fault.node != node) continue;
+    if (send_time < fault.start || send_time >= fault.start + fault.duration) {
+      continue;
+    }
+    if (fault.drop_rate > 0.0) {
+      // Drop decisions key on (node, send time) so they do not depend on
+      // how many heartbeats other nodes sent first.
+      Rng draw = rng_.child(
+          node.value() * 2654435761ULL +
+          static_cast<std::uint64_t>((send_time - TimePoint::origin())
+                                         .count_usec()));
+      if (draw.bernoulli(fault.drop_rate)) {
+        ++heartbeats_dropped_;
+        return std::nullopt;
+      }
+    }
+    if (fault.delay > delay) delay = fault.delay;
+  }
+  if (delay > Duration::zero()) ++heartbeats_delayed_;
+  return delay;
+}
+
+void FailureInjector::schedule_store_fault(sim::Simulator& simulator,
+                                           faas::Platform& platform,
+                                           kv::KvStore& store, TimePoint when,
+                                           unsigned lose, unsigned corrupt) {
+  simulator.schedule_at(when, [this, &simulator, &platform, &store, when,
+                               lose, corrupt] {
+    std::vector<std::string> keys = store.keys_with_prefix("ckpt/");
+    if (keys.empty()) return;
+    Rng draw = rng_.child(
+        0x57A7EFA17ULL ^
+        static_cast<std::uint64_t>((when - TimePoint::origin()).count_usec()));
+    auto pick = [&]() -> std::optional<std::string> {
+      if (keys.empty()) return std::nullopt;
+      const std::size_t idx = static_cast<std::size_t>(
+          draw.uniform_int(0, keys.size() - 1));
+      std::string key = keys[idx];
+      keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(idx));
+      return key;
+    };
+    bool fired = false;
+    for (unsigned i = 0; i < lose; ++i) {
+      if (auto key = pick()) {
+        if (store.drop_entry(*key)) {
+          ++store_entries_dropped_;
+          fired = true;
+        }
+      }
+    }
+    for (unsigned i = 0; i < corrupt; ++i) {
+      if (auto key = pick()) {
+        if (store.corrupt_entry(*key)) {
+          ++store_entries_corrupted_;
+          fired = true;
+        }
+      }
+    }
+    if (fired) {
+      annotate_injection(simulator, platform, NodeId::invalid(),
+                         "injected_store_fault");
+    }
   });
 }
 

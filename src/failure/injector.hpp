@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "faas/events.hpp"
 #include "faas/platform.hpp"
+#include "failure/heartbeat_faults.hpp"
 #include "kvstore/kvstore.hpp"
 
 namespace canary::failure {
@@ -46,7 +48,8 @@ struct InjectorConfig {
   int kill_on_attempt = 1;
 };
 
-class FailureInjector : public faas::FailurePolicy {
+class FailureInjector : public faas::FailurePolicy,
+                        public HeartbeatFaultProvider {
  public:
   FailureInjector(Rng rng, InjectorConfig config)
       : rng_(rng), config_(config) {}
@@ -56,10 +59,14 @@ class FailureInjector : public faas::FailurePolicy {
 
   /// Schedule a node-level failure at `when`: a victim is drawn weighted
   /// by hardware failure proneness, the platform kills its containers,
-  /// and the KV store drops the victim's cached entries.
+  /// and the KV store drops the victim's cached entries. A victim that is
+  /// already dead at fire time is skipped (counted in skipped_node_kills)
+  /// so two failure events landing near the same time cannot double-kill
+  /// a node and double-drop its KV entries.
   void schedule_node_failure(sim::Simulator& simulator,
                              faas::Platform& platform, kv::KvStore* store,
-                             TimePoint when);
+                             TimePoint when,
+                             std::optional<NodeId> victim = std::nullopt);
 
   /// Correlated node failure: the victim is chosen `precursor_window`
   /// before `when` and exhibits `precursor_kills` container failures
@@ -71,8 +78,49 @@ class FailureInjector : public faas::FailurePolicy {
                                         int precursor_kills,
                                         Duration precursor_window);
 
+  // ---- fault surface v2 -------------------------------------------------
+
+  /// Gray failure: `victim` (or a weighted random alive node when unset)
+  /// runs `slowdown`x slower from `start` for `duration`, then recovers.
+  /// Stragglers, not deaths — the node keeps heartbeating throughout.
+  void schedule_gray_window(sim::Simulator& simulator,
+                            faas::Platform& platform, TimePoint start,
+                            Duration duration, double slowdown,
+                            std::optional<NodeId> victim = std::nullopt);
+
+  /// Control-plane fault window: heartbeats sent by `node` (or any node
+  /// when unset) within [start, start+duration) are delayed by `delay`
+  /// and independently dropped with probability `drop_rate`.
+  struct HeartbeatFault {
+    TimePoint start;
+    Duration duration;
+    Duration delay = Duration::zero();
+    double drop_rate = 0.0;
+    std::optional<NodeId> node;
+  };
+  void add_heartbeat_fault(HeartbeatFault fault);
+
+  // ---- HeartbeatFaultProvider -------------------------------------------
+  std::optional<Duration> heartbeat_delay(NodeId node,
+                                          TimePoint send_time) override;
+
+  /// KV-shard fault at `when`: `lose` checkpoint entries (prefix "ckpt/")
+  /// are destroyed and `corrupt` more are bit-flipped so their checksum
+  /// no longer matches. Picks are seeded-deterministic.
+  void schedule_store_fault(sim::Simulator& simulator,
+                            faas::Platform& platform, kv::KvStore& store,
+                            TimePoint when, unsigned lose, unsigned corrupt);
+
   std::uint64_t planned_kills() const { return planned_kills_; }
   std::uint64_t node_kills() const { return node_kills_; }
+  std::uint64_t skipped_node_kills() const { return skipped_node_kills_; }
+  std::uint64_t gray_windows() const { return gray_windows_; }
+  std::uint64_t heartbeats_dropped() const { return heartbeats_dropped_; }
+  std::uint64_t heartbeats_delayed() const { return heartbeats_delayed_; }
+  std::uint64_t store_entries_dropped() const { return store_entries_dropped_; }
+  std::uint64_t store_entries_corrupted() const {
+    return store_entries_corrupted_;
+  }
 
  private:
   struct Plan {
@@ -81,13 +129,23 @@ class FailureInjector : public faas::FailurePolicy {
     bool consumed = false;
   };
 
+  void fire_node_failure(sim::Simulator& simulator, faas::Platform& platform,
+                         kv::KvStore* store, NodeId victim, const char* what);
+
   Rng rng_;
   InjectorConfig config_;
   std::unordered_map<FunctionId, Plan> plans_;
   /// First-attempt busy duration per function; the hazard-rate reference.
   std::unordered_map<FunctionId, Duration> first_busy_;
+  std::vector<HeartbeatFault> heartbeat_faults_;
   std::uint64_t planned_kills_ = 0;
   std::uint64_t node_kills_ = 0;
+  std::uint64_t skipped_node_kills_ = 0;
+  std::uint64_t gray_windows_ = 0;
+  std::uint64_t heartbeats_dropped_ = 0;
+  std::uint64_t heartbeats_delayed_ = 0;
+  std::uint64_t store_entries_dropped_ = 0;
+  std::uint64_t store_entries_corrupted_ = 0;
 };
 
 }  // namespace canary::failure

@@ -1,0 +1,312 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace canary::harness {
+
+namespace {
+
+faas::RuntimeImage pick_runtime(Rng& rng) {
+  static constexpr faas::RuntimeImage kPool[] = {
+      faas::RuntimeImage::kPython3,
+      faas::RuntimeImage::kNodeJs14,
+      faas::RuntimeImage::kDlTrain,
+      faas::RuntimeImage::kDbQuery,
+  };
+  return kPool[rng.uniform_int(0, 3)];
+}
+
+}  // namespace
+
+ChaosScenario make_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out;
+  ScenarioConfig& cfg = out.config;
+  cfg.seed = seed;
+
+  Rng root(seed);
+  // Independent child streams per concern: adding a fault class never
+  // perturbs how the workload itself is drawn.
+  Rng shape = root.child(1);
+  Rng jobs_rng = root.child(2);
+  Rng faults = root.child(3);
+
+  cfg.cluster_nodes = shape.uniform_int(6, 12);
+  cfg.error_rate = shape.uniform(0.05, 0.30);
+  cfg.injection_mode = failure::InjectionMode::kHazardRate;
+
+  cfg.strategy = recovery::StrategyConfig::canary_full();
+  cfg.strategy.canary.sla_aware = shape.bernoulli(0.5);
+  cfg.strategy.canary.recovery_action_timeout =
+      Duration::sec(shape.uniform(1.0, 3.0));
+
+  cfg.detection.enabled = true;
+  cfg.detection.heartbeat_interval =
+      Duration::msec(shape.uniform_int(200, 800));
+  cfg.detection.timeout_multiplier = shape.uniform(2.0, 4.0);
+  cfg.detection.confirm_multiplier = shape.uniform(1.0, 3.0);
+  cfg.detection.sweep_interval = Duration::msec(shape.uniform_int(50, 150));
+  cfg.detection.horizon = Duration::sec(1200.0);
+
+  if (shape.bernoulli(0.3)) {
+    cfg.kv.mode = kv::CacheMode::kPartitioned;
+    cfg.kv.backups = 1;
+    cfg.kv.native_persistence = shape.bernoulli(0.5);
+  }
+
+  // ---- workload ---------------------------------------------------------
+  const std::size_t job_count = jobs_rng.uniform_int(2, 4);
+  for (std::size_t j = 0; j < job_count; ++j) {
+    faas::JobSpec job;
+    job.name = "chaos-job-" + std::to_string(j);
+    job.account = AccountId{1};
+    const std::size_t fn_count = jobs_rng.uniform_int(4, 10);
+    Duration longest = Duration::zero();
+    for (std::size_t f = 0; f < fn_count; ++f) {
+      faas::FunctionSpec fn;
+      fn.name = "chaos-fn-" + std::to_string(j) + "-" + std::to_string(f);
+      fn.runtime = pick_runtime(jobs_rng);
+      const std::size_t state_count = jobs_rng.uniform_int(2, 4);
+      Duration work = Duration::zero();
+      for (std::size_t s = 0; s < state_count; ++s) {
+        faas::StateSpec state;
+        state.duration = Duration::msec(jobs_rng.uniform_int(300, 1500));
+        state.checkpoint_payload =
+            Bytes::of(jobs_rng.uniform_int(512, 2048) * 1024);
+        work += state.duration;
+        fn.states.push_back(state);
+      }
+      fn.finalize = Duration::msec(jobs_rng.uniform_int(100, 300));
+      work += fn.finalize;
+      if (work > longest) longest = work;
+      // Occasional chains exercise the trigger graph under faults.
+      if (f > 0 && jobs_rng.bernoulli(0.3)) {
+        fn.depends_on.push_back(f - 1);
+      }
+      job.functions.push_back(std::move(fn));
+    }
+    if (jobs_rng.bernoulli(0.5)) {
+      job.sla = longest * 3.0 + Duration::sec(20.0);
+    }
+    out.jobs.push_back(std::move(job));
+  }
+
+  // ---- fault schedule ---------------------------------------------------
+  const std::size_t node_failures = faults.uniform_int(0, 2);
+  for (std::size_t i = 0; i < node_failures; ++i) {
+    cfg.node_failure_offsets.push_back(
+        Duration::sec(faults.uniform(2.0, 20.0)));
+  }
+
+  const std::size_t gray_count = faults.uniform_int(0, 2);
+  for (std::size_t i = 0; i < gray_count; ++i) {
+    ScenarioConfig::GrayFailure gray;
+    gray.at = Duration::sec(faults.uniform(1.0, 15.0));
+    gray.duration = Duration::sec(faults.uniform(2.0, 6.0));
+    gray.slowdown = faults.uniform(3.0, 8.0);
+    cfg.gray_failures.push_back(gray);
+  }
+
+  const std::size_t hb_count = faults.uniform_int(0, 2);
+  for (std::size_t i = 0; i < hb_count; ++i) {
+    ScenarioConfig::HeartbeatFaultCfg fault;
+    fault.at = Duration::sec(faults.uniform(1.0, 15.0));
+    fault.duration = Duration::sec(faults.uniform(1.0, 4.0));
+    // Delays up to ~80% of the confirm threshold: long enough to trigger
+    // suspicions (false ones included), short enough that live workers
+    // are eventually un-suspected rather than fenced en masse.
+    const double max_mult = 0.8 * (cfg.detection.timeout_multiplier +
+                                   cfg.detection.confirm_multiplier);
+    fault.delay = cfg.detection.heartbeat_interval *
+                  faults.uniform(0.0, max_mult);
+    fault.drop_rate = faults.uniform(0.0, 0.6);
+    // Scope each window to one worker. A cluster-wide drop window longer
+    // than the confirm threshold would fence every node at once — the
+    // detector behaving exactly as specified, but leaving zero capacity
+    // to recover onto, which no strategy can survive.
+    fault.node = NodeId{faults.uniform_int(1, cfg.cluster_nodes)};
+    cfg.heartbeat_faults.push_back(fault);
+    if (fault.delay > out.max_heartbeat_delay) {
+      out.max_heartbeat_delay = fault.delay;
+    }
+  }
+
+  const std::size_t store_count = faults.uniform_int(0, 2);
+  for (std::size_t i = 0; i < store_count; ++i) {
+    ScenarioConfig::StoreFault fault;
+    fault.at = Duration::sec(faults.uniform(3.0, 18.0));
+    fault.lose = static_cast<unsigned>(faults.uniform_int(0, 2));
+    fault.corrupt = static_cast<unsigned>(faults.uniform_int(0, 2));
+    if (fault.lose == 0 && fault.corrupt == 0) fault.corrupt = 1;
+    cfg.store_faults.push_back(fault);
+  }
+
+  return out;
+}
+
+std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
+                                       const RunResult& result) {
+  std::vector<std::string> violations;
+  auto violate = [&violations](const std::string& what) {
+    violations.push_back(what);
+  };
+
+  // 1. Completion: recovery terminated and every job finished.
+  if (!result.completed) {
+    violate("completion: run ended with incomplete jobs");
+  }
+
+  // 6. No stranded failures awaiting detection.
+  if (result.undetected_failures != 0) {
+    std::ostringstream os;
+    os << "stranded: " << result.undetected_failures
+       << " node failure(s) never confirmed by the detector";
+    violate(os.str());
+  }
+
+  // 3. A corrupt checkpoint must never be selected for restore.
+  if (auto it = result.counters.find("restored_corrupt_checkpoints");
+      it != result.counters.end() && it->second > 0.0) {
+    violate("corrupt-restore: a damaged checkpoint was selected");
+  }
+
+  // 5. Usage ledger balances.
+  if (result.usage_unbalanced != 0) {
+    std::ostringstream os;
+    os << "ledger: " << result.usage_unbalanced
+       << " unbalanced usage record(s)";
+    violate(os.str());
+  }
+
+  // 2 + 4 need the causal event log; a truncated log cannot prove either.
+  if (result.events == nullptr || result.events->truncated()) {
+    return violations;
+  }
+  const auto& events = result.events->events();
+
+  // 2. Exactly-once: every submitted function completes exactly once.
+  std::unordered_map<FunctionId, int> submits;
+  std::unordered_map<FunctionId, int> completes;
+  for (const obs::Event& event : events) {
+    if (event.kind == obs::EventKind::kSubmit && event.labels.function.valid()) {
+      ++submits[event.labels.function];
+    }
+    if (event.kind == obs::EventKind::kComplete &&
+        event.labels.function.valid()) {
+      ++completes[event.labels.function];
+    }
+  }
+  for (const auto& [fn, count] : completes) {
+    if (count != 1) {
+      std::ostringstream os;
+      os << "exactly-once: function " << to_string(fn) << " completed "
+         << count << " times";
+      violate(os.str());
+    }
+  }
+  if (result.completed) {
+    for (const auto& [fn, count] : submits) {
+      (void)count;
+      if (completes.find(fn) == completes.end()) {
+        std::ostringstream os;
+        os << "exactly-once: function " << to_string(fn)
+           << " submitted but never completed";
+        violate(os.str());
+      }
+    }
+  }
+
+  // 4. Detection latency bounded. Node failures in heartbeat mode must be
+  // confirmed within interval*(timeout+confirm) of the death plus sweep
+  // granularity and any injected delivery delay (a delayed beat can
+  // un-suspect once before re-confirmation); every other failure kind
+  // uses the constant invoker/oracle delay. kRecoveryStall is
+  // controller-initiated and detected instantly.
+  const auto& det = scenario.config.detection;
+  const Duration epsilon = Duration::msec(100);
+  const Duration heartbeat_bound =
+      det.heartbeat_interval *
+          (1.0 + det.timeout_multiplier + det.confirm_multiplier) +
+      det.sweep_interval * 2.0 + scenario.max_heartbeat_delay + epsilon;
+  const Duration oracle_bound =
+      scenario.config.platform.failure_detect_delay + epsilon;
+  // Per-trace time of the most recent unresolved failure.
+  std::unordered_map<std::uint64_t, std::pair<TimePoint, bool>> open_failures;
+  for (const obs::Event& event : events) {
+    if (event.kind == obs::EventKind::kFailure) {
+      open_failures[event.trace.value()] = {
+          event.at, event.name == "node_failure"};
+    } else if (event.kind == obs::EventKind::kDetect) {
+      auto it = open_failures.find(event.trace.value());
+      if (it == open_failures.end()) continue;
+      const Duration latency = event.at - it->second.first;
+      const bool node_level = it->second.second;
+      open_failures.erase(it);
+      const Duration bound =
+          node_level && det.enabled ? heartbeat_bound : oracle_bound;
+      if (latency > bound) {
+        std::ostringstream os;
+        os << "detection-bound: " << latency.to_seconds() << "s > "
+           << bound.to_seconds() << "s ("
+           << (node_level ? "node failure" : "local failure") << ")";
+        violate(os.str());
+      }
+    }
+  }
+
+  return violations;
+}
+
+ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
+  const ChaosScenario scenario = make_chaos_scenario(seed);
+  const RunResult result = ScenarioRunner::run(scenario.config, scenario.jobs);
+
+  ChaosOutcome out;
+  out.seed = seed;
+  out.completed = result.completed;
+  out.makespan_s = result.makespan_s;
+  out.failures = result.failures;
+  out.node_kills = result.injected_node_kills;
+  out.gray_windows = result.injected_gray_windows;
+  out.heartbeats_dropped = result.injected_heartbeats_dropped;
+  out.heartbeats_delayed = result.injected_heartbeats_delayed;
+  out.store_entries_dropped = result.injected_store_drops;
+  out.store_entries_corrupted = result.injected_store_corruptions;
+  out.detector_suspicions = result.detector_suspicions;
+  out.detector_false_suspicions = result.detector_false_suspicions;
+  if (auto it = result.counters.find("recovery_stalls");
+      it != result.counters.end()) {
+    out.recovery_stalls = static_cast<std::uint64_t>(it->second);
+  }
+
+  const auto& det = scenario.config.detection;
+  out.detection_bound_s =
+      (det.heartbeat_interval *
+           (1.0 + det.timeout_multiplier + det.confirm_multiplier) +
+       det.sweep_interval * 2.0 + scenario.max_heartbeat_delay)
+          .to_seconds();
+  if (result.events != nullptr) {
+    std::unordered_map<std::uint64_t, TimePoint> open;
+    for (const obs::Event& event : result.events->events()) {
+      if (event.kind == obs::EventKind::kFailure) {
+        open[event.trace.value()] = event.at;
+      } else if (event.kind == obs::EventKind::kDetect) {
+        auto it = open.find(event.trace.value());
+        if (it == open.end()) continue;
+        const double latency = (event.at - it->second).to_seconds();
+        open.erase(it);
+        if (latency > out.max_detection_latency_s) {
+          out.max_detection_latency_s = latency;
+        }
+      }
+    }
+  }
+
+  out.violations = chaos_oracles(scenario, result);
+  return out;
+}
+
+}  // namespace canary::harness

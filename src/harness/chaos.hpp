@@ -1,0 +1,73 @@
+// Chaos campaign support: seeded multi-fault scenario generation and the
+// invariant oracles that every scenario must satisfy regardless of what
+// was injected.
+//
+// A chaos scenario draws a small cluster, a handful of jobs and a random
+// mix of the v2 fault surface (container kills, node failures, gray
+// slowdown windows, heartbeat delay/drop, KV checkpoint loss/corruption)
+// from one seed, runs it under the Canary strategy with heartbeat
+// detection and the recovery watchdog enabled, and then checks:
+//
+//   1. completion    — every job finished (recovery terminated);
+//   2. exactly-once  — each function has exactly one kComplete event;
+//   3. clean restore — no corrupt checkpoint was ever selected for
+//                      restore (the checksum skip worked);
+//   4. bounded detection — every failure-to-detect window is within the
+//                      analytic bound of the active detection mode plus
+//                      injected heartbeat delay;
+//   5. ledger balance — usage intervals non-negative, purpose split sums
+//                      to the total;
+//   6. no stranded failures — nothing left in the platform's undetected
+//                      stash after completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace canary::harness {
+
+/// One generated scenario: the config plus its jobs.
+struct ChaosScenario {
+  ScenarioConfig config;
+  std::vector<faas::JobSpec> jobs;
+  /// Largest injected heartbeat delivery delay (feeds the detection
+  /// bound oracle).
+  Duration max_heartbeat_delay = Duration::zero();
+};
+
+/// Deterministically derive a scenario from `seed`.
+ChaosScenario make_chaos_scenario(std::uint64_t seed);
+
+struct ChaosOutcome {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  double makespan_s = 0.0;
+  double failures = 0.0;
+  double max_detection_latency_s = 0.0;
+  double detection_bound_s = 0.0;
+  // Injected fault totals (for the campaign report).
+  std::uint64_t node_kills = 0;
+  std::uint64_t gray_windows = 0;
+  std::uint64_t heartbeats_dropped = 0;
+  std::uint64_t heartbeats_delayed = 0;
+  std::uint64_t store_entries_dropped = 0;
+  std::uint64_t store_entries_corrupted = 0;
+  std::uint64_t detector_suspicions = 0;
+  std::uint64_t detector_false_suspicions = 0;
+  std::uint64_t recovery_stalls = 0;
+  /// Human-readable oracle violations; empty = scenario passed.
+  std::vector<std::string> violations;
+};
+
+/// Run one seeded scenario and evaluate every oracle.
+ChaosOutcome run_chaos_scenario(std::uint64_t seed);
+
+/// Oracle evaluation, separated for tests: checks `result` (and the
+/// scenario it came from) and returns the violations.
+std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
+                                       const RunResult& result);
+
+}  // namespace canary::harness

@@ -1,5 +1,6 @@
 #include "harness/scenario.hpp"
 
+#include <cmath>
 #include <optional>
 
 #include "canary/core.hpp"
@@ -28,7 +29,13 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       config.storage.value_or(cluster::StorageHierarchy::testbed());
   kv::KvStore store(config.kv, cluster.node_ids());
   obs::MetricRegistry metrics;
-  faas::Platform platform(simulator, cluster, network, config.platform,
+  faas::PlatformConfig platform_config = config.platform;
+  if (config.detection.enabled) {
+    // Heartbeat detection replaces the constant-delay oracle for
+    // node-level failures; detection latency becomes emergent.
+    platform_config.detection_mode = faas::DetectionMode::kHeartbeat;
+  }
+  faas::Platform platform(simulator, cluster, network, platform_config,
                           metrics);
 
   std::shared_ptr<obs::SpanRecorder> spans;
@@ -66,6 +73,12 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   failure::FailureInjector injector(Rng(config.seed), injector_config);
   platform.set_failure_policy(&injector);
 
+  std::optional<core::FailureDetector> detector;
+  if (config.detection.enabled) {
+    detector.emplace(simulator, platform, config.detection);
+    detector->set_fault_provider(&injector);
+  }
+
   // Exactly one strategy object is materialised per run; optionals keep
   // construction in this scope without heap indirection.
   std::optional<faas::RetryHandler> retry;
@@ -87,6 +100,10 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     case StrategyKind::kCanary: {
       canary_fw.emplace(platform, store, storage, config.strategy.canary);
       canary_fw->install();
+      if (detector) {
+        detector->set_listener(&*canary_fw);
+        detector->set_metadata(&canary_fw->metadata());
+      }
       for (const auto& job : jobs) {
         auto submitted = canary_fw->submit_job(job);
         CANARY_CHECK(submitted.ok(), "job rejected by the request validator");
@@ -128,7 +145,24 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
           simulator, platform, &store, TimePoint::origin() + correlated.at,
           correlated.precursor_kills, correlated.precursor_window);
     }
+    for (const auto& gray : config.gray_failures) {
+      injector.schedule_gray_window(simulator, platform,
+                                    TimePoint::origin() + gray.at,
+                                    gray.duration, gray.slowdown, gray.node);
+    }
+    for (const auto& fault : config.heartbeat_faults) {
+      injector.add_heartbeat_fault({TimePoint::origin() + fault.at,
+                                    fault.duration, fault.delay,
+                                    fault.drop_rate, fault.node});
+    }
+    for (const auto& fault : config.store_faults) {
+      injector.schedule_store_fault(simulator, platform, store,
+                                    TimePoint::origin() + fault.at,
+                                    fault.lose, fault.corrupt);
+    }
   }
+
+  if (detector) detector->start();
 
   simulator.run();
   platform.finalize_usage();
@@ -173,6 +207,42 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   result.cost = cost_model.breakdown(platform.usage());
   result.cost_usd = result.cost.total_usd;
   result.counters = metrics.counters();
+
+  // Usage-ledger balance: every interval non-negative and the per-purpose
+  // split summing to the total (the chaos campaign's billing oracle).
+  const auto& ledger = platform.usage();
+  result.usage_records = ledger.records().size();
+  for (const auto& record : ledger.records()) {
+    if (record.end < record.start) ++result.usage_unbalanced;
+  }
+  result.usage_gb_seconds = ledger.total_gb_seconds();
+  {
+    double split = 0.0;
+    for (int p = 0; p < 4; ++p) {
+      split +=
+          ledger.gb_seconds_for(static_cast<faas::ContainerPurpose>(p));
+    }
+    const double tolerance =
+        1e-6 * (result.usage_gb_seconds > 1.0 ? result.usage_gb_seconds : 1.0);
+    if (std::fabs(split - result.usage_gb_seconds) > tolerance) {
+      ++result.usage_unbalanced;
+    }
+  }
+
+  if (detector) {
+    result.detector_suspicions = detector->suspicions();
+    result.detector_false_suspicions = detector->false_suspicions();
+    result.detector_confirmed_dead = detector->confirmed_dead();
+  }
+  result.undetected_failures = platform.undetected_failures();
+  result.injected_node_kills = injector.node_kills();
+  result.injected_skipped_node_kills = injector.skipped_node_kills();
+  result.injected_gray_windows = injector.gray_windows();
+  result.injected_heartbeats_dropped = injector.heartbeats_dropped();
+  result.injected_heartbeats_delayed = injector.heartbeats_delayed();
+  result.injected_store_drops = injector.store_entries_dropped();
+  result.injected_store_corruptions = injector.store_entries_corrupted();
+
   if (spans != nullptr) {
     result.spans_recorded = spans->size();
     result.spans_dropped = spans->dropped();

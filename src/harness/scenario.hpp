@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "canary/failure_detector.hpp"
 #include "cluster/storage.hpp"
 #include "cost/cost_model.hpp"
 #include "failure/injector.hpp"
@@ -45,6 +46,36 @@ struct ScenarioConfig {
     Duration precursor_window = Duration::sec(8.0);
   };
   std::vector<CorrelatedNodeFailure> correlated_node_failures;
+  /// Heartbeat failure detection (fault surface v2). Disabled by default:
+  /// the platform keeps the legacy constant-delay oracle and produces
+  /// byte-identical runs. When enabled the platform switches to
+  /// DetectionMode::kHeartbeat and node-failure recovery starts only once
+  /// the detector confirms the worker dead.
+  core::FailureDetectorConfig detection;
+  /// Gray failures: node slowdown windows (stragglers, not deaths).
+  struct GrayFailure {
+    Duration at;
+    Duration duration = Duration::sec(4.0);
+    double slowdown = 4.0;
+    std::optional<NodeId> node;  // unset = weighted random alive victim
+  };
+  std::vector<GrayFailure> gray_failures;
+  /// Control-plane fault windows applied to worker heartbeats.
+  struct HeartbeatFaultCfg {
+    Duration at;
+    Duration duration = Duration::sec(2.0);
+    Duration delay = Duration::zero();
+    double drop_rate = 0.0;
+    std::optional<NodeId> node;  // unset = every node
+  };
+  std::vector<HeartbeatFaultCfg> heartbeat_faults;
+  /// KV checkpoint-shard faults: lose/corrupt stored checkpoint entries.
+  struct StoreFault {
+    Duration at;
+    unsigned lose = 0;
+    unsigned corrupt = 0;
+  };
+  std::vector<StoreFault> store_faults;
   std::uint64_t seed = 42;
   faas::PlatformConfig platform;
   kv::KvConfig kv;
@@ -97,6 +128,27 @@ struct RunResult {
   std::uint64_t spans_dropped = 0;
   std::uint64_t events_recorded = 0;
   std::uint64_t events_dropped = 0;
+  /// Usage-ledger balance (chaos-oracle inputs): every closed interval
+  /// must be non-negative and the per-purpose split must sum to the
+  /// total. `usage_unbalanced` counts violations (0 in a healthy run).
+  std::uint64_t usage_records = 0;
+  std::uint64_t usage_unbalanced = 0;
+  double usage_gb_seconds = 0.0;
+  /// Failure-detector outcomes (all zero when detection is disabled).
+  std::uint64_t detector_suspicions = 0;
+  std::uint64_t detector_false_suspicions = 0;
+  std::uint64_t detector_confirmed_dead = 0;
+  /// Node failures the platform stashed but nobody ever confirmed (should
+  /// be 0 at the end of any completed heartbeat-mode run).
+  std::uint64_t undetected_failures = 0;
+  /// Injected-fault totals copied out of the FailureInjector.
+  std::uint64_t injected_node_kills = 0;
+  std::uint64_t injected_skipped_node_kills = 0;
+  std::uint64_t injected_gray_windows = 0;
+  std::uint64_t injected_heartbeats_dropped = 0;
+  std::uint64_t injected_heartbeats_delayed = 0;
+  std::uint64_t injected_store_drops = 0;
+  std::uint64_t injected_store_corruptions = 0;
 };
 
 class ScenarioRunner {

@@ -4,6 +4,15 @@
 
 namespace canary::kv {
 
+std::uint64_t kv_checksum(const std::string& payload) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 KvStore::KvStore(KvConfig config, std::vector<NodeId> cache_nodes)
     : config_(config), cache_nodes_(std::move(cache_nodes)) {
   CANARY_CHECK(config_.shard_count > 0, "shard_count must be positive");
@@ -60,6 +69,7 @@ Status KvStore::put(const std::string& key, std::string payload,
     entry.payload = std::move(payload);
     entry.logical_size = size;
     ++entry.version;
+    entry.checksum = kv_checksum(entry.payload);
     entry.owners = std::move(owners);
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -89,6 +99,47 @@ bool KvStore::contains(const std::string& key) const {
   const auto& shard = shard_for(key);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
   return shard.map.find(key) != shard.map.end();
+}
+
+bool KvStore::intact(const std::string& key) const {
+  const auto& shard = shard_for(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  return it->second.checksum == kv_checksum(it->second.payload);
+}
+
+bool KvStore::corrupt_entry(const std::string& key) {
+  auto& shard = shard_for(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    // Flip a payload byte (or plant a poison byte into an empty payload)
+    // so the stored checksum no longer matches.
+    if (it->second.payload.empty()) {
+      it->second.payload.push_back('\x5a');
+    } else {
+      it->second.payload[0] =
+          static_cast<char>(it->second.payload[0] ^ '\x5a');
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.entries_corrupted;
+  return true;
+}
+
+bool KvStore::drop_entry(const std::string& key) {
+  auto& shard = shard_for(key);
+  std::size_t erased = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    erased = shard.map.erase(key);
+  }
+  if (erased == 0) return false;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.entries_lost;
+  return true;
 }
 
 Status KvStore::remove(const std::string& key) {

@@ -54,8 +54,15 @@ struct KvEntry {
   std::string payload;       // serialized metadata (small, real bytes)
   Bytes logical_size;        // size of the represented object
   std::uint64_t version = 0;
+  /// FNV-1a over the payload, written at put time. A shard fault that
+  /// flips entry bits leaves the stored checksum stale, so readers that
+  /// care (the Checkpointing Module) can detect the damage via intact().
+  std::uint64_t checksum = 0;
   std::vector<NodeId> owners;  // cache nodes currently holding a copy
 };
+
+/// FNV-1a64 of a payload; the checksum stored alongside every entry.
+std::uint64_t kv_checksum(const std::string& payload);
 
 struct KvStats {
   std::uint64_t puts = 0;
@@ -64,7 +71,8 @@ struct KvStats {
   std::uint64_t misses = 0;
   std::uint64_t removes = 0;
   std::uint64_t rejected_oversize = 0;
-  std::uint64_t entries_lost = 0;  // destroyed by node failures
+  std::uint64_t entries_lost = 0;       // destroyed by node/shard failures
+  std::uint64_t entries_corrupted = 0;  // bit rot injected by shard faults
 };
 
 class KvStore {
@@ -83,7 +91,19 @@ class KvStore {
 
   Result<KvEntry> get(const std::string& key) const;
   bool contains(const std::string& key) const;
+  /// Whether `key` exists and its payload still matches the checksum
+  /// written at put time. Stats-neutral (no get/hit/miss accounting):
+  /// this is the Checkpointing Module's pre-restore integrity probe.
+  bool intact(const std::string& key) const;
   Status remove(const std::string& key);
+
+  // ---- fault injection --------------------------------------------------
+  /// Flip the stored payload of `key` without updating its checksum (the
+  /// shard-fault bit-rot model). Returns false when the key is absent.
+  bool corrupt_entry(const std::string& key);
+  /// Destroy `key` outright (shard fault; counted as entries_lost, not as
+  /// a client remove). Returns false when the key is absent.
+  bool drop_entry(const std::string& key);
 
   /// All live keys beginning with `prefix`, sorted. O(total keys).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;

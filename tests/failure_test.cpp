@@ -1,6 +1,8 @@
 // Unit tests for the failure injector.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cluster/network.hpp"
 #include "failure/injector.hpp"
 #include "faas/retry.hpp"
@@ -176,6 +178,78 @@ TEST(FailureInjectorTest, NodeFailureTakesDownNodeAndKvCopies) {
   EXPECT_EQ(injector.node_kills(), 1u);
   EXPECT_EQ(cluster.alive_count(), 3u);
   EXPECT_TRUE(store.contains("k"));  // replicated on surviving nodes
+}
+
+TEST(FailureInjectorTest, HazardRateHalfExposureMatchesFormula) {
+  // p(d) = 1 - (1 - e)^(d / first_attempt): a resumed attempt running
+  // half the reference exposure with e = 0.4 dies with 1 - 0.6^0.5.
+  FailureInjector injector(Rng(15), {0.4, InjectionMode::kHazardRate, 1});
+  int kills = 0;
+  const int n = 20000;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    auto inv = fake_invocation(i);
+    (void)injector.plan_kill(inv, 1, Duration::sec(10));  // set reference
+    if (injector.plan_kill(inv, 2, Duration::sec(5))) ++kills;
+  }
+  EXPECT_NEAR(static_cast<double>(kills) / n, 1.0 - std::pow(0.6, 0.5), 0.01);
+}
+
+TEST(FailureInjectorTest, HazardRateDeterministicAcrossInjectors) {
+  // Identically-seeded injectors agree on every attempt's fate and kill
+  // offset — the chaos campaign's replayability depends on it.
+  FailureInjector a(Rng(16), {0.5, InjectionMode::kHazardRate, 1});
+  FailureInjector b(Rng(16), {0.5, InjectionMode::kHazardRate, 1});
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    auto inv = fake_invocation(i);
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      const Duration busy = attempt == 1 ? Duration::sec(10) : Duration::sec(2);
+      const auto ka = a.plan_kill(inv, attempt, busy);
+      const auto kb = b.plan_kill(inv, attempt, busy);
+      ASSERT_EQ(ka.has_value(), kb.has_value());
+      if (ka) {
+        EXPECT_EQ(*ka, *kb);
+      }
+    }
+  }
+}
+
+TEST(FailureInjectorTest, NodeFailureSkipsAlreadyDeadVictim) {
+  // Two failure events aimed at the same node must kill it exactly once:
+  // the second fires after the victim is already dead and is skipped, so
+  // its KV entries are not double-dropped.
+  sim::Simulator sim;
+  auto cluster = cluster::Cluster::testbed(4);
+  cluster::NetworkModel network(&cluster, {});
+  obs::MetricRegistry metrics;
+  faas::Platform platform(sim, cluster, network, {}, metrics);
+  faas::RetryHandler retry(platform);
+  platform.set_recovery_handler(&retry);
+  kv::KvConfig kv_config;
+  kv_config.mode = kv::CacheMode::kPartitioned;
+  kv_config.backups = 0;
+  kv_config.native_persistence = false;
+  kv::KvStore store(kv_config, cluster.node_ids());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.put("ckpt/k" + std::to_string(i), "v").ok());
+  }
+
+  FailureInjector injector(Rng(11), {0.0, InjectionMode::kOncePerFunction, 1});
+  const NodeId victim{2};
+  injector.schedule_node_failure(sim, platform, &store,
+                                 TimePoint::origin() + Duration::sec(1.0),
+                                 victim);
+  injector.schedule_node_failure(sim, platform, &store,
+                                 TimePoint::origin() + Duration::sec(2.0),
+                                 victim);
+  sim.run();
+  EXPECT_EQ(injector.node_kills(), 1u);
+  EXPECT_EQ(injector.skipped_node_kills(), 1u);
+  EXPECT_EQ(cluster.alive_count(), 3u);
+  // Partitioned with zero backups: the victim's single-copy entries are
+  // lost exactly once; the skipped re-kill must not recount them.
+  const auto stats = store.stats();
+  EXPECT_GT(stats.entries_lost, 0u);
+  EXPECT_EQ(store.size() + stats.entries_lost, 64u);
 }
 
 TEST(FailureInjectorTest, NodeFailureSparesLastNode) {

@@ -176,6 +176,73 @@ TEST(KvStoreTest, PartitionedBackupsSurviveSingleFailure) {
   EXPECT_EQ(store.size(), 64u);
 }
 
+TEST(KvStoreTest, PartitionedBackupsUnderOverlappingNodeLosses) {
+  // Two overlapping node losses with backups=1 and no persistence: an
+  // entry dies iff both of its owners are among the dead; every survivor
+  // keeps a readable copy on its remaining owner.
+  KvConfig config;
+  config.mode = CacheMode::kPartitioned;
+  config.backups = 1;
+  config.native_persistence = false;
+  auto store = make_store(config, 4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    ASSERT_TRUE(store.put(keys.back(), "v" + std::to_string(i)).ok());
+  }
+  std::uint64_t doomed = 0;  // both owners in {1, 2}
+  for (const auto& key : keys) {
+    const auto entry = store.get(key);
+    ASSERT_TRUE(entry.ok());
+    ASSERT_EQ(entry.value().owners.size(), 2u);
+    bool survives = false;
+    for (const NodeId owner : entry.value().owners) {
+      if (owner != NodeId{1} && owner != NodeId{2}) survives = true;
+    }
+    if (!survives) ++doomed;
+  }
+  store.fail_node(NodeId{1});
+  store.fail_node(NodeId{2});
+  EXPECT_EQ(store.stats().entries_lost, doomed);
+  EXPECT_EQ(store.size(), 64u - doomed);
+  for (const auto& key : keys) {
+    if (store.contains(key)) {
+      const auto entry = store.get(key);
+      ASSERT_TRUE(entry.ok());
+      EXPECT_EQ(entry.value().payload, "v" + key.substr(3));
+    }
+  }
+}
+
+TEST(KvStoreTest, CorruptEntryFailsIntegrityButStillReads) {
+  // Shard-fault bit rot: the payload flips but the stored checksum keeps
+  // the put-time value, so intact() flags the damage while get() still
+  // returns bytes (the Checkpointing Module decides what to do).
+  auto store = make_store();
+  ASSERT_TRUE(store.put("ckpt/f1/3", "state-bytes").ok());
+  EXPECT_TRUE(store.intact("ckpt/f1/3"));
+  ASSERT_TRUE(store.corrupt_entry("ckpt/f1/3"));
+  EXPECT_FALSE(store.intact("ckpt/f1/3"));
+  EXPECT_TRUE(store.contains("ckpt/f1/3"));
+  EXPECT_TRUE(store.get("ckpt/f1/3").ok());
+  EXPECT_EQ(store.stats().entries_corrupted, 1u);
+  // Overwriting re-checksums: the entry is whole again.
+  ASSERT_TRUE(store.put("ckpt/f1/3", "fresh-bytes").ok());
+  EXPECT_TRUE(store.intact("ckpt/f1/3"));
+}
+
+TEST(KvStoreTest, DropEntryDestroysWithoutClientRemove) {
+  auto store = make_store();
+  ASSERT_TRUE(store.put("ckpt/f2/1", "x").ok());
+  ASSERT_TRUE(store.drop_entry("ckpt/f2/1"));
+  EXPECT_FALSE(store.contains("ckpt/f2/1"));
+  EXPECT_FALSE(store.drop_entry("ckpt/f2/1"));  // already gone
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.entries_lost, 1u);
+  EXPECT_EQ(stats.removes, 0u);  // a fault, not a client operation
+  EXPECT_FALSE(store.intact("ckpt/f2/1"));  // absent keys are not intact
+}
+
 TEST(KvStoreTest, RestoredNodeAcceptsNewEntries) {
   KvConfig config;
   config.native_persistence = false;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate canary report JSON files.
 
-Two schemas are understood, dispatched on the report's `schema` tag:
+Three schemas are understood, dispatched on the report's `schema` tag:
 
 canary.run_report/v2 — the machine-readable run reports emitted by the
 benches, the experiment CLI and harness::make_report. Verifies the
@@ -17,6 +17,13 @@ compared against the same phase in the baseline report and the check
 fails if any phase regressed by more than --max-regress (default 0.20,
 i.e. 20%).
 
+canary.chaos/v1 — the chaos-campaign verdicts emitted by
+bench/chaos_campaign: scenario count, injected-fault totals, detector
+outcomes and the invariant-oracle tally. The check FAILS when the
+report records any oracle violation, so wiring this file into CI makes
+a chaos regression a red build even if the producing binary's exit
+status was lost along the way.
+
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
             report.json [report2.json ...]
 
@@ -28,6 +35,15 @@ import sys
 
 SCHEMA = "canary.run_report/v2"
 BENCH_SCHEMA = "canary.bench/v1"
+CHAOS_SCHEMA = "canary.chaos/v1"
+CHAOS_ORACLES = [
+    "completion",
+    "exactly_once",
+    "no_corrupt_restore",
+    "detection_bound",
+    "ledger_balance",
+    "no_stranded_failures",
+]
 COMPONENTS = [
     "detection",
     "scheduling",
@@ -218,6 +234,74 @@ def check_bench_report(report, path):
     return rates
 
 
+def check_chaos_report(report, path):
+    """Validate a canary.chaos/v1 report; fail on any oracle violation."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == CHAOS_SCHEMA,
+           f"schema: expected '{CHAOS_SCHEMA}', got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    params = report.get("params")
+    expect(isinstance(params, dict), "params: expected an object")
+    expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
+    for key in ("scenarios", "base_seed"):
+        check_number(params, key, "params")
+    expect(params["scenarios"] > 0, "params.scenarios: must be positive")
+
+    faults = report.get("fault_totals")
+    expect(isinstance(faults, dict), "fault_totals: expected an object")
+    for key in ("function_failures", "node_kills", "gray_windows",
+                "heartbeats_dropped", "heartbeats_delayed",
+                "store_entries_dropped", "store_entries_corrupted"):
+        check_number(faults, key, "fault_totals")
+        expect(faults[key] >= 0, f"fault_totals.{key}: negative")
+
+    detection = report.get("detection")
+    expect(isinstance(detection, dict), "detection: expected an object")
+    for key in ("suspicions", "false_suspicions", "recovery_stalls",
+                "max_latency_s"):
+        check_number(detection, key, "detection")
+        expect(detection[key] >= 0, f"detection.{key}: negative")
+    expect(detection["false_suspicions"] <= detection["suspicions"],
+           "detection: more false suspicions than suspicions")
+
+    oracles = report.get("oracles")
+    expect(isinstance(oracles, dict), "oracles: expected an object")
+    checked = oracles.get("checked")
+    expect(isinstance(checked, list), "oracles.checked: expected an array")
+    expect(sorted(checked) == sorted(CHAOS_ORACLES),
+           f"oracles.checked: {sorted(checked)} != {sorted(CHAOS_ORACLES)}")
+    check_number(oracles, "violations", "oracles")
+
+    failed = report.get("failed_scenarios")
+    expect(isinstance(failed, list), "failed_scenarios: expected an array")
+    listed = 0
+    for i, entry in enumerate(failed):
+        p = f"failed_scenarios[{i}]"
+        expect(isinstance(entry, dict), f"{p}: expected an object")
+        check_number(entry, "seed", p)
+        violations = entry.get("violations")
+        expect(isinstance(violations, list) and violations,
+               f"{p}.violations: expected a non-empty array")
+        for v in violations:
+            expect(isinstance(v, str) and v, f"{p}.violations: bad entry")
+        listed += len(violations)
+    expect(listed == oracles["violations"],
+           f"failed_scenarios list {listed} violations but oracles.violations "
+           f"is {oracles['violations']}")
+
+    # The verdict: any violation is a red build.
+    expect(oracles["violations"] == 0,
+           f"chaos campaign recorded {oracles['violations']} oracle "
+           f"violation(s) across seeds "
+           f"{[entry['seed'] for entry in failed]}")
+
+    print(f"{path}: OK ({CHAOS_SCHEMA}, {params['scenarios']} scenarios, "
+          f"{faults['node_kills']:.0f} node kills, "
+          f"{detection['suspicions']:.0f} suspicions, 0 violations)")
+
+
 def compare_bench(rates, baseline_rates, max_regress, path):
     """Fail if any phase's events/sec regressed beyond max_regress."""
     for name, base_rate in baseline_rates.items():
@@ -284,6 +368,8 @@ def main(argv):
                 rates = check_bench_report(report, path)
                 if baseline_rates is not None:
                     compare_bench(rates, baseline_rates, max_regress, path)
+            elif report.get("schema") == CHAOS_SCHEMA:
+                check_chaos_report(report, path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
