@@ -5,7 +5,14 @@
 // in harness/chaos.hpp. Any violation fails the binary (exit 1) — this is
 // the robustness gate CI runs in quick mode on every push.
 //
+// A second scenario family layers open-loop burst traffic (on/off
+// arrivals through admission control and the warm-pool autoscaler) over
+// the fault mix, with one node failure guaranteed inside the burst
+// window, and additionally checks the traffic conservation oracle:
+// every offered arrival is admitted, shed, or still queued — exactly once.
+//
 // Usage: chaos_campaign [--quick] [--scenarios N] [--seed BASE]
+//                       [--traffic-scenarios N]
 // Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
 #include <algorithm>
 #include <cstdlib>
@@ -61,8 +68,10 @@ int main(int argc, char** argv) {
   using canary::harness::ChaosOutcome;
 
   bool quick = quick_mode_env();
-  std::size_t scenarios = 0;  // 0 = derive from quick flag below
+  std::size_t scenarios = 0;          // 0 = derive from quick flag below
+  std::size_t traffic_scenarios = 0;  // 0 = derive from quick flag below
   std::uint64_t base_seed = 90001;
+  std::uint64_t traffic_base_seed = 70001;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -71,29 +80,41 @@ int main(int argc, char** argv) {
       scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       base_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--traffic-scenarios" && i + 1 < argc) {
+      traffic_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::cerr << "usage: chaos_campaign [--quick] [--scenarios N] "
-                   "[--seed BASE]\n";
+                   "[--seed BASE] [--traffic-scenarios N]\n";
       return 2;
     }
   }
   if (scenarios == 0) scenarios = quick ? 24 : 240;
+  if (traffic_scenarios == 0) traffic_scenarios = quick ? 12 : 120;
 
   std::cout << "chaos campaign: " << scenarios << " scenarios, base seed "
-            << base_seed << (quick ? " (quick)" : "") << "\n";
+            << base_seed << " + " << traffic_scenarios
+            << " traffic scenarios, base seed " << traffic_base_seed
+            << (quick ? " (quick)" : "") << "\n";
 
-  // Seeded scenarios are independent; run them in parallel batches.
-  std::vector<ChaosOutcome> outcomes(scenarios);
+  // Seeded scenarios are independent; run them in parallel batches. The
+  // traffic family rides in the same pool, indexed past the base family.
+  const std::size_t total_scenarios = scenarios + traffic_scenarios;
+  std::vector<ChaosOutcome> outcomes(total_scenarios);
   const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
   std::size_t next = 0;
-  while (next < scenarios) {
-    const std::size_t batch = std::min(workers, scenarios - next);
+  while (next < total_scenarios) {
+    const std::size_t batch = std::min(workers, total_scenarios - next);
     std::vector<std::future<ChaosOutcome>> futures;
     futures.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
-      const std::uint64_t seed = base_seed + next + i;
-      futures.push_back(std::async(std::launch::async, [seed] {
-        return canary::harness::run_chaos_scenario(seed);
+      const std::size_t index = next + i;
+      const bool traffic = index >= scenarios;
+      const std::uint64_t seed = traffic
+                                     ? traffic_base_seed + (index - scenarios)
+                                     : base_seed + index;
+      futures.push_back(std::async(std::launch::async, [seed, traffic] {
+        return traffic ? canary::harness::run_traffic_chaos_scenario(seed)
+                       : canary::harness::run_chaos_scenario(seed);
       }));
     }
     for (std::size_t i = 0; i < batch; ++i) {
@@ -107,6 +128,8 @@ int main(int argc, char** argv) {
   std::uint64_t node_kills = 0, gray = 0, hb_dropped = 0, hb_delayed = 0;
   std::uint64_t store_dropped = 0, store_corrupted = 0;
   std::uint64_t suspicions = 0, false_suspicions = 0, stalls = 0;
+  std::uint64_t traffic_offered = 0, traffic_admitted = 0;
+  std::uint64_t traffic_shed = 0, traffic_completed = 0;
   double total_failures = 0.0;
   double max_detection = 0.0;
   std::vector<const ChaosOutcome*> failed;
@@ -121,6 +144,10 @@ int main(int argc, char** argv) {
     suspicions += out.detector_suspicions;
     false_suspicions += out.detector_false_suspicions;
     stalls += out.recovery_stalls;
+    traffic_offered += out.traffic_offered;
+    traffic_admitted += out.traffic_admitted;
+    traffic_shed += out.traffic_shed;
+    traffic_completed += out.traffic_completed;
     total_failures += out.failures;
     max_detection = std::max(max_detection, out.max_detection_latency_s);
     if (!out.violations.empty()) failed.push_back(&out);
@@ -128,6 +155,7 @@ int main(int argc, char** argv) {
 
   canary::TextTable table({"metric", "total"});
   table.add_row({"scenarios", std::to_string(scenarios)});
+  table.add_row({"traffic scenarios", std::to_string(traffic_scenarios)});
   table.add_row({"function failures", canary::TextTable::num(total_failures, 0)});
   table.add_row({"node kills", std::to_string(node_kills)});
   table.add_row({"gray windows", std::to_string(gray)});
@@ -140,6 +168,8 @@ int main(int argc, char** argv) {
   table.add_row({"recovery stalls", std::to_string(stalls)});
   table.add_row({"max detection latency [s]",
                  canary::TextTable::num(max_detection, 3)});
+  table.add_row({"arrivals offered", std::to_string(traffic_offered)});
+  table.add_row({"arrivals shed", std::to_string(traffic_shed)});
   table.add_row({"oracle violations", std::to_string(violations)});
   table.print(std::cout);
 
@@ -169,7 +199,9 @@ int main(int argc, char** argv) {
   os << "  \"params\": {\n";
   os << "    \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "    \"scenarios\": " << scenarios << ",\n";
-  os << "    \"base_seed\": " << base_seed << "\n";
+  os << "    \"base_seed\": " << base_seed << ",\n";
+  os << "    \"traffic_scenarios\": " << traffic_scenarios << ",\n";
+  os << "    \"traffic_base_seed\": " << traffic_base_seed << "\n";
   os << "  },\n";
   os << "  \"fault_totals\": {\n";
   os << "    \"function_failures\": " << num(total_failures) << ",\n";
@@ -186,10 +218,16 @@ int main(int argc, char** argv) {
   os << "    \"recovery_stalls\": " << stalls << ",\n";
   os << "    \"max_latency_s\": " << num(max_detection) << "\n";
   os << "  },\n";
+  os << "  \"traffic_totals\": {\n";
+  os << "    \"offered\": " << traffic_offered << ",\n";
+  os << "    \"admitted\": " << traffic_admitted << ",\n";
+  os << "    \"shed\": " << traffic_shed << ",\n";
+  os << "    \"completed\": " << traffic_completed << "\n";
+  os << "  },\n";
   os << "  \"oracles\": {\n";
   os << "    \"checked\": [\"completion\", \"exactly_once\", "
         "\"no_corrupt_restore\", \"detection_bound\", \"ledger_balance\", "
-        "\"no_stranded_failures\"],\n";
+        "\"no_stranded_failures\", \"conservation\"],\n";
   os << "    \"violations\": " << violations << "\n";
   os << "  },\n";
   os << "  \"failed_scenarios\": [";
@@ -212,7 +250,7 @@ int main(int argc, char** argv) {
               << " oracle violation(s)\n";
     return 1;
   }
-  std::cout << "\nchaos campaign passed: " << scenarios
+  std::cout << "\nchaos campaign passed: " << total_scenarios
             << " scenarios, zero oracle violations\n";
   return 0;
 }

@@ -129,6 +129,13 @@ inline void report_breakdown(Reporter& reporter, const std::string& label,
   TextTable table({"component", "recovery [s]", "end-to-end [s]"});
   for (std::size_t c = 0; c < obs::kPathComponentCount; ++c) {
     const auto component = static_cast<obs::PathComponent>(c);
+    // Queueing only appears in open-loop (traffic-driven) runs; skipping
+    // the all-zero row keeps closed-loop bench reports byte-identical.
+    if (component == obs::PathComponent::kQueueing &&
+        bd.recovery_components[component] == 0.0 &&
+        bd.end_to_end_components[component] == 0.0) {
+      continue;
+    }
     table.add_row({std::string(obs::to_string_view(component)),
                    TextTable::num(bd.recovery_components[component], 3),
                    TextTable::num(bd.end_to_end_components[component], 3)});

@@ -67,6 +67,12 @@ struct JobSpec {
   /// Core Module prioritises the recovery of deadline-threatened
   /// functions.
   Duration sla = Duration::zero();
+  /// Open-loop arrival instant, set by the traffic generator when the
+  /// request entered admission control (TimePoint::max() = not traffic-
+  /// driven). When set, SLO deadlines anchor here instead of at platform
+  /// submission and the pre-admission wait is attributed to the
+  /// `queueing` critical-path component.
+  TimePoint enqueued_at = TimePoint::max();
   std::vector<FunctionSpec> functions;
 };
 
@@ -82,6 +88,7 @@ enum class Phase {
   kFinalizing,    // fin_f
   kCompleted,
   kFailed,        // currently failed, awaiting recovery decision
+  kShed,          // rejected by admission control; never executed
 };
 
 std::string_view to_string_view(Phase phase);
@@ -132,6 +139,7 @@ inline std::string_view to_string_view(Phase phase) {
     case Phase::kFinalizing: return "finalizing";
     case Phase::kCompleted: return "completed";
     case Phase::kFailed: return "failed";
+    case Phase::kShed: return "shed";
   }
   return "unknown";
 }

@@ -87,12 +87,17 @@ obs::EventId Platform::obs_event(InvocationInternal& inv, obs::EventKind kind,
                          obs_labels(inv), cause);
 }
 
-void Platform::arm_slo(InvocationInternal& inv, Duration sla) {
+void Platform::arm_slo(InvocationInternal& inv, Duration sla,
+                       TimePoint anchor) {
   if (slo_ == nullptr || sla <= Duration::zero()) return;
-  const TimePoint deadline = sim_.now() + sla;
+  const TimePoint deadline = anchor + sla;
   slo_->arm(inv.id, deadline);
   const FunctionId id = inv.id;
-  sim_.schedule_after(sla, [this, id, deadline] {
+  // An arrival-anchored deadline can already be in the past when the
+  // request spent longer than its SLA waiting in admission control.
+  const Duration delay =
+      deadline > sim_.now() ? deadline - sim_.now() : Duration::zero();
+  sim_.schedule_after(delay, [this, id, deadline] {
     auto& target = internal(id);
     if (target.phase == Phase::kCompleted &&
         target.completion_time <= deadline) {
@@ -215,8 +220,21 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
     inv.spec = &fn;
     inv.index_in_job = i;
     inv.submit_time = sim_.now();
+    // Open-loop requests carry their admission-control arrival: a kQueued
+    // event at that instant roots the trace so the analyzer attributes
+    // the pre-submission wait to the queueing component, and the SLO
+    // deadline anchors at arrival instead of submission.
+    const TimePoint enqueued = record.spec.enqueued_at;
+    const bool open_loop =
+        enqueued != TimePoint::max() && enqueued < sim_.now();
+    if (open_loop && events_ != nullptr) {
+      if (!inv.trace.trace.valid()) inv.trace.trace = events_->new_trace();
+      events_->extend(inv.trace, obs::EventKind::kQueued, fn.name, enqueued,
+                      obs_labels(inv));
+    }
     obs_event(inv, obs::EventKind::kSubmit, fn.name);
-    arm_slo(inv, fn.sla > Duration::zero() ? fn.sla : record.spec.sla);
+    arm_slo(inv, fn.sla > Duration::zero() ? fn.sla : record.spec.sla,
+            open_loop ? enqueued : sim_.now());
     record.functions.push_back(fid);
     // Functions with open dependencies wait for their trigger; the rest
     // queue immediately.
@@ -225,6 +243,47 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
 
   for (auto* obs : observers_) obs->on_job_submitted(job_id);
   pump_pending_queue();
+  return job_id;
+}
+
+Result<JobId> Platform::shed_job(JobSpec spec) {
+  if (spec.functions.empty()) {
+    return Error::invalid_argument("job has no functions");
+  }
+  const JobId job_id = job_ids_.next();
+  CANARY_CHECK(job_id.value() == jobs_.size() + 1, "job id / slab desync");
+  jobs_.emplace_back();
+  JobRecord& record = jobs_.back();
+  record.spec = std::move(spec);
+  record.submitted = sim_.now();
+  record.completed = sim_.now();
+  record.remaining = 0;  // terminal at birth: nothing will ever run
+
+  const TimePoint enqueued = record.spec.enqueued_at;
+  for (std::size_t i = 0; i < record.spec.functions.size(); ++i) {
+    const auto& fn = record.spec.functions[i];
+    const FunctionId fid = function_ids_.next();
+    CANARY_CHECK(fid.value() == invocations_.size() + 1,
+                 "function id / slab desync");
+    invocations_.emplace_back();
+    InvocationInternal& inv = invocations_.back();
+    inv.id = fid;
+    inv.job = job_id;
+    inv.spec = &fn;
+    inv.index_in_job = i;
+    inv.submit_time = sim_.now();
+    inv.completion_time = sim_.now();
+    inv.phase = Phase::kShed;
+    record.functions.push_back(fid);
+    if (events_ != nullptr && enqueued != TimePoint::max() &&
+        enqueued < sim_.now()) {
+      if (!inv.trace.trace.valid()) inv.trace.trace = events_->new_trace();
+      events_->extend(inv.trace, obs::EventKind::kQueued, fn.name, enqueued,
+                      obs_labels(inv));
+    }
+    obs_event(inv, obs::EventKind::kShed, fn.name);
+    m_functions_shed_.add();
+  }
   return job_id;
 }
 
@@ -688,7 +747,7 @@ void Platform::complete_function(InvocationInternal& inv) {
 
 void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   if (inv.phase == Phase::kCompleted || inv.phase == Phase::kFailed ||
-      inv.phase == Phase::kPending) {
+      inv.phase == Phase::kPending || inv.phase == Phase::kShed) {
     return;
   }
   inv.progress_event.cancel();
@@ -836,7 +895,7 @@ void Platform::join_trace(FunctionId follower, FunctionId leader) {
 
 void Platform::discard_function(FunctionId id) {
   auto& inv = internal(id);
-  if (inv.phase == Phase::kCompleted) return;
+  if (inv.phase == Phase::kCompleted || inv.phase == Phase::kShed) return;
   inv.progress_event.cancel();
   inv.kill_event.cancel();
   inv.timeout_event.cancel();
@@ -1008,6 +1067,17 @@ std::vector<const Container*> Platform::containers_on(NodeId node) const {
     if (c.node == node && c.alive()) result.push_back(&c);
   }
   return result;
+}
+
+std::size_t Platform::warm_idle_count(RuntimeImage image,
+                                      ContainerPurpose purpose) const {
+  const auto& index = warm_idle_[static_cast<std::size_t>(purpose)]
+                               [static_cast<std::size_t>(image)];
+  std::size_t count = 0;
+  for (const ContainerId cid : index) {
+    if (cluster_.node(container_ref(cid).node).alive()) ++count;
+  }
+  return count;
 }
 
 std::size_t Platform::warm_container_count(RuntimeImage image) const {

@@ -134,6 +134,14 @@ class Platform {
   /// job. Functions start as account concurrency and node capacity allow.
   Result<JobId> submit_job(JobSpec spec);
 
+  /// Record a job rejected by admission control: every function becomes a
+  /// terminal Phase::kShed invocation that never executes (no container,
+  /// no SLO target, no observer callbacks) but still appears in the event
+  /// log — a kQueued event at JobSpec::enqueued_at chained to a kShed
+  /// event at the current time — so rejected load is never silently
+  /// dropped and the shed count is exactly-once auditable.
+  Result<JobId> shed_job(JobSpec spec);
+
   const Invocation& invocation(FunctionId id) const;
   const JobSpec& job_spec(JobId id) const;
   const std::vector<FunctionId>& job_functions(JobId id) const;
@@ -181,6 +189,10 @@ class Platform {
   const Container& container(ContainerId id) const;
   std::vector<const Container*> containers_on(NodeId node) const;
   std::size_t warm_container_count(RuntimeImage image) const;
+  /// Warm-idle containers of `image` with `purpose` (the autoscaler's
+  /// supply signal; O(1) from the warm index).
+  std::size_t warm_idle_count(RuntimeImage image, ContainerPurpose purpose)
+      const;
 
   // ---- failure entry points -------------------------------------------
   /// Kill the container currently hosting `id` (injected failure).
@@ -300,8 +312,10 @@ class Platform {
   obs::EventId obs_event(InvocationInternal& inv, obs::EventKind kind,
                          std::string name,
                          obs::EventId cause = obs::kNoEvent);
-  /// Arm the SLO watchdog for a newly submitted invocation.
-  void arm_slo(InvocationInternal& inv, Duration sla);
+  /// Arm the SLO watchdog for a newly submitted invocation. The deadline
+  /// is `anchor + sla`; open-loop requests anchor at their arrival
+  /// instant (JobSpec::enqueued_at), everything else at submission.
+  void arm_slo(InvocationInternal& inv, Duration sla, TimePoint anchor);
 
   void begin_execution(InvocationInternal& inv, int attempt);
   void schedule_next_state(InvocationInternal& inv);
@@ -374,6 +388,7 @@ class Platform {
   obs::CounterHandle m_capacity_waits_{metrics_, "capacity_waits"};
   obs::CounterHandle m_functions_completed_{metrics_, "functions_completed"};
   obs::CounterHandle m_functions_discarded_{metrics_, "functions_discarded"};
+  obs::CounterHandle m_functions_shed_{metrics_, "functions_shed"};
   obs::CounterHandle m_failures_{metrics_, "failures"};
   obs::CounterHandle m_recoveries_{metrics_, "recoveries"};
   obs::CounterHandle m_timeouts_{metrics_, "timeouts"};

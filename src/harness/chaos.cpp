@@ -147,6 +147,51 @@ ChaosScenario make_chaos_scenario(std::uint64_t seed) {
   return out;
 }
 
+ChaosScenario make_traffic_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out = make_chaos_scenario(seed);
+  // child(4): the base scenario consumes child(1..3), so layering traffic
+  // on top never perturbs the shape/job/fault draws — the same seed with
+  // traffic disabled reproduces the plain chaos scenario exactly.
+  Rng traffic = Rng(seed).child(4);
+
+  traffic::TrafficConfig& cfg = out.config.traffic;
+  cfg.enabled = true;
+  cfg.horizon = Duration::sec(traffic.uniform(12.0, 18.0));
+
+  traffic::StreamConfig stream;
+  stream.name = "chaos-burst";
+  stream.fn.runtime = pick_runtime(traffic);
+  const std::size_t state_count = traffic.uniform_int(1, 2);
+  for (std::size_t s = 0; s < state_count; ++s) {
+    faas::StateSpec state;
+    state.duration = Duration::msec(traffic.uniform_int(100, 400));
+    state.checkpoint_payload = Bytes::of(traffic.uniform_int(64, 512) * 1024);
+    stream.fn.states.push_back(state);
+  }
+  stream.fn.finalize = Duration::msec(traffic.uniform_int(30, 100));
+  stream.arrival.kind = traffic::ArrivalSpec::Kind::kOnOff;
+  stream.arrival.rate_hz = traffic.uniform(8.0, 18.0);
+  stream.arrival.off_rate_hz = traffic.uniform(0.0, 2.0);
+  stream.arrival.on_mean = Duration::sec(traffic.uniform(1.0, 3.0));
+  stream.arrival.off_mean = Duration::sec(traffic.uniform(1.0, 3.0));
+  if (traffic.bernoulli(0.5)) {
+    stream.sla = Duration::sec(traffic.uniform(4.0, 10.0));
+  }
+  stream.admission.max_concurrent = traffic.uniform_int(4, 8);
+  stream.admission.queue_capacity = traffic.uniform_int(8, 24);
+  cfg.streams.push_back(std::move(stream));
+
+  cfg.autoscaler.enabled = true;
+  cfg.autoscaler.max_warm = traffic.uniform_int(4, 8);
+  cfg.autoscaler.max_step = 2;
+
+  // One node failure guaranteed to land inside the burst window, so every
+  // seed exercises shed/queue accounting concurrent with recovery.
+  out.config.node_failure_offsets.push_back(
+      Duration::sec(traffic.uniform(4.0, 10.0)));
+  return out;
+}
+
 std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
                                        const RunResult& result) {
   std::vector<std::string> violations;
@@ -179,6 +224,25 @@ std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
     os << "ledger: " << result.usage_unbalanced
        << " unbalanced usage record(s)";
     violate(os.str());
+  }
+
+  // 7. Traffic conservation: exactly-once accounting for every arrival.
+  if (result.traffic.enabled) {
+    const auto& t = result.traffic;
+    if (!t.conservation_ok) {
+      std::ostringstream os;
+      os << "conservation: offered=" << t.offered << " admitted=" << t.admitted
+         << " shed=" << t.shed << " completed=" << t.completed
+         << " failed=" << t.failed << " in_flight=" << t.in_flight
+         << " queued_end=" << t.queued_end;
+      violate(os.str());
+    }
+    if (result.completed && (t.in_flight != 0 || t.queued_end != 0)) {
+      std::ostringstream os;
+      os << "conservation: completed run left " << t.in_flight
+         << " arrival(s) in flight and " << t.queued_end << " queued";
+      violate(os.str());
+    }
   }
 
   // 2 + 4 need the causal event log; a truncated log cannot prove either.
@@ -260,8 +324,10 @@ std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
   return violations;
 }
 
-ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
-  const ChaosScenario scenario = make_chaos_scenario(seed);
+namespace {
+
+ChaosOutcome evaluate_scenario(const ChaosScenario& scenario,
+                               std::uint64_t seed) {
   const RunResult result = ScenarioRunner::run(scenario.config, scenario.jobs);
 
   ChaosOutcome out;
@@ -305,8 +371,23 @@ ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
     }
   }
 
+  out.traffic_offered = result.traffic.offered;
+  out.traffic_admitted = result.traffic.admitted;
+  out.traffic_shed = result.traffic.shed;
+  out.traffic_completed = result.traffic.completed;
+
   out.violations = chaos_oracles(scenario, result);
   return out;
+}
+
+}  // namespace
+
+ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_chaos_scenario(seed), seed);
+}
+
+ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_traffic_chaos_scenario(seed), seed);
 }
 
 }  // namespace canary::harness

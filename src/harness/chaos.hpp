@@ -19,6 +19,11 @@
 //                      to the total;
 //   6. no stranded failures — nothing left in the platform's undetected
 //                      stash after completion.
+//   7. conservation  — when open-loop traffic rides along, every offered
+//                      arrival is accounted exactly once
+//                      (offered == admitted + shed + queued_end and
+//                      admitted == completed + failed + in_flight), and a
+//                      completed run leaves nothing queued or in flight.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +46,13 @@ struct ChaosScenario {
 /// Deterministically derive a scenario from `seed`.
 ChaosScenario make_chaos_scenario(std::uint64_t seed);
 
+/// The same scenario with an open-loop burst stream layered on top: an
+/// on/off arrival process driven through admission control and the
+/// warm-pool autoscaler, plus one guaranteed node failure timed to land
+/// inside the traffic window. Derived from `Rng(seed).child(4)`, so the
+/// base scenario's draws are untouched.
+ChaosScenario make_traffic_chaos_scenario(std::uint64_t seed);
+
 struct ChaosOutcome {
   std::uint64_t seed = 0;
   bool completed = false;
@@ -58,12 +70,21 @@ struct ChaosOutcome {
   std::uint64_t detector_suspicions = 0;
   std::uint64_t detector_false_suspicions = 0;
   std::uint64_t recovery_stalls = 0;
+  // Open-loop traffic totals (zero for non-traffic scenarios).
+  std::uint64_t traffic_offered = 0;
+  std::uint64_t traffic_admitted = 0;
+  std::uint64_t traffic_shed = 0;
+  std::uint64_t traffic_completed = 0;
   /// Human-readable oracle violations; empty = scenario passed.
   std::vector<std::string> violations;
 };
 
 /// Run one seeded scenario and evaluate every oracle.
 ChaosOutcome run_chaos_scenario(std::uint64_t seed);
+
+/// Run one seeded traffic scenario (burst + node failure) and evaluate
+/// every oracle, conservation included.
+ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed);
 
 /// Oracle evaluation, separated for tests: checks `result` (and the
 /// scenario it came from) and returns the violations.

@@ -15,6 +15,7 @@
 #include "recovery/active_standby.hpp"
 #include "recovery/request_replication.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/autoscaler.hpp"
 
 namespace canary::harness {
 
@@ -34,6 +35,11 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     // Heartbeat detection replaces the constant-delay oracle for
     // node-level failures; detection latency becomes emergent.
     platform_config.detection_mode = faas::DetectionMode::kHeartbeat;
+  }
+  if (config.traffic.enabled) {
+    // Open-loop traffic needs pool adoption: without container reuse the
+    // autoscaler's prewarmed containers could never serve an invocation.
+    platform_config.reuse_containers = true;
   }
   faas::Platform platform(simulator, cluster, network, platform_config,
                           metrics);
@@ -131,6 +137,35 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       }
       break;
     }
+  }
+
+  // Open-loop traffic rides on top of (or instead of) the batch jobs.
+  // Submissions route through the Canary control plane when it is
+  // installed so the Request Validator sees the offered load too.
+  std::optional<traffic::TrafficGenerator> traffic_gen;
+  std::optional<traffic::WarmPoolAutoscaler> autoscaler;
+  if (config.traffic.enabled && !config.traffic.streams.empty()) {
+    traffic::TrafficGenerator::SubmitFn submit_route;
+    if (canary_fw.has_value()) {
+      submit_route = [fw = &*canary_fw](faas::JobSpec spec) {
+        return fw->submit_job(std::move(spec));
+      };
+    } else {
+      submit_route = [p = &platform](faas::JobSpec spec) {
+        return p->submit_job(std::move(spec));
+      };
+    }
+    // An independent child stream keeps the arrival draws from perturbing
+    // the failure injector, which consumes Rng(seed) directly.
+    traffic_gen.emplace(simulator, platform, config.traffic,
+                        std::move(submit_route), Rng(config.seed).child(4));
+    platform.add_observer(&*traffic_gen);
+    if (config.traffic.autoscaler.enabled) {
+      autoscaler.emplace(simulator, platform, *traffic_gen);
+      platform.add_observer(&*autoscaler);
+      autoscaler->start();
+    }
+    traffic_gen->start();
   }
 
   // The ideal scenario is failure-free by definition (§V-B) — node-level
@@ -252,6 +287,41 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     result.events_dropped = events->dropped();
     obs::CriticalPathAnalyzer analyzer(*events);
     result.breakdown = analyzer.report(slo.targets());
+  }
+  if (traffic_gen.has_value()) {
+    RunResult::TrafficSummary& t = result.traffic;
+    t.enabled = true;
+    const traffic::StreamStats totals = traffic_gen->totals();
+    t.offered = totals.offered;
+    t.admitted = totals.admitted;
+    t.shed = totals.shed;
+    t.completed = totals.completed;
+    t.failed = totals.failed;
+    t.in_flight = traffic_gen->admission().total_in_flight();
+    t.queued_end = traffic_gen->admission().total_queued();
+    t.queue_peak = totals.queue_peak;
+    t.latency_p50_ms = totals.latency.p50() * 1e3;
+    t.latency_p95_ms = totals.latency.p95() * 1e3;
+    t.latency_p99_ms = totals.latency.p99() * 1e3;
+    t.queue_wait_p99_ms = totals.queue_wait.p99() * 1e3;
+    if (autoscaler.has_value()) {
+      t.scale_ups = autoscaler->scale_ups();
+      t.scale_ins = autoscaler->scale_ins();
+      t.containers_launched = static_cast<std::uint64_t>(
+          metrics.counter("autoscaler_containers_launched"));
+      t.containers_retired = static_cast<std::uint64_t>(
+          metrics.counter("autoscaler_containers_retired"));
+    }
+    t.conservation_ok =
+        t.offered == t.admitted + t.shed + t.queued_end &&
+        t.admitted == t.completed + t.failed + t.in_flight;
+    // Gauges only exist for traffic runs, so traffic-off reports stay
+    // byte-identical.
+    metrics.set_gauge("traffic_queue_peak", static_cast<double>(t.queue_peak));
+    metrics.set_gauge("traffic_in_flight_end",
+                      static_cast<double>(t.in_flight));
+    metrics.set_gauge("traffic_queued_end", static_cast<double>(t.queued_end));
+    result.counters = metrics.counters();
   }
   result.metrics = std::move(metrics);
   result.spans = std::move(spans);

@@ -21,6 +21,7 @@
 #include "obs/metric_registry.hpp"
 #include "obs/span.hpp"
 #include "recovery/strategies.hpp"
+#include "traffic/generator.hpp"
 
 namespace canary::harness {
 
@@ -96,6 +97,11 @@ struct ScenarioConfig {
   /// failure or SLA breach the last events are dumped to
   /// "<path>.<n>.json" (at most 4 dumps per run).
   std::string flight_recorder_path;
+  /// Open-loop traffic: arrival streams driven through admission control
+  /// (and optionally the warm-pool autoscaler) on top of — or instead of
+  /// — the batch `jobs`. Disabled by default; enabling it forces
+  /// PlatformConfig::reuse_containers so warm-pool sizing can matter.
+  traffic::TrafficConfig traffic;
 };
 
 struct RunResult {
@@ -149,6 +155,33 @@ struct RunResult {
   std::uint64_t injected_heartbeats_delayed = 0;
   std::uint64_t injected_store_drops = 0;
   std::uint64_t injected_store_corruptions = 0;
+
+  /// Open-loop traffic accounting (all zero unless
+  /// ScenarioConfig::traffic.enabled). The two conservation identities —
+  ///   offered == admitted + shed + queued_end
+  ///   admitted == completed + failed + in_flight
+  /// — are pre-evaluated into `conservation_ok` for the chaos oracles.
+  struct TrafficSummary {
+    bool enabled = false;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t in_flight = 0;   // admitted, unresolved at run end
+    std::uint64_t queued_end = 0;  // still buffered at run end
+    std::uint64_t queue_peak = 0;
+    double latency_p50_ms = 0.0;  // arrival -> completion
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double queue_wait_p99_ms = 0.0;  // arrival -> platform submission
+    std::uint64_t scale_ups = 0;
+    std::uint64_t scale_ins = 0;
+    std::uint64_t containers_launched = 0;
+    std::uint64_t containers_retired = 0;
+    bool conservation_ok = true;
+  };
+  TrafficSummary traffic;
 };
 
 class ScenarioRunner {

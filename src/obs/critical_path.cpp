@@ -15,6 +15,7 @@ std::string_view to_string_view(PathComponent component) {
     case PathComponent::kExec: return "exec";
     case PathComponent::kReExec: return "re_exec";
     case PathComponent::kFinalize: return "finalize";
+    case PathComponent::kQueueing: return "queueing";
   }
   return "unknown";
 }
@@ -87,6 +88,9 @@ constexpr int kStateEnd = -1;  // kComplete: nothing after is attributed
 
 int state_for(EventKind kind) {
   switch (kind) {
+    case EventKind::kQueued:
+      return static_cast<int>(PathComponent::kQueueing);
+    case EventKind::kShed: return kStateEnd;
     case EventKind::kSubmit: return static_cast<int>(PathComponent::kScheduling);
     case EventKind::kLaunch: return static_cast<int>(PathComponent::kLaunch);
     case EventKind::kInit: return static_cast<int>(PathComponent::kInit);
@@ -176,7 +180,9 @@ void CriticalPathAnalyzer::analyze(const EventLog& log) {
     if (!fn.valid()) continue;
     FunctionTimeline& tl = timelines[fn];
     if (event.at > tl.last_seen) tl.last_seen = event.at;
-    if (event.kind == EventKind::kSubmit && tl.family.empty()) {
+    if ((event.kind == EventKind::kSubmit || event.kind == EventKind::kShed ||
+         event.kind == EventKind::kQueued) &&
+        tl.family.empty()) {
       tl.family = base_function_name(event.name);
     }
     if (event.kind == EventKind::kRecovered && event.cause != kNoEvent) {

@@ -38,8 +38,9 @@ enum class PathComponent {
   kExec,        // first-try state execution
   kReExec,      // execution inside a recovery window (regaining lost work)
   kFinalize,    // fin_f
+  kQueueing,    // open-loop admission wait before platform submission
 };
-inline constexpr std::size_t kPathComponentCount = 8;
+inline constexpr std::size_t kPathComponentCount = 9;
 
 std::string_view to_string_view(PathComponent component);
 

@@ -26,6 +26,8 @@ std::string_view to_string_view(EventKind kind) {
     case EventKind::kReplica: return "replica";
     case EventKind::kSlaViolation: return "sla_violation";
     case EventKind::kAnnotation: return "annotation";
+    case EventKind::kQueued: return "queued";
+    case EventKind::kShed: return "shed";
   }
   return "unknown";
 }

@@ -70,6 +70,8 @@ enum class EventKind {
   kReplica,         // replica/standby provisioning milestones
   kSlaViolation,    // deadline passed without completion
   kAnnotation,      // freeform marker (log mirror, injector notes)
+  kQueued,          // open-loop arrival entered admission control
+  kShed,            // admission control rejected the request (terminal)
 };
 
 std::string_view to_string_view(EventKind kind);

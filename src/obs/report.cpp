@@ -13,8 +13,14 @@ namespace {
 void write_components(JsonWriter& json, const ComponentSums& sums) {
   json.begin_object();
   for (std::size_t i = 0; i < kPathComponentCount; ++i) {
-    json.field(to_string_view(static_cast<PathComponent>(i)),
-               sums.seconds[i]);
+    const auto component = static_cast<PathComponent>(i);
+    // Queueing only exists for open-loop (traffic-driven) runs; keeping
+    // the key absent otherwise leaves closed-loop reports byte-identical
+    // to those produced before the component existed.
+    if (component == PathComponent::kQueueing && sums.seconds[i] == 0.0) {
+      continue;
+    }
+    json.field(to_string_view(component), sums.seconds[i]);
   }
   json.end_object();
 }

@@ -1,0 +1,95 @@
+// Per-function-class admission control: bounded queues, concurrency
+// limits, shed-on-overflow.
+//
+// Open-loop arrivals cannot be told to slow down, so the only three
+// honest outcomes for a request are admit (submit to the platform now),
+// queue (bounded buffer, FIFO, submitted when a slot frees), or shed
+// (rejected immediately once the buffer is full). The controller is pure
+// bookkeeping over those three outcomes; the callbacks it is constructed
+// with decide what "submit" and "shed" physically mean (the traffic
+// generator routes them at the platform or the Canary control plane, and
+// sheds become terminal kShed invocations via Platform::shed_job so
+// nothing is ever silently dropped).
+//
+// Accounting is exactly-once by construction: every offer increments
+// `offered` and exactly one of `admitted`/`queued-then-admitted`/`shed`,
+// and every admitted request is balanced by exactly one on_complete().
+// The conservation oracle (offered == admitted + shed,
+// admitted == completed + in-flight) is checked by the chaos campaign.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "faas/function.hpp"
+
+namespace canary::traffic {
+
+struct AdmissionClassConfig {
+  /// Requests of this class running (or platform-queued) concurrently.
+  unsigned max_concurrent = 8;
+  /// Bounded FIFO backlog beyond the concurrency limit; arrivals past
+  /// this are shed.
+  std::size_t queue_capacity = 32;
+};
+
+enum class AdmissionOutcome { kAdmitted, kQueued, kShed };
+
+class AdmissionController {
+ public:
+  using SubmitFn = std::function<void(faas::JobSpec)>;
+  using ShedFn = std::function<void(faas::JobSpec)>;
+
+  AdmissionController(SubmitFn submit, ShedFn shed);
+
+  /// Register a class (one per traffic stream); returns its index.
+  std::size_t add_class(AdmissionClassConfig config);
+  std::size_t class_count() const { return classes_.size(); }
+
+  /// One arrival. Exactly one of: submit fires synchronously (admitted),
+  /// the spec is buffered (queued), or shed fires synchronously.
+  AdmissionOutcome offer(std::size_t cls, faas::JobSpec spec);
+
+  /// One admitted request of `cls` reached a terminal state; frees its
+  /// concurrency slot and pumps the backlog (FIFO).
+  void on_complete(std::size_t cls);
+
+  /// The submit callback could not place an admitted request (statically
+  /// invalid spec — never load): reclassify it as shed and free its slot.
+  /// Callable re-entrantly from inside the submit callback.
+  void reject_admitted(std::size_t cls);
+
+  struct ClassStats {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t queue_peak = 0;
+    std::size_t queued = 0;
+    std::size_t in_flight = 0;
+  };
+  const ClassStats& stats(std::size_t cls) const;
+
+  std::size_t total_queued() const;
+  std::size_t total_in_flight() const;
+  /// Nothing buffered and nothing in flight (quiescence input for the
+  /// autoscaler's final drain).
+  bool drained() const;
+
+ private:
+  struct ClassState {
+    AdmissionClassConfig config;
+    ClassStats stats;
+    std::deque<faas::JobSpec> backlog;
+  };
+
+  void admit(ClassState& c, faas::JobSpec spec);
+
+  SubmitFn submit_;
+  ShedFn shed_;
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace canary::traffic

@@ -1,0 +1,85 @@
+// Open-loop arrival generation.
+//
+// Closed-loop benches submit a batch and drain it, so the platform never
+// sees sustained pressure. An ArrivalProcess is the open-loop half: it
+// produces invocation arrival instants independent of completion times,
+// which is what makes overload, queueing delay and warm-pool sizing
+// observable at all. Four processes cover the space the traffic benches
+// sweep:
+//
+//   * Poisson        — memoryless arrivals at a constant rate;
+//   * on/off (MMPP)  — a two-phase Markov-modulated process: exponential
+//                      on/off dwell times, each phase Poisson at its own
+//                      rate (bursts with calm valleys);
+//   * diurnal        — a Poisson process whose rate is sinusoid-modulated
+//                      (daily peak/trough), sampled by Lewis-Shedler
+//                      thinning against the peak-rate majorant;
+//   * trace          — replay of explicit offsets, round-trippable through
+//                      a plain-text format (one microsecond offset per
+//                      line, '#' comments) so synthetic traces can be
+//                      stored next to the benches and replayed bit-exactly.
+//
+// Every process owns its Rng by value: two processes built from the same
+// spec and seed emit byte-identical streams, which is the determinism
+// contract the tests pin.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace canary::traffic {
+
+/// Value-type description of an arrival process; the config half of the
+/// subsystem so harness::ScenarioConfig stays copyable.
+struct ArrivalSpec {
+  enum class Kind { kPoisson, kOnOff, kDiurnal, kTrace };
+  Kind kind = Kind::kPoisson;
+
+  /// Poisson rate; on-phase rate for kOnOff; mean rate for kDiurnal.
+  double rate_hz = 10.0;
+
+  // kOnOff: off-phase rate and exponential phase dwell means.
+  double off_rate_hz = 0.0;
+  Duration on_mean = Duration::sec(2.0);
+  Duration off_mean = Duration::sec(2.0);
+
+  // kDiurnal: rate(t) = rate_hz * (1 + amplitude * sin(2*pi*t/period)).
+  double amplitude = 0.5;  // in [0, 1)
+  Duration period = Duration::sec(60.0);
+
+  // kTrace: explicit arrival offsets from the origin, ascending.
+  std::vector<Duration> trace;
+
+  /// Long-run mean arrival rate implied by the spec (analytic, used by
+  /// the rate-matching property tests and the autoscaler's sanity caps).
+  double mean_rate_hz() const;
+};
+
+/// A stream of arrival instants. next(now) returns the first arrival
+/// strictly after `now`, or nullopt when the stream is exhausted (trace
+/// replay past its last entry); the generator applies its own horizon.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual std::optional<TimePoint> next(TimePoint now) = 0;
+};
+
+/// Build the process described by `spec`, seeded with `rng` (taken by
+/// value: the caller keeps its own stream untouched).
+std::unique_ptr<ArrivalProcess> make_arrival_process(const ArrivalSpec& spec,
+                                                     Rng rng);
+
+/// Parse the plain-text trace format: one non-negative integer
+/// (microseconds from origin) per line; '#' starts a comment; blank lines
+/// are skipped. Offsets are sorted so hand-edited traces stay valid.
+std::vector<Duration> parse_trace(std::istream& is);
+
+/// Serialise offsets in the format parse_trace reads back bit-exactly.
+void write_trace(std::ostream& os, const std::vector<Duration>& offsets);
+
+}  // namespace canary::traffic

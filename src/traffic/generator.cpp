@@ -1,0 +1,163 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/result.hpp"
+
+namespace canary::traffic {
+
+void StreamStats::merge(const StreamStats& other) {
+  offered += other.offered;
+  admitted += other.admitted;
+  shed += other.shed;
+  completed += other.completed;
+  failed += other.failed;
+  queue_peak = std::max(queue_peak, other.queue_peak);
+  latency.merge(other.latency);
+  queue_wait.merge(other.queue_wait);
+}
+
+TrafficGenerator::TrafficGenerator(sim::Simulator& sim,
+                                   faas::Platform& platform,
+                                   TrafficConfig config, SubmitFn submit,
+                                   Rng rng)
+    : sim_(sim),
+      platform_(platform),
+      config_(std::move(config)),
+      submit_(std::move(submit)),
+      rng_(rng),
+      admission_(
+          [this](faas::JobSpec spec) {
+            Stream& stream = streams_[current_stream_];
+            ++stream.stats.admitted;
+            m_admitted_.add();
+            // Keep a handle for the defensive shed path: the spec is
+            // statically valid by construction, so a rejection here is a
+            // misconfiguration, not load — but it must still conserve.
+            faas::JobSpec fallback = spec;
+            const Result<JobId> result = submit_(std::move(spec));
+            if (!result.ok()) {
+              const std::size_t cls = current_stream_;
+              --stream.stats.admitted;
+              ++stream.stats.shed;
+              m_admitted_.add(-1.0);
+              m_shed_.add();
+              pending_.erase(fallback.functions.front().name);
+              (void)platform_.shed_job(std::move(fallback));
+              admission_.reject_admitted(cls);
+            }
+          },
+          [this](faas::JobSpec spec) {
+            Stream& stream = streams_[current_stream_];
+            ++stream.stats.shed;
+            m_shed_.add();
+            pending_.erase(spec.functions.front().name);
+            (void)platform_.shed_job(std::move(spec));
+          }) {
+  CANARY_CHECK(submit_ != nullptr, "traffic generator needs a submit route");
+  streams_.reserve(config_.streams.size());
+  for (std::size_t i = 0; i < config_.streams.size(); ++i) {
+    Stream stream;
+    stream.config = config_.streams[i];
+    stream.process =
+        make_arrival_process(stream.config.arrival,
+                             rng_.child(static_cast<std::uint64_t>(i) + 1));
+    stream.admission_class = admission_.add_class(stream.config.admission);
+    streams_.push_back(std::move(stream));
+  }
+}
+
+void TrafficGenerator::start() {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    streams_[i].active = true;
+    ++active_streams_;
+    schedule_next(i, sim_.now());
+  }
+}
+
+void TrafficGenerator::schedule_next(std::size_t stream_idx, TimePoint after) {
+  Stream& stream = streams_[stream_idx];
+  const std::optional<TimePoint> at = stream.process->next(after);
+  const TimePoint deadline = TimePoint::origin() + config_.horizon;
+  if (!at.has_value() || *at > deadline) {
+    stream.active = false;
+    CANARY_CHECK(active_streams_ > 0, "traffic stream accounting underflow");
+    --active_streams_;
+    return;
+  }
+  sim_.schedule_at(*at, [this, stream_idx] { handle_arrival(stream_idx); });
+}
+
+faas::JobSpec TrafficGenerator::make_job(Stream& stream, TimePoint now) {
+  const std::uint64_t seq = stream.seq++;
+  faas::FunctionSpec fn = stream.config.fn;
+  fn.name = stream.config.name + "-" + std::to_string(seq);
+  fn.sla = stream.config.sla;
+  fn.depends_on.clear();
+  faas::JobSpec job;
+  job.name = stream.config.name + "-job-" + std::to_string(seq);
+  job.enqueued_at = now;
+  job.functions.push_back(std::move(fn));
+  return job;
+}
+
+void TrafficGenerator::handle_arrival(std::size_t stream_idx) {
+  Stream& stream = streams_[stream_idx];
+  const TimePoint now = sim_.now();
+  faas::JobSpec job = make_job(stream, now);
+  pending_[job.functions.front().name] = PendingArrival{stream_idx, now};
+  ++stream.stats.offered;
+  m_offered_.add();
+  current_stream_ = stream_idx;
+  const AdmissionOutcome outcome =
+      admission_.offer(stream.admission_class, std::move(job));
+  if (outcome == AdmissionOutcome::kQueued) m_queued_.add();
+  stream.stats.queue_peak =
+      std::max(stream.stats.queue_peak,
+               admission_.stats(stream.admission_class).queue_peak);
+  schedule_next(stream_idx, now);
+}
+
+void TrafficGenerator::on_job_submitted(JobId job) {
+  const std::vector<FunctionId>& fns = platform_.job_functions(job);
+  if (fns.empty()) return;
+  const faas::Invocation& inv = platform_.invocation(fns.front());
+  const auto it = pending_.find(inv.spec->name);
+  if (it == pending_.end()) return;  // not a traffic job
+  const PendingArrival arrival = it->second;
+  pending_.erase(it);
+  bound_[job.value()] = BoundArrival{arrival.stream, arrival.arrived};
+  Stream& stream = streams_[arrival.stream];
+  const Duration wait = sim_.now() - arrival.arrived;
+  stream.stats.queue_wait.record(wait.to_seconds());
+  m_queue_wait_.record_duration(wait);
+}
+
+void TrafficGenerator::on_job_completed(JobId job) {
+  const auto it = bound_.find(job.value());
+  if (it == bound_.end()) return;  // not a traffic job
+  const BoundArrival bound = it->second;
+  bound_.erase(it);
+  Stream& stream = streams_[bound.stream];
+  ++stream.stats.completed;
+  m_completed_.add();
+  const Duration latency = sim_.now() - bound.arrived;
+  stream.stats.latency.record(latency.to_seconds());
+  m_latency_.record_duration(latency);
+  current_stream_ = bound.stream;
+  admission_.on_complete(stream.admission_class);
+}
+
+const StreamStats& TrafficGenerator::stream_stats(std::size_t stream) const {
+  CANARY_CHECK(stream < streams_.size(), "unknown traffic stream");
+  return streams_[stream].stats;
+}
+
+StreamStats TrafficGenerator::totals() const {
+  StreamStats total;
+  for (const Stream& stream : streams_) total.merge(stream.stats);
+  return total;
+}
+
+}  // namespace canary::traffic

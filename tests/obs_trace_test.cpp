@@ -372,6 +372,58 @@ TEST(EventLogTest, FlightRecorderDumpsOnNodeFailure) {
   std::remove(path.c_str());
 }
 
+TEST(QueueingAttributionTest, PreAdmissionWaitIsQueueingNotScheduling) {
+  // An open-loop arrival that waited 5 s in admission control before the
+  // platform saw it: the wait must land in the `queueing` component and a
+  // breach during that era must blame queueing, not scheduling.
+  obs::EventLog log;
+  obs::TraceContext ctx{log.new_trace()};
+  obs::SpanLabels labels;
+  labels.function = FunctionId{1};
+  const TimePoint t0 = TimePoint::origin();
+  const auto at = [t0](double s) { return t0 + Duration::sec(s); };
+  log.extend(ctx, obs::EventKind::kQueued, "web-1", at(0.0), labels);
+  log.extend(ctx, obs::EventKind::kSubmit, "web-1", at(5.0), labels);
+  log.extend(ctx, obs::EventKind::kLaunch, "web-1", at(5.5), labels);
+  log.extend(ctx, obs::EventKind::kInit, "web-1", at(6.0), labels);
+  log.extend(ctx, obs::EventKind::kExec, "web-1", at(6.5), labels);
+  log.extend(ctx, obs::EventKind::kSlaViolation, "web-1", at(7.0), labels);
+  log.extend(ctx, obs::EventKind::kFinalize, "web-1", at(8.0), labels);
+  log.extend(ctx, obs::EventKind::kComplete, "web-1", at(8.5), labels);
+
+  obs::CriticalPathAnalyzer analyzer(log);
+  const obs::BreakdownReport report = analyzer.report(/*slo_targets=*/1);
+  const obs::ComponentSums& e2e = report.end_to_end_components;
+  EXPECT_NEAR(e2e[obs::PathComponent::kQueueing], 5.0, 1e-9);
+  EXPECT_NEAR(e2e[obs::PathComponent::kScheduling], 0.5, 1e-9);
+  EXPECT_NEAR(e2e[obs::PathComponent::kExec], 1.5, 1e-9);
+  EXPECT_NEAR(e2e.total(), 8.5, 1e-9);
+  // The family groups under the stream's base name, stripped of "-1".
+  ASSERT_EQ(report.per_function.count("web"), 1u);
+  // Breach attribution: queueing dominated submission-to-breach.
+  EXPECT_EQ(report.slo_violations, 1u);
+  ASSERT_EQ(report.slo_breaches_by_component.count("queueing"), 1u);
+  EXPECT_EQ(report.slo_breaches_by_component.at("queueing"), 1u);
+}
+
+TEST(QueueingAttributionTest, ShedChainTerminatesWithoutAttribution) {
+  // A shed arrival's chain is kQueued -> kShed; nothing after the shed
+  // instant may be attributed to any component.
+  obs::EventLog log;
+  obs::TraceContext ctx{log.new_trace()};
+  obs::SpanLabels labels;
+  labels.function = FunctionId{2};
+  log.extend(ctx, obs::EventKind::kQueued, "web-2", TimePoint::origin(),
+             labels);
+  log.extend(ctx, obs::EventKind::kShed, "web-2",
+             TimePoint::origin() + Duration::sec(2.0), labels);
+  obs::CriticalPathAnalyzer analyzer(log);
+  const obs::BreakdownReport report = analyzer.report();
+  EXPECT_NEAR(report.end_to_end_components[obs::PathComponent::kQueueing], 2.0,
+              1e-9);
+  EXPECT_NEAR(report.end_to_end_components.total(), 2.0, 1e-9);
+}
+
 TEST(TraceScenarioTest, RequestReplicationSharesOneTracePerGroup) {
   harness::ScenarioConfig config;
   config.strategy = recovery::StrategyConfig::request_replication(1);

@@ -19,10 +19,17 @@ i.e. 20%).
 
 canary.chaos/v1 — the chaos-campaign verdicts emitted by
 bench/chaos_campaign: scenario count, injected-fault totals, detector
-outcomes and the invariant-oracle tally. The check FAILS when the
-report records any oracle violation, so wiring this file into CI makes
-a chaos regression a red build even if the producing binary's exit
-status was lost along the way.
+outcomes, open-loop traffic totals and the invariant-oracle tally. The
+check FAILS when the report records any oracle violation, so wiring
+this file into CI makes a chaos regression a red build even if the
+producing binary's exit status was lost along the way.
+
+canary.traffic/v1 — the open-loop traffic curves emitted by
+bench/traffic_curves. Verifies the offered-load axis is strictly
+increasing, goodput never exceeds offered load, tail latency dominates
+the median, the per-point conservation identity
+(offered == admitted + shed + queued_end) holds, nothing was shed below
+0.75x capacity, and the report's own conservation verdict is clean.
 
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
             report.json [report2.json ...]
@@ -36,6 +43,7 @@ import sys
 SCHEMA = "canary.run_report/v2"
 BENCH_SCHEMA = "canary.bench/v1"
 CHAOS_SCHEMA = "canary.chaos/v1"
+TRAFFIC_SCHEMA = "canary.traffic/v1"
 CHAOS_ORACLES = [
     "completion",
     "exactly_once",
@@ -43,6 +51,7 @@ CHAOS_ORACLES = [
     "detection_bound",
     "ledger_balance",
     "no_stranded_failures",
+    "conservation",
 ]
 COMPONENTS = [
     "detection",
@@ -53,6 +62,11 @@ COMPONENTS = [
     "exec",
     "re_exec",
     "finalize",
+]
+# Components that only appear in open-loop (traffic-driven) runs; the
+# writers omit them when zero so closed-loop reports stay byte-identical.
+OPTIONAL_COMPONENTS = [
+    "queueing",
 ]
 
 
@@ -73,11 +87,15 @@ def check_number(obj, key, path):
 
 def check_components(obj, path):
     expect(isinstance(obj, dict), f"{path}: expected an object")
-    expect(sorted(obj.keys()) == sorted(COMPONENTS),
-           f"{path}: component keys {sorted(obj.keys())} != {sorted(COMPONENTS)}")
-    for key in COMPONENTS:
+    keys = set(obj.keys())
+    required = set(COMPONENTS)
+    allowed = required | set(OPTIONAL_COMPONENTS)
+    expect(required <= keys <= allowed,
+           f"{path}: component keys {sorted(keys)} not between "
+           f"{sorted(required)} and {sorted(allowed)}")
+    for key in keys:
         check_number(obj, key, path)
-    return sum(obj[key] for key in COMPONENTS)
+    return sum(obj[key] for key in keys)
 
 
 def check_health(obj, path):
@@ -129,7 +147,7 @@ def check_breakdown(breakdown):
     expect(isinstance(breaches, dict),
            "breakdown.slo.breaches_by_component: missing")
     for component, count in breaches.items():
-        expect(component in COMPONENTS,
+        expect(component in COMPONENTS + OPTIONAL_COMPONENTS,
                f"breakdown.slo.breaches_by_component: unknown '{component}'")
         expect(isinstance(count, int) and count >= 0,
                f"breakdown.slo.breaches_by_component.{component}: bad count")
@@ -245,9 +263,12 @@ def check_chaos_report(report, path):
     params = report.get("params")
     expect(isinstance(params, dict), "params: expected an object")
     expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
-    for key in ("scenarios", "base_seed"):
+    for key in ("scenarios", "base_seed", "traffic_scenarios",
+                "traffic_base_seed"):
         check_number(params, key, "params")
     expect(params["scenarios"] > 0, "params.scenarios: must be positive")
+    expect(params["traffic_scenarios"] >= 0,
+           "params.traffic_scenarios: negative")
 
     faults = report.get("fault_totals")
     expect(isinstance(faults, dict), "fault_totals: expected an object")
@@ -265,6 +286,19 @@ def check_chaos_report(report, path):
         expect(detection[key] >= 0, f"detection.{key}: negative")
     expect(detection["false_suspicions"] <= detection["suspicions"],
            "detection: more false suspicions than suspicions")
+
+    traffic = report.get("traffic_totals")
+    expect(isinstance(traffic, dict), "traffic_totals: expected an object")
+    for key in ("offered", "admitted", "shed", "completed"):
+        check_number(traffic, key, "traffic_totals")
+        expect(traffic[key] >= 0, f"traffic_totals.{key}: negative")
+    # Campaign-level conservation: chaos traffic scenarios drain fully, so
+    # every offered arrival ended admitted or shed.
+    expect(traffic["offered"] == traffic["admitted"] + traffic["shed"],
+           f"traffic_totals: offered {traffic['offered']} != admitted "
+           f"{traffic['admitted']} + shed {traffic['shed']}")
+    expect(traffic["completed"] <= traffic["admitted"],
+           "traffic_totals: completed exceeds admitted")
 
     oracles = report.get("oracles")
     expect(isinstance(oracles, dict), "oracles: expected an object")
@@ -297,9 +331,106 @@ def check_chaos_report(report, path):
            f"violation(s) across seeds "
            f"{[entry['seed'] for entry in failed]}")
 
-    print(f"{path}: OK ({CHAOS_SCHEMA}, {params['scenarios']} scenarios, "
+    print(f"{path}: OK ({CHAOS_SCHEMA}, {params['scenarios']} + "
+          f"{params['traffic_scenarios']:.0f} scenarios, "
           f"{faults['node_kills']:.0f} node kills, "
-          f"{detection['suspicions']:.0f} suspicions, 0 violations)")
+          f"{traffic['offered']:.0f} arrivals, 0 violations)")
+
+
+def check_traffic_summary(obj, path, allow_backlog=False):
+    """Validate one traffic summary block and its conservation identity."""
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    for key in ("offered", "admitted", "shed", "completed", "failed",
+                "in_flight", "queued_end", "queue_peak", "p50_ms", "p99_ms",
+                "queue_wait_p99_ms"):
+        check_number(obj, key, path)
+        expect(obj[key] >= 0, f"{path}.{key}: negative")
+    expect(isinstance(obj.get("conservation_ok"), bool),
+           f"{path}.conservation_ok: expected a bool")
+    expect(obj["conservation_ok"], f"{path}: conservation_ok is false")
+    expect(obj["offered"] == obj["admitted"] + obj["shed"] + obj["queued_end"],
+           f"{path}: offered {obj['offered']} != admitted {obj['admitted']} "
+           f"+ shed {obj['shed']} + queued_end {obj['queued_end']}")
+    expect(obj["admitted"] ==
+           obj["completed"] + obj["failed"] + obj["in_flight"],
+           f"{path}: admitted {obj['admitted']} != completed "
+           f"{obj['completed']} + failed {obj['failed']} + in_flight "
+           f"{obj['in_flight']}")
+    if not allow_backlog:
+        expect(obj["in_flight"] == 0 and obj["queued_end"] == 0,
+               f"{path}: run ended with backlog "
+               f"(in_flight {obj['in_flight']}, queued {obj['queued_end']})")
+    if obj["completed"] > 0:
+        expect(obj["p99_ms"] >= obj["p50_ms"],
+               f"{path}: p99 {obj['p99_ms']} < p50 {obj['p50_ms']}")
+
+
+def check_traffic_report(report, path):
+    """Validate a canary.traffic/v1 report from bench/traffic_curves."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == TRAFFIC_SCHEMA,
+           f"schema: expected '{TRAFFIC_SCHEMA}', got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    params = report.get("params")
+    expect(isinstance(params, dict), "params: expected an object")
+    expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
+    for key in ("horizon_s", "capacity_rps", "max_concurrent",
+                "queue_capacity", "seed"):
+        check_number(params, key, "params")
+        expect(params[key] > 0, f"params.{key}: must be positive")
+
+    curves = report.get("curves")
+    expect(isinstance(curves, list) and curves,
+           "curves: expected a non-empty array")
+    prev_offered = -1.0
+    for i, point in enumerate(curves):
+        p = f"curves[{i}]"
+        expect(isinstance(point, dict), f"{p}: expected an object")
+        for key in ("load_factor", "offered_rps", "goodput_rps"):
+            check_number(point, key, p)
+        check_traffic_summary(point, p)
+        # The offered-load axis must be strictly increasing: a shuffled or
+        # duplicated sweep means the producing bench is broken.
+        expect(point["offered_rps"] > prev_offered,
+               f"{p}: offered_rps {point['offered_rps']} not strictly "
+               f"greater than previous {prev_offered}")
+        prev_offered = point["offered_rps"]
+        expect(point["goodput_rps"] <= point["offered_rps"] + 1e-9,
+               f"{p}: goodput {point['goodput_rps']} exceeds offered "
+               f"{point['offered_rps']}")
+        if point["load_factor"] <= 0.75:
+            expect(point["shed"] == 0,
+                   f"{p}: shed {point['shed']} arrival(s) at subcritical "
+                   f"load {point['load_factor']}")
+
+    burst = report.get("burst")
+    expect(isinstance(burst, dict), "burst: expected an object")
+    for key in ("without_autoscaler", "with_autoscaler"):
+        check_traffic_summary(burst.get(key), f"burst.{key}")
+    scaled = burst["with_autoscaler"]
+    for key in ("scale_ups", "scale_ins", "containers_launched",
+                "containers_retired"):
+        check_number(scaled, key, "burst.with_autoscaler")
+        expect(scaled[key] >= 0, f"burst.with_autoscaler.{key}: negative")
+    expect(scaled["containers_retired"] <= scaled["containers_launched"],
+           "burst.with_autoscaler: retired more containers than launched")
+
+    check_traffic_summary(report.get("overload_failure"), "overload_failure")
+
+    conservation = report.get("conservation")
+    expect(isinstance(conservation, dict), "conservation: expected an object")
+    expect(isinstance(conservation.get("ok"), bool),
+           "conservation.ok: expected a bool")
+    check_number(conservation, "violations", "conservation")
+    expect(conservation["ok"] and conservation["violations"] == 0,
+           f"traffic bench recorded {conservation['violations']} "
+           f"conservation violation(s)")
+
+    print(f"{path}: OK ({TRAFFIC_SCHEMA}, {len(curves)} load points, "
+          f"peak goodput {max(pt['goodput_rps'] for pt in curves):.1f} rps, "
+          f"0 violations)")
 
 
 def compare_bench(rates, baseline_rates, max_regress, path):
@@ -370,6 +501,8 @@ def main(argv):
                     compare_bench(rates, baseline_rates, max_regress, path)
             elif report.get("schema") == CHAOS_SCHEMA:
                 check_chaos_report(report, path)
+            elif report.get("schema") == TRAFFIC_SCHEMA:
+                check_traffic_report(report, path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
