@@ -11,8 +11,13 @@
 // window, and additionally checks the traffic conservation oracle:
 // every offered arrival is admitted, shed, or still queued — exactly once.
 //
+// A third family re-arms the base scenarios with the hedge strategy:
+// speculative clones race their primaries through a gray window while a
+// guaranteed node failure lands mid-race, and the hedge exactly-once
+// oracle checks that every fired hedge resolves exactly once.
+//
 // Usage: chaos_campaign [--quick] [--scenarios N] [--seed BASE]
-//                       [--traffic-scenarios N]
+//                       [--traffic-scenarios N] [--hedge-scenarios N]
 // Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
 #include <algorithm>
 #include <cstdlib>
@@ -70,8 +75,10 @@ int main(int argc, char** argv) {
   bool quick = quick_mode_env();
   std::size_t scenarios = 0;          // 0 = derive from quick flag below
   std::size_t traffic_scenarios = 0;  // 0 = derive from quick flag below
+  std::size_t hedge_scenarios = 0;    // 0 = derive from quick flag below
   std::uint64_t base_seed = 90001;
   std::uint64_t traffic_base_seed = 70001;
+  std::uint64_t hedge_base_seed = 50001;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -82,23 +89,30 @@ int main(int argc, char** argv) {
       base_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--traffic-scenarios" && i + 1 < argc) {
       traffic_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--hedge-scenarios" && i + 1 < argc) {
+      hedge_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::cerr << "usage: chaos_campaign [--quick] [--scenarios N] "
-                   "[--seed BASE] [--traffic-scenarios N]\n";
+                   "[--seed BASE] [--traffic-scenarios N] "
+                   "[--hedge-scenarios N]\n";
       return 2;
     }
   }
   if (scenarios == 0) scenarios = quick ? 24 : 240;
   if (traffic_scenarios == 0) traffic_scenarios = quick ? 12 : 120;
+  if (hedge_scenarios == 0) hedge_scenarios = quick ? 12 : 120;
 
   std::cout << "chaos campaign: " << scenarios << " scenarios, base seed "
             << base_seed << " + " << traffic_scenarios
-            << " traffic scenarios, base seed " << traffic_base_seed
-            << (quick ? " (quick)" : "") << "\n";
+            << " traffic scenarios, base seed " << traffic_base_seed << " + "
+            << hedge_scenarios << " hedge scenarios, base seed "
+            << hedge_base_seed << (quick ? " (quick)" : "") << "\n";
 
   // Seeded scenarios are independent; run them in parallel batches. The
-  // traffic family rides in the same pool, indexed past the base family.
-  const std::size_t total_scenarios = scenarios + traffic_scenarios;
+  // traffic and hedge families ride in the same pool, indexed past the
+  // base family.
+  const std::size_t total_scenarios =
+      scenarios + traffic_scenarios + hedge_scenarios;
   std::vector<ChaosOutcome> outcomes(total_scenarios);
   const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
   std::size_t next = 0;
@@ -108,13 +122,25 @@ int main(int argc, char** argv) {
     futures.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       const std::size_t index = next + i;
-      const bool traffic = index >= scenarios;
-      const std::uint64_t seed = traffic
-                                     ? traffic_base_seed + (index - scenarios)
-                                     : base_seed + index;
-      futures.push_back(std::async(std::launch::async, [seed, traffic] {
-        return traffic ? canary::harness::run_traffic_chaos_scenario(seed)
-                       : canary::harness::run_chaos_scenario(seed);
+      enum class Family { kBase, kTraffic, kHedge };
+      Family family = Family::kBase;
+      std::uint64_t seed = base_seed + index;
+      if (index >= scenarios + traffic_scenarios) {
+        family = Family::kHedge;
+        seed = hedge_base_seed + (index - scenarios - traffic_scenarios);
+      } else if (index >= scenarios) {
+        family = Family::kTraffic;
+        seed = traffic_base_seed + (index - scenarios);
+      }
+      futures.push_back(std::async(std::launch::async, [seed, family] {
+        switch (family) {
+          case Family::kTraffic:
+            return canary::harness::run_traffic_chaos_scenario(seed);
+          case Family::kHedge:
+            return canary::harness::run_hedge_chaos_scenario(seed);
+          case Family::kBase: break;
+        }
+        return canary::harness::run_chaos_scenario(seed);
       }));
     }
     for (std::size_t i = 0; i < batch; ++i) {
@@ -130,6 +156,7 @@ int main(int argc, char** argv) {
   std::uint64_t suspicions = 0, false_suspicions = 0, stalls = 0;
   std::uint64_t traffic_offered = 0, traffic_admitted = 0;
   std::uint64_t traffic_shed = 0, traffic_completed = 0;
+  std::uint64_t hedges_fired = 0, hedge_wins = 0, hedges_cancelled = 0;
   double total_failures = 0.0;
   double max_detection = 0.0;
   std::vector<const ChaosOutcome*> failed;
@@ -148,6 +175,9 @@ int main(int argc, char** argv) {
     traffic_admitted += out.traffic_admitted;
     traffic_shed += out.traffic_shed;
     traffic_completed += out.traffic_completed;
+    hedges_fired += out.hedges_fired;
+    hedge_wins += out.hedge_wins;
+    hedges_cancelled += out.hedges_cancelled;
     total_failures += out.failures;
     max_detection = std::max(max_detection, out.max_detection_latency_s);
     if (!out.violations.empty()) failed.push_back(&out);
@@ -156,6 +186,7 @@ int main(int argc, char** argv) {
   canary::TextTable table({"metric", "total"});
   table.add_row({"scenarios", std::to_string(scenarios)});
   table.add_row({"traffic scenarios", std::to_string(traffic_scenarios)});
+  table.add_row({"hedge scenarios", std::to_string(hedge_scenarios)});
   table.add_row({"function failures", canary::TextTable::num(total_failures, 0)});
   table.add_row({"node kills", std::to_string(node_kills)});
   table.add_row({"gray windows", std::to_string(gray)});
@@ -170,6 +201,8 @@ int main(int argc, char** argv) {
                  canary::TextTable::num(max_detection, 3)});
   table.add_row({"arrivals offered", std::to_string(traffic_offered)});
   table.add_row({"arrivals shed", std::to_string(traffic_shed)});
+  table.add_row({"hedges fired", std::to_string(hedges_fired)});
+  table.add_row({"hedge wins", std::to_string(hedge_wins)});
   table.add_row({"oracle violations", std::to_string(violations)});
   table.print(std::cout);
 
@@ -201,7 +234,9 @@ int main(int argc, char** argv) {
   os << "    \"scenarios\": " << scenarios << ",\n";
   os << "    \"base_seed\": " << base_seed << ",\n";
   os << "    \"traffic_scenarios\": " << traffic_scenarios << ",\n";
-  os << "    \"traffic_base_seed\": " << traffic_base_seed << "\n";
+  os << "    \"traffic_base_seed\": " << traffic_base_seed << ",\n";
+  os << "    \"hedge_scenarios\": " << hedge_scenarios << ",\n";
+  os << "    \"hedge_base_seed\": " << hedge_base_seed << "\n";
   os << "  },\n";
   os << "  \"fault_totals\": {\n";
   os << "    \"function_failures\": " << num(total_failures) << ",\n";
@@ -224,10 +259,16 @@ int main(int argc, char** argv) {
   os << "    \"shed\": " << traffic_shed << ",\n";
   os << "    \"completed\": " << traffic_completed << "\n";
   os << "  },\n";
+  os << "  \"hedge_totals\": {\n";
+  os << "    \"fired\": " << hedges_fired << ",\n";
+  os << "    \"wins\": " << hedge_wins << ",\n";
+  os << "    \"cancelled\": " << hedges_cancelled << "\n";
+  os << "  },\n";
   os << "  \"oracles\": {\n";
   os << "    \"checked\": [\"completion\", \"exactly_once\", "
         "\"no_corrupt_restore\", \"detection_bound\", \"ledger_balance\", "
-        "\"no_stranded_failures\", \"conservation\"],\n";
+        "\"no_stranded_failures\", \"conservation\", "
+        "\"hedge_exactly_once\"],\n";
   os << "    \"violations\": " << violations << "\n";
   os << "  },\n";
   os << "  \"failed_scenarios\": [";

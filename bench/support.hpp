@@ -129,9 +129,11 @@ inline void report_breakdown(Reporter& reporter, const std::string& label,
   TextTable table({"component", "recovery [s]", "end-to-end [s]"});
   for (std::size_t c = 0; c < obs::kPathComponentCount; ++c) {
     const auto component = static_cast<obs::PathComponent>(c);
-    // Queueing only appears in open-loop (traffic-driven) runs; skipping
-    // the all-zero row keeps closed-loop bench reports byte-identical.
-    if (component == obs::PathComponent::kQueueing &&
+    // Queueing only appears in open-loop (traffic-driven) runs and
+    // hedging only in hedged runs; skipping the all-zero rows keeps the
+    // other bench reports byte-identical.
+    if ((component == obs::PathComponent::kQueueing ||
+         component == obs::PathComponent::kHedging) &&
         bd.recovery_components[component] == 0.0 &&
         bd.end_to_end_components[component] == 0.0) {
       continue;

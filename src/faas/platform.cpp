@@ -909,9 +909,79 @@ void Platform::discard_function(FunctionId id) {
         [id](const auto& entry) { return entry.first == id; });
     if (waiter != capacity_waiters_.end()) capacity_waiters_.erase(waiter);
   }
+  // A stashed node-failure notification (heartbeat mode) for a discarded
+  // invocation is moot — it must not linger as a stranded failure when
+  // the run ends before the detector confirms the node.
+  undetected_.erase(
+      std::remove_if(undetected_.begin(), undetected_.end(),
+                     [id](const UndetectedFailure& u) { return u.id == id; }),
+      undetected_.end());
   m_functions_discarded_.add();
   obs_event(inv, obs::EventKind::kAnnotation, "discarded");
   complete_function(inv);
+}
+
+FunctionId Platform::hedge_clone(FunctionId primary) {
+  auto& inv = internal(primary);
+  CANARY_CHECK(inv.phase != Phase::kCompleted && inv.phase != Phase::kShed,
+               "cannot hedge a terminal invocation");
+  JobRecord& job = job_record(inv.job);
+
+  const FunctionId fid = function_ids_.next();
+  CANARY_CHECK(fid.value() == invocations_.size() + 1,
+               "function id / slab desync");
+  invocations_.emplace_back();  // deque: `inv` stays valid across growth
+  InvocationInternal& clone = invocations_.back();
+  clone.id = fid;
+  clone.job = inv.job;
+  // The clone shares the primary's spec verbatim — growing
+  // JobRecord::spec.functions would invalidate every spec pointer of the
+  // job, and an identical name keeps the pair in one workload family and
+  // one exactly-once identity per FunctionId.
+  clone.spec = inv.spec;
+  clone.index_in_job = job.dependents.size();
+  clone.submit_time = sim_.now();
+
+  // The clone is a first-class member of the job: `remaining` counts it,
+  // so the job completes only once both copies reach a terminal state
+  // (the loser via discard). Its dependents entry is empty — completing
+  // a clone can never double-trigger the primary's dependents.
+  job.functions.push_back(fid);
+  job.dependents.emplace_back();
+  job.unmet_deps.push_back(0);
+  ++job.remaining;
+
+  // kHedged on the primary marks the fork point; the clone's kSubmit then
+  // joins the primary's trace so the race is one causal DAG.
+  obs_event(inv, obs::EventKind::kHedged, "hedged");
+  obs_event(clone, obs::EventKind::kSubmit, clone.spec->name);
+  join_trace(fid, primary);
+
+  // No SLO target and no account concurrency slot: the primary already
+  // owns both, and a speculative copy must not double the request's
+  // deadline bookkeeping or starve admission. Clones prefer a node other
+  // than the primary's — a hedge against a gray host is useless if it
+  // lands on the same host.
+  StartSpec spec;
+  if (inv.node.valid()) {
+    spec.node_pref = cluster_.least_loaded_excluding(
+        clone.spec->effective_memory(), {inv.node});
+  }
+  start_attempt(fid, spec);
+  return fid;
+}
+
+void Platform::cancel_hedge(FunctionId loser, FunctionId winner) {
+  auto& lose = internal(loser);
+  // Exactly-once by construction: a loser that already completed (same
+  // sim-tick race) or was shed is terminal and must stay untouched.
+  if (lose.phase == Phase::kCompleted || lose.phase == Phase::kShed) return;
+  auto& win = internal(winner);
+  // The cause edge points at the winner's latest event, so the chrome
+  // trace renders the race resolution as a flow arrow across the fork.
+  obs_event(lose, obs::EventKind::kHedgeCancelled, "hedge_cancelled",
+            win.trace.last);
+  discard_function(loser);
 }
 
 void Platform::fail_node(NodeId node) {

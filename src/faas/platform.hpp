@@ -202,6 +202,21 @@ class Platform {
   /// by the request-replication baseline, where the first replica to
   /// respond wins and "the rest are discarded".
   void discard_function(FunctionId id);
+  /// Dispatch a speculative clone of a still-unfinished invocation: a new
+  /// function appended to the same job, sharing `primary`'s spec (and so
+  /// its workload family) and racing it to completion — anti-affine to
+  /// the primary's node when the cluster has another candidate. The clone
+  /// joins the primary's causal trace (a kHedged event on the primary is
+  /// the fork point) and bypasses the account concurrency queue: the
+  /// primary already holds the request's slot, and amplification is
+  /// bounded by the caller's hedge budget.
+  FunctionId hedge_clone(FunctionId primary);
+  /// Resolve a hedge race exactly-once: `winner` finished first, so
+  /// `loser` is cancelled — a kHedgeCancelled event (cause = the winner's
+  /// latest event) followed by discard_function. A loser that already
+  /// reached a terminal state is left untouched, so double resolution
+  /// and completion races are no-ops by construction.
+  void cancel_hedge(FunctionId loser, FunctionId winner);
   /// Node-level failure: every hosted container dies; busy invocations
   /// fail, warm replicas are destroyed.
   void fail_node(NodeId node);

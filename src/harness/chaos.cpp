@@ -192,6 +192,38 @@ ChaosScenario make_traffic_chaos_scenario(std::uint64_t seed) {
   return out;
 }
 
+ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out = make_chaos_scenario(seed);
+  // child(5): the base scenario consumes child(1..3) and the traffic
+  // overlay child(4), so the hedge overlay draws from its own stream —
+  // disabling it reproduces the plain chaos scenario exactly.
+  Rng hedge = Rng(seed).child(5);
+
+  recovery::HedgeConfig cfg;
+  cfg.percentile = hedge.uniform(80.0, 97.0);
+  cfg.min_samples = hedge.uniform_int(4, 12);
+  cfg.initial_delay = Duration::msec(hedge.uniform_int(300, 1500));
+  cfg.max_outstanding = hedge.uniform_int(4, 16);
+  // Half the seeds retry with a backoff, opening the window in which a
+  // hedge can fire while its primary is down.
+  if (hedge.bernoulli(0.5)) {
+    cfg.retry_backoff = Duration::msec(hedge.uniform_int(50, 400));
+  }
+  out.config.strategy = recovery::StrategyConfig::hedged(cfg);
+
+  // A gray window manufactures the stragglers that make hedges fire, and
+  // an extra node failure is guaranteed to land inside the racing phase —
+  // the clone (or its primary) dies mid-race on every seed.
+  ScenarioConfig::GrayFailure gray;
+  gray.at = Duration::sec(hedge.uniform(0.5, 3.0));
+  gray.duration = Duration::sec(hedge.uniform(3.0, 8.0));
+  gray.slowdown = hedge.uniform(3.0, 8.0);
+  out.config.gray_failures.push_back(gray);
+  out.config.node_failure_offsets.push_back(
+      Duration::sec(hedge.uniform(2.0, 8.0)));
+  return out;
+}
+
 std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
                                        const RunResult& result) {
   std::vector<std::string> violations;
@@ -245,11 +277,52 @@ std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
     }
   }
 
-  // 2 + 4 need the causal event log; a truncated log cannot prove either.
+  // 8. Hedge exactly-once: every fired hedge resolves exactly once.
+  if (result.hedge.enabled) {
+    const auto& h = result.hedge;
+    if (h.fired != h.wins + h.cancelled + h.open) {
+      std::ostringstream os;
+      os << "hedge-exactly-once: fired=" << h.fired << " != wins=" << h.wins
+         << " + cancelled=" << h.cancelled << " + open=" << h.open;
+      violate(os.str());
+    }
+    if (result.completed && h.open != 0) {
+      std::ostringstream os;
+      os << "hedge-exactly-once: completed run left " << h.open
+         << " race(s) open";
+      violate(os.str());
+    }
+  }
+
+  // 2 + 4 (and 8's event identities) need the causal event log; a
+  // truncated log cannot prove any of them.
   if (result.events == nullptr || result.events->truncated()) {
     return violations;
   }
   const auto& events = result.events->events();
+
+  if (result.hedge.enabled) {
+    const std::size_t hedged =
+        result.events->count_of(obs::EventKind::kHedged);
+    const std::size_t cancelled =
+        result.events->count_of(obs::EventKind::kHedgeCancelled);
+    const auto& h = result.hedge;
+    if (hedged != h.fired) {
+      std::ostringstream os;
+      os << "hedge-exactly-once: " << hedged << " kHedged event(s) vs "
+         << h.fired << " fired";
+      violate(os.str());
+    }
+    // Every resolved race emits exactly one kHedgeCancelled — on the
+    // primary when the clone won, on the clone otherwise.
+    if (cancelled != h.wins + h.cancelled) {
+      std::ostringstream os;
+      os << "hedge-exactly-once: " << cancelled
+         << " kHedgeCancelled event(s) vs " << h.wins + h.cancelled
+         << " resolved race(s)";
+      violate(os.str());
+    }
+  }
 
   // 2. Exactly-once: every submitted function completes exactly once.
   std::unordered_map<FunctionId, int> submits;
@@ -376,6 +449,10 @@ ChaosOutcome evaluate_scenario(const ChaosScenario& scenario,
   out.traffic_shed = result.traffic.shed;
   out.traffic_completed = result.traffic.completed;
 
+  out.hedges_fired = result.hedge.fired;
+  out.hedge_wins = result.hedge.wins;
+  out.hedges_cancelled = result.hedge.cancelled;
+
   out.violations = chaos_oracles(scenario, result);
   return out;
 }
@@ -388,6 +465,10 @@ ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
 
 ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed) {
   return evaluate_scenario(make_traffic_chaos_scenario(seed), seed);
+}
+
+ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_hedge_chaos_scenario(seed), seed);
 }
 
 }  // namespace canary::harness

@@ -23,7 +23,13 @@
 //                      arrival is accounted exactly once
 //                      (offered == admitted + shed + queued_end and
 //                      admitted == completed + failed + in_flight), and a
-//                      completed run leaves nothing queued or in flight.
+//                      completed run leaves nothing queued or in flight;
+//   8. hedge exactly-once — when speculative clones race (hedge
+//                      scenarios), every fired hedge resolves exactly
+//                      once (fired == wins + cancelled, no race left
+//                      open on a completed run) and the causal log
+//                      agrees (#kHedged == fired, #kHedgeCancelled ==
+//                      resolved races).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +59,13 @@ ChaosScenario make_chaos_scenario(std::uint64_t seed);
 /// base scenario's draws are untouched.
 ChaosScenario make_traffic_chaos_scenario(std::uint64_t seed);
 
+/// The base scenario re-armed for the hedge strategy: speculative clones
+/// race their primaries while a guaranteed extra node failure lands
+/// mid-race and a gray window manufactures the stragglers that make
+/// hedges fire. Derived from `Rng(seed).child(5)`, so the base draws
+/// (and the traffic stream's child(4)) are untouched.
+ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed);
+
 struct ChaosOutcome {
   std::uint64_t seed = 0;
   bool completed = false;
@@ -75,6 +88,10 @@ struct ChaosOutcome {
   std::uint64_t traffic_admitted = 0;
   std::uint64_t traffic_shed = 0;
   std::uint64_t traffic_completed = 0;
+  // Hedge-race totals (zero for non-hedge scenarios).
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedges_cancelled = 0;
   /// Human-readable oracle violations; empty = scenario passed.
   std::vector<std::string> violations;
 };
@@ -85,6 +102,10 @@ ChaosOutcome run_chaos_scenario(std::uint64_t seed);
 /// Run one seeded traffic scenario (burst + node failure) and evaluate
 /// every oracle, conservation included.
 ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed);
+
+/// Run one seeded hedge scenario (racing clones + mid-race node failure)
+/// and evaluate every oracle, hedge exactly-once included.
+ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed);
 
 /// Oracle evaluation, separated for tests: checks `result` (and the
 /// scenario it came from) and returns the violations.

@@ -91,6 +91,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   std::optional<core::CoreModule> canary_fw;
   std::optional<recovery::RequestReplicationHandler> rr;
   std::optional<recovery::ActiveStandbyHandler> as;
+  std::optional<recovery::HedgeHandler> hedge;
 
   switch (config.strategy.kind) {
     case StrategyKind::kIdeal:
@@ -137,6 +138,16 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       }
       break;
     }
+    case StrategyKind::kHedge: {
+      hedge.emplace(platform, config.strategy.hedge);
+      platform.set_recovery_handler(&*hedge);
+      platform.add_observer(&*hedge);
+      for (const auto& job : jobs) {
+        auto submitted = platform.submit_job(job);
+        CANARY_CHECK(submitted.ok(), "job submission failed");
+      }
+      break;
+    }
   }
 
   // Open-loop traffic rides on top of (or instead of) the batch jobs.
@@ -149,6 +160,15 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     if (canary_fw.has_value()) {
       submit_route = [fw = &*canary_fw](faas::JobSpec spec) {
         return fw->submit_job(std::move(spec));
+      };
+    } else if (rr.has_value()) {
+      // Request replication expands traffic arrivals too — the expansion
+      // keeps the logical function first (name intact), so the traffic
+      // generator's name-based arrival binding still matches.
+      submit_route = [p = &platform, r = &*rr](faas::JobSpec spec) {
+        auto submitted = p->submit_job(r->expand_job(spec));
+        if (submitted.ok()) r->track_job(submitted.value());
+        return submitted;
       };
     } else {
       submit_route = [p = &platform](faas::JobSpec spec) {
@@ -164,6 +184,14 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       autoscaler.emplace(simulator, platform, *traffic_gen);
       platform.add_observer(&*autoscaler);
       autoscaler->start();
+    }
+    if (hedge.has_value()) {
+      // Route the hedge budget through admission control: each stream's
+      // per-class budget gates its requests' clones, so speculation can
+      // never push a saturated class past its concurrency limit.
+      hedge->set_budget_hooks(
+          [tg = &*traffic_gen](JobId job) { return tg->try_hedge(job); },
+          [tg = &*traffic_gen](JobId job) { tg->hedge_resolved(job); });
     }
     traffic_gen->start();
   }
@@ -303,6 +331,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     t.latency_p50_ms = totals.latency.p50() * 1e3;
     t.latency_p95_ms = totals.latency.p95() * 1e3;
     t.latency_p99_ms = totals.latency.p99() * 1e3;
+    t.latency_p999_ms = totals.latency.percentile(99.9) * 1e3;
     t.queue_wait_p99_ms = totals.queue_wait.p99() * 1e3;
     if (autoscaler.has_value()) {
       t.scale_ups = autoscaler->scale_ups();
@@ -322,6 +351,17 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
                       static_cast<double>(t.in_flight));
     metrics.set_gauge("traffic_queued_end", static_cast<double>(t.queued_end));
     result.counters = metrics.counters();
+  }
+  if (hedge.has_value()) {
+    RunResult::HedgeSummary& h = result.hedge;
+    h.enabled = true;
+    h.fired = static_cast<std::uint64_t>(metrics.counter("hedges_fired"));
+    h.wins = static_cast<std::uint64_t>(metrics.counter("hedge_wins"));
+    h.cancelled =
+        static_cast<std::uint64_t>(metrics.counter("hedges_cancelled"));
+    h.denied = static_cast<std::uint64_t>(metrics.counter("hedges_denied"));
+    h.skipped = static_cast<std::uint64_t>(metrics.counter("hedges_skipped"));
+    h.open = hedge->open_races();
   }
   result.metrics = std::move(metrics);
   result.spans = std::move(spans);

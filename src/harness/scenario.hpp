@@ -174,6 +174,7 @@ struct RunResult {
     double latency_p50_ms = 0.0;  // arrival -> completion
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
+    double latency_p999_ms = 0.0;
     double queue_wait_p99_ms = 0.0;  // arrival -> platform submission
     std::uint64_t scale_ups = 0;
     std::uint64_t scale_ins = 0;
@@ -182,6 +183,21 @@ struct RunResult {
     bool conservation_ok = true;
   };
   TrafficSummary traffic;
+
+  /// Hedge-race accounting (populated only under StrategyKind::kHedge).
+  /// The exactly-once identity — fired == wins + cancelled + open, with
+  /// open == 0 on any completed run — is the chaos campaign's hedge
+  /// oracle.
+  struct HedgeSummary {
+    bool enabled = false;
+    std::uint64_t fired = 0;
+    std::uint64_t wins = 0;       // the clone finished first
+    std::uint64_t cancelled = 0;  // the clone lost (or failed) mid-race
+    std::uint64_t denied = 0;     // budget-denied hedge attempts
+    std::uint64_t skipped = 0;    // trigger fired while still pending
+    std::uint64_t open = 0;       // races unresolved at run end
+  };
+  HedgeSummary hedge;
 };
 
 class ScenarioRunner {

@@ -16,6 +16,7 @@ std::string_view to_string_view(PathComponent component) {
     case PathComponent::kReExec: return "re_exec";
     case PathComponent::kFinalize: return "finalize";
     case PathComponent::kQueueing: return "queueing";
+    case PathComponent::kHedging: return "hedging";
   }
   return "unknown";
 }
@@ -120,6 +121,8 @@ struct CriticalPathAnalyzer::FunctionTimeline {
   /// Latest event time seen; closes the final open interval on runs that
   /// end mid-execution.
   TimePoint last_seen = TimePoint::origin();
+  /// This copy lost a hedge race: its whole lifetime is speculation.
+  bool hedge_cancelled = false;
 
   /// Decompose [from, to] into components. Execution time overlapping a
   /// recovery window counts as re-execution.
@@ -195,6 +198,10 @@ void CriticalPathAnalyzer::analyze(const EventLog& log) {
       tl.breaches.push_back(event.at);
       continue;
     }
+    if (event.kind == EventKind::kHedgeCancelled) {
+      tl.hedge_cancelled = true;
+      continue;
+    }
     const int state = state_for(event.kind);
     if (state == -2) continue;
     tl.transitions.emplace_back(event.at, state);
@@ -208,6 +215,15 @@ void CriticalPathAnalyzer::analyze(const EventLog& log) {
     PerFunction& pf = functions_[fn];
     pf.family = tl.family;
     pf.end_to_end = tl.accumulate(first, tl.last_seen);
+    if (tl.hedge_cancelled) {
+      // Every second a losing copy spent — launch, init, exec — was
+      // speculation, not useful work. Collapsing the loser's whole
+      // decomposition into the hedging component keeps family sums a
+      // partition of wall time while making the hedge overhead visible.
+      ComponentSums speculation;
+      speculation[PathComponent::kHedging] = pf.end_to_end.total();
+      pf.end_to_end = speculation;
+    }
 
     for (const auto& [failed, recovered] : tl.windows) {
       RecoveryWindow window;

@@ -39,8 +39,9 @@ enum class PathComponent {
   kReExec,      // execution inside a recovery window (regaining lost work)
   kFinalize,    // fin_f
   kQueueing,    // open-loop admission wait before platform submission
+  kHedging,     // time spent on a speculative copy that lost its race
 };
-inline constexpr std::size_t kPathComponentCount = 9;
+inline constexpr std::size_t kPathComponentCount = 10;
 
 std::string_view to_string_view(PathComponent component);
 

@@ -28,6 +28,8 @@ std::string_view to_string_view(EventKind kind) {
     case EventKind::kAnnotation: return "annotation";
     case EventKind::kQueued: return "queued";
     case EventKind::kShed: return "shed";
+    case EventKind::kHedged: return "hedged";
+    case EventKind::kHedgeCancelled: return "hedge_cancelled";
   }
   return "unknown";
 }

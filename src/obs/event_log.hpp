@@ -72,6 +72,8 @@ enum class EventKind {
   kAnnotation,      // freeform marker (log mirror, injector notes)
   kQueued,          // open-loop arrival entered admission control
   kShed,            // admission control rejected the request (terminal)
+  kHedged,          // a speculative clone was dispatched for this chain
+  kHedgeCancelled,  // this copy lost the hedge race (cause = winner)
 };
 
 std::string_view to_string_view(EventKind kind);

@@ -14,10 +14,13 @@ void write_components(JsonWriter& json, const ComponentSums& sums) {
   json.begin_object();
   for (std::size_t i = 0; i < kPathComponentCount; ++i) {
     const auto component = static_cast<PathComponent>(i);
-    // Queueing only exists for open-loop (traffic-driven) runs; keeping
-    // the key absent otherwise leaves closed-loop reports byte-identical
-    // to those produced before the component existed.
-    if (component == PathComponent::kQueueing && sums.seconds[i] == 0.0) {
+    // Queueing only exists for open-loop (traffic-driven) runs and
+    // hedging only for hedged runs; keeping the keys absent otherwise
+    // leaves other reports byte-identical to those produced before the
+    // components existed.
+    if ((component == PathComponent::kQueueing ||
+         component == PathComponent::kHedging) &&
+        sums.seconds[i] == 0.0) {
       continue;
     }
     json.field(to_string_view(component), sums.seconds[i]);

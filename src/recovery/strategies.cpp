@@ -9,6 +9,7 @@ std::string_view to_string_view(StrategyKind kind) {
     case StrategyKind::kCanary: return "canary";
     case StrategyKind::kRequestReplication: return "request-replication";
     case StrategyKind::kActiveStandby: return "active-standby";
+    case StrategyKind::kHedge: return "hedge";
   }
   return "unknown";
 }
@@ -44,6 +45,13 @@ StrategyConfig StrategyConfig::request_replication(unsigned replicas) {
 StrategyConfig StrategyConfig::active_standby() {
   StrategyConfig config;
   config.kind = StrategyKind::kActiveStandby;
+  return config;
+}
+
+StrategyConfig StrategyConfig::hedged(HedgeConfig hedge) {
+  StrategyConfig config;
+  config.kind = StrategyKind::kHedge;
+  config.hedge = hedge;
   return config;
 }
 

@@ -8,13 +8,17 @@
 //  * RR        — request replication [65]: every request runs on 1+k
 //                instances, first response wins, the rest are discarded;
 //  * AS        — active-standby [66]: one warm standby per function,
-//                activated (from scratch — no checkpoint) on failure.
+//                activated (from scratch — no checkpoint) on failure;
+//  * Hedge     — speculative hedging: retry for failures, plus a clone
+//                dispatched at a latency percentile with exactly-once
+//                cancellation of the race's loser (hedging.hpp).
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "canary/core.hpp"
+#include "recovery/hedging.hpp"
 
 namespace canary::recovery {
 
@@ -24,6 +28,7 @@ enum class StrategyKind {
   kCanary,
   kRequestReplication,
   kActiveStandby,
+  kHedge,
 };
 
 std::string_view to_string_view(StrategyKind kind);
@@ -34,15 +39,18 @@ struct StrategyConfig {
   core::CanaryConfig canary;
   /// Replicas per request for RR (the paper launches one per request).
   unsigned rr_replicas = 1;
+  /// Hedge trigger/budget configuration (used when kind == kHedge).
+  HedgeConfig hedge;
 
-  static StrategyConfig ideal() { return {StrategyKind::kIdeal, {}, 1}; }
-  static StrategyConfig retry() { return {StrategyKind::kRetry, {}, 1}; }
+  static StrategyConfig ideal() { return {StrategyKind::kIdeal, {}, 1, {}}; }
+  static StrategyConfig retry() { return {StrategyKind::kRetry, {}, 1, {}}; }
   static StrategyConfig canary_full(
       core::ReplicationMode mode = core::ReplicationMode::kDynamic);
   static StrategyConfig canary_replication_only();
   static StrategyConfig canary_checkpoint_only();
   static StrategyConfig request_replication(unsigned replicas = 1);
   static StrategyConfig active_standby();
+  static StrategyConfig hedged(HedgeConfig config = {});
 
   std::string label() const;
 };

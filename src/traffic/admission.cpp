@@ -83,6 +83,27 @@ void AdmissionController::reject_admitted(std::size_t cls) {
   }
 }
 
+bool AdmissionController::try_hedge(std::size_t cls) {
+  CANARY_CHECK(cls < classes_.size(), "unknown admission class");
+  ClassState& c = classes_[cls];
+  // A backlogged class is saturated: every node-second a clone burns
+  // would come straight out of queued requests' wait time.
+  if (!c.backlog.empty() || c.stats.hedges_active >= c.config.hedge_budget) {
+    ++c.stats.hedges_denied;
+    return false;
+  }
+  ++c.stats.hedges_active;
+  ++c.stats.hedges_granted;
+  return true;
+}
+
+void AdmissionController::hedge_done(std::size_t cls) {
+  CANARY_CHECK(cls < classes_.size(), "unknown admission class");
+  ClassState& c = classes_[cls];
+  CANARY_CHECK(c.stats.hedges_active > 0, "hedge release without a grant");
+  --c.stats.hedges_active;
+}
+
 std::size_t AdmissionController::total_queued() const {
   std::size_t total = 0;
   for (const ClassState& c : classes_) total += c.backlog.size();

@@ -33,6 +33,11 @@ struct AdmissionClassConfig {
   /// Bounded FIFO backlog beyond the concurrency limit; arrivals past
   /// this are shed.
   std::size_t queue_capacity = 32;
+  /// Speculative hedge clones racing concurrently for this class. Clones
+  /// bypass the platform's account concurrency queue, so this budget is
+  /// what keeps hedging from amplifying an overloaded class past
+  /// saturation — and any backlog at all denies hedges outright.
+  std::size_t hedge_budget = 4;
 };
 
 enum class AdmissionOutcome { kAdmitted, kQueued, kShed };
@@ -61,14 +66,24 @@ class AdmissionController {
   /// Callable re-entrantly from inside the submit callback.
   void reject_admitted(std::size_t cls);
 
+  /// A speculative clone wants to launch for an admitted request of
+  /// `cls`. Granted only while the class is unsaturated (no backlog) and
+  /// under its hedge budget; every grant must be returned exactly-once
+  /// via hedge_done when the race resolves.
+  bool try_hedge(std::size_t cls);
+  void hedge_done(std::size_t cls);
+
   struct ClassStats {
     std::uint64_t offered = 0;
     std::uint64_t admitted = 0;
     std::uint64_t shed = 0;
     std::uint64_t completed = 0;
     std::uint64_t queue_peak = 0;
+    std::uint64_t hedges_granted = 0;
+    std::uint64_t hedges_denied = 0;
     std::size_t queued = 0;
     std::size_t in_flight = 0;
+    std::size_t hedges_active = 0;
   };
   const ClassStats& stats(std::size_t cls) const;
 

@@ -149,6 +149,18 @@ void TrafficGenerator::on_job_completed(JobId job) {
   admission_.on_complete(stream.admission_class);
 }
 
+bool TrafficGenerator::try_hedge(JobId job) {
+  const auto it = bound_.find(job.value());
+  if (it == bound_.end()) return true;  // not a traffic job: not budgeted
+  return admission_.try_hedge(streams_[it->second.stream].admission_class);
+}
+
+void TrafficGenerator::hedge_resolved(JobId job) {
+  const auto it = bound_.find(job.value());
+  if (it == bound_.end()) return;
+  admission_.hedge_done(streams_[it->second.stream].admission_class);
+}
+
 const StreamStats& TrafficGenerator::stream_stats(std::size_t stream) const {
   CANARY_CHECK(stream < streams_.size(), "unknown traffic stream");
   return streams_[stream].stats;

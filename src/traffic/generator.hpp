@@ -135,6 +135,13 @@ class TrafficGenerator final : public faas::PlatformObserver {
   StreamStats totals() const;
   std::uint64_t in_flight() const { return admission_.total_in_flight(); }
 
+  /// Admission-level hedge policy: grant a speculative clone for `job`
+  /// under its stream's per-class budget. Jobs not bound to a stream
+  /// (batch work sharing the run) are not budgeted here and always pass.
+  bool try_hedge(JobId job);
+  /// Release the grant when the race resolves (no-op for unbound jobs).
+  void hedge_resolved(JobId job);
+
   // PlatformObserver
   void on_job_submitted(JobId job) override;
   void on_job_completed(JobId job) override;

@@ -31,6 +31,14 @@ the median, the per-point conservation identity
 (offered == admitted + shed + queued_end) holds, nothing was shed below
 0.75x capacity, and the report's own conservation verdict is clean.
 
+canary.hedge/v1 — the hedged-request comparison emitted by
+bench/fig09_hedging. Verifies the exactly-once race accounting
+(hedges_fired == hedge_wins + hedges_cancelled, no open races, at most
+one hedge per admitted request), that the hedged p99 is monotone
+non-increasing versus the no-hedge baseline, that hedging costs less
+than full request replication, and that the bench's own self-check
+verdict is clean.
+
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
             report.json [report2.json ...]
 
@@ -44,6 +52,7 @@ SCHEMA = "canary.run_report/v2"
 BENCH_SCHEMA = "canary.bench/v1"
 CHAOS_SCHEMA = "canary.chaos/v1"
 TRAFFIC_SCHEMA = "canary.traffic/v1"
+HEDGE_SCHEMA = "canary.hedge/v1"
 CHAOS_ORACLES = [
     "completion",
     "exactly_once",
@@ -52,6 +61,7 @@ CHAOS_ORACLES = [
     "ledger_balance",
     "no_stranded_failures",
     "conservation",
+    "hedge_exactly_once",
 ]
 COMPONENTS = [
     "detection",
@@ -63,10 +73,12 @@ COMPONENTS = [
     "re_exec",
     "finalize",
 ]
-# Components that only appear in open-loop (traffic-driven) runs; the
-# writers omit them when zero so closed-loop reports stay byte-identical.
+# Components that only appear in open-loop (traffic-driven) or hedged
+# runs; the writers omit them when zero so other reports stay
+# byte-identical.
 OPTIONAL_COMPONENTS = [
     "queueing",
+    "hedging",
 ]
 
 
@@ -264,11 +276,12 @@ def check_chaos_report(report, path):
     expect(isinstance(params, dict), "params: expected an object")
     expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
     for key in ("scenarios", "base_seed", "traffic_scenarios",
-                "traffic_base_seed"):
+                "traffic_base_seed", "hedge_scenarios", "hedge_base_seed"):
         check_number(params, key, "params")
     expect(params["scenarios"] > 0, "params.scenarios: must be positive")
     expect(params["traffic_scenarios"] >= 0,
            "params.traffic_scenarios: negative")
+    expect(params["hedge_scenarios"] >= 0, "params.hedge_scenarios: negative")
 
     faults = report.get("fault_totals")
     expect(isinstance(faults, dict), "fault_totals: expected an object")
@@ -299,6 +312,20 @@ def check_chaos_report(report, path):
            f"{traffic['admitted']} + shed {traffic['shed']}")
     expect(traffic["completed"] <= traffic["admitted"],
            "traffic_totals: completed exceeds admitted")
+
+    hedge = report.get("hedge_totals")
+    expect(isinstance(hedge, dict), "hedge_totals: expected an object")
+    for key in ("fired", "wins", "cancelled"):
+        check_number(hedge, key, "hedge_totals")
+        expect(hedge[key] >= 0, f"hedge_totals.{key}: negative")
+    # Campaign-level exactly-once: every scenario runs to completion, so
+    # no race may be left open — fired splits exactly into wins+cancelled.
+    expect(hedge["fired"] == hedge["wins"] + hedge["cancelled"],
+           f"hedge_totals: fired {hedge['fired']} != wins {hedge['wins']} "
+           f"+ cancelled {hedge['cancelled']}")
+    if params["hedge_scenarios"] > 0:
+        expect(hedge["fired"] > 0,
+               "hedge_totals: hedge scenarios ran but no hedge ever fired")
 
     oracles = report.get("oracles")
     expect(isinstance(oracles, dict), "oracles: expected an object")
@@ -433,6 +460,101 @@ def check_traffic_report(report, path):
           f"0 violations)")
 
 
+def check_hedge_strategy(obj, path):
+    """Validate one strategy block of a canary.hedge/v1 report."""
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    expect(isinstance(obj.get("name"), str) and obj["name"],
+           f"{path}.name: expected a non-empty string")
+    for key in ("p50_ms", "p99_ms", "p999_ms", "cost_usd", "admitted",
+                "completed", "shed", "hedges_fired", "hedge_wins",
+                "hedges_cancelled", "hedges_denied", "open_races"):
+        check_number(obj, key, path)
+        expect(obj[key] >= 0, f"{path}.{key}: negative")
+    expect(obj["p50_ms"] <= obj["p99_ms"] <= obj["p999_ms"],
+           f"{path}: percentiles not monotone "
+           f"(p50 {obj['p50_ms']}, p99 {obj['p99_ms']}, "
+           f"p999 {obj['p999_ms']})")
+    expect(obj["completed"] <= obj["admitted"],
+           f"{path}: completed exceeds admitted")
+    # Exactly-once race accounting: at most one hedge per admitted
+    # request, and every fired hedge resolved (no open races after
+    # completed runs).
+    expect(obj["hedges_fired"] <= obj["admitted"],
+           f"{path}: hedges_fired {obj['hedges_fired']} exceeds admitted "
+           f"{obj['admitted']}")
+    expect(obj["hedges_fired"] ==
+           obj["hedge_wins"] + obj["hedges_cancelled"],
+           f"{path}: hedges_fired {obj['hedges_fired']} != hedge_wins "
+           f"{obj['hedge_wins']} + hedges_cancelled "
+           f"{obj['hedges_cancelled']}")
+    expect(obj["open_races"] == 0,
+           f"{path}: {obj['open_races']} race(s) left open")
+
+
+def check_hedge_report(report, path):
+    """Validate a canary.hedge/v1 report from bench/fig09_hedging."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == HEDGE_SCHEMA,
+           f"schema: expected '{HEDGE_SCHEMA}', got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    params = report.get("params")
+    expect(isinstance(params, dict), "params: expected an object")
+    expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
+    for key in ("horizon_s", "repetitions", "nodes", "rate_hz",
+                "hedge_percentile", "seed"):
+        check_number(params, key, "params")
+        expect(params[key] > 0, f"params.{key}: must be positive")
+
+    baseline = report.get("baseline")
+    check_hedge_strategy(baseline, "baseline")
+    expect(baseline["hedges_fired"] == 0,
+           "baseline: the no-hedge baseline fired hedges")
+
+    strategies = report.get("strategies")
+    expect(isinstance(strategies, list) and strategies,
+           "strategies: expected a non-empty array")
+    by_name = {}
+    for i, s in enumerate(strategies):
+        check_hedge_strategy(s, f"strategies[{i}]")
+        expect(s["name"] not in by_name, f"strategies[{i}]: duplicate name")
+        by_name[s["name"]] = s
+
+    hedge = by_name.get("hedge")
+    expect(hedge is not None, "strategies: no 'hedge' entry")
+    expect(hedge["hedges_fired"] > 0, "hedge: no hedge ever fired")
+    # The point of hedging: p99 monotone non-increasing vs the no-hedge
+    # baseline on the same arrivals.
+    expect(hedge["p99_ms"] <= baseline["p99_ms"],
+           f"hedge p99 {hedge['p99_ms']} ms above no-hedge baseline p99 "
+           f"{baseline['p99_ms']} ms")
+    rr = by_name.get("rr")
+    if rr is not None:
+        expect(hedge["cost_usd"] < rr["cost_usd"],
+               f"hedge cost {hedge['cost_usd']} not below full-replication "
+               f"cost {rr['cost_usd']}")
+
+    claims = report.get("claims")
+    expect(isinstance(claims, dict), "claims: expected an object")
+    for key in ("hedge_vs_retry_p99_reduction_pct",
+                "hedge_vs_rr_cost_reduction_pct"):
+        check_number(claims, key, "claims")
+
+    checks = report.get("checks")
+    expect(isinstance(checks, dict), "checks: expected an object")
+    expect(isinstance(checks.get("ok"), bool), "checks.ok: expected a bool")
+    check_number(checks, "violations", "checks")
+    expect(checks["ok"] and checks["violations"] == 0,
+           f"hedge bench recorded {checks['violations']} self-check "
+           f"violation(s)")
+
+    print(f"{path}: OK ({HEDGE_SCHEMA}, {len(strategies)} strategies, "
+          f"{hedge['hedges_fired']:.0f} hedges / {hedge['hedge_wins']:.0f} "
+          f"wins, p99 {hedge['p99_ms']:.0f} ms vs baseline "
+          f"{baseline['p99_ms']:.0f} ms)")
+
+
 def compare_bench(rates, baseline_rates, max_regress, path):
     """Fail if any phase's events/sec regressed beyond max_regress."""
     for name, base_rate in baseline_rates.items():
@@ -503,6 +625,8 @@ def main(argv):
                 check_chaos_report(report, path)
             elif report.get("schema") == TRAFFIC_SCHEMA:
                 check_traffic_report(report, path)
+            elif report.get("schema") == HEDGE_SCHEMA:
+                check_hedge_report(report, path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
