@@ -31,6 +31,8 @@ struct Options {
   int node_failures = 0;
   double sla_seconds = 0.0;
   bool proactive = false;
+  bool attribution = false;
+  double window_seconds = 1.0;
   std::uint64_t seed = 42;
   bool csv = false;
   bool breakdown = false;
@@ -53,6 +55,10 @@ void usage() {
       "  --node-failures=N  node-level failures during the run\n"
       "  --sla=SECONDS    job deadline (enables SLA accounting)\n"
       "  --proactive      enable proactive failure mitigation\n"
+      "  --attribution    enable tail-latency attribution + windowed\n"
+      "                   time-series (report schema becomes v3; the\n"
+      "                   trace gains a counter track)\n"
+      "  --window=SECONDS time-series window width (default 1.0)\n"
       "  --seed=N         base seed (default 42)\n"
       "  --csv            emit CSV instead of an aligned table\n"
       "  --breakdown      print the recovery critical-path breakdown\n"
@@ -96,8 +102,12 @@ Options parse(int argc, char** argv) {
       opts.report_path = value;
     } else if (parse_flag(argv[i], "--trace", value)) {
       opts.trace_path = value;
+    } else if (parse_flag(argv[i], "--window", value)) {
+      opts.window_seconds = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--proactive") == 0) {
       opts.proactive = true;
+    } else if (std::strcmp(argv[i], "--attribution") == 0) {
+      opts.attribution = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opts.csv = true;
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
@@ -170,6 +180,11 @@ int main(int argc, char** argv) {
   config.seed = opts.seed;
   for (int n = 0; n < opts.node_failures; ++n) {
     config.node_failure_offsets.push_back(Duration::sec(8.0 * (n + 1)));
+  }
+  if (opts.attribution) {
+    config.tail.enabled = true;
+    config.timeseries.enabled = true;
+    config.timeseries.window = Duration::sec(opts.window_seconds);
   }
 
   const auto agg = harness::run_repetitions(config, jobs, opts.reps);
@@ -254,9 +269,13 @@ int main(int argc, char** argv) {
     traced.record_spans = true;
     traced.record_events = true;
     const auto run = harness::ScenarioRunner::run(traced, jobs);
+    // With attribution on, the windowed rollups ride along as a counter
+    // track; passing nullptr otherwise keeps the trace byte-identical.
+    const obs::TimeSeries* series =
+        run.timeseries.enabled() ? &run.timeseries : nullptr;
     if (run.spans == nullptr ||
         !obs::write_chrome_trace_file(opts.trace_path, run.spans.get(),
-                                      run.events.get())) {
+                                      run.events.get(), series)) {
       std::cerr << "failed to write " << opts.trace_path << "\n";
       return 1;
     }

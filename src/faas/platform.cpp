@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/critical_path.hpp"
 
 namespace canary::faas {
 
@@ -283,6 +284,7 @@ Result<JobId> Platform::shed_job(JobSpec spec) {
     }
     obs_event(inv, obs::EventKind::kShed, fn.name);
     m_functions_shed_.add();
+    if (series_ != nullptr) series_->count("shed", sim_.now());
   }
   return job_id;
 }
@@ -538,6 +540,7 @@ void Platform::start_cold(InvocationInternal& inv, NodeId node,
   }
   inv.container = cid;
   m_cold_starts_.add();
+  if (series_ != nullptr) series_->count("cold_starts", sim_.now());
   obs_phase(inv, obs::SpanKind::kLaunch, "launch");
   obs_event(inv, obs::EventKind::kLaunch, "launch");
 
@@ -685,6 +688,7 @@ void Platform::complete_function(InvocationInternal& inv) {
   inv.progress_event.cancel();
   obs_end_phase(inv);
   m_function_latency_.record_duration(sim_.now() - inv.submit_time);
+  record_tail_latency(inv);
   if (inv.first_dispatch_time != TimePoint::max()) {
     m_function_queue_wait_.record_duration(inv.first_dispatch_time -
                                            inv.submit_time);
@@ -745,6 +749,43 @@ void Platform::complete_function(InvocationInternal& inv) {
   retry_capacity_waiters();
 }
 
+void Platform::enable_tail_attribution(const obs::ExemplarConfig& config) {
+  tail_exemplars_ = config;
+  // The run-wide tail histogram exists from the start so its reservoir
+  // sees every completion; per-family histograms opt in lazily as
+  // families first complete.
+  if (config.enabled) metrics_.enable_exemplars("tail_latency", config);
+}
+
+void Platform::record_tail_latency(InvocationInternal& inv) {
+  const bool series_on = series_ != nullptr && series_->enabled();
+  if (!tail_exemplars_.enabled && !series_on) return;
+
+  // Anchor at the admission arrival for open-loop requests — the same
+  // instant the retroactive kQueued event carries — so the recorded value
+  // is exactly the causal chain's end-to-end window and the tail
+  // analyzer's partition sums back to it.
+  const TimePoint enqueued = job_record(inv.job).spec.enqueued_at;
+  const TimePoint anchor =
+      enqueued != TimePoint::max() && enqueued < inv.submit_time
+          ? enqueued
+          : inv.submit_time;
+  const double latency = (sim_.now() - anchor).to_seconds();
+
+  if (series_on) {
+    series_->count("completions", sim_.now());
+    series_->sample("latency", sim_.now(), latency);
+  }
+  if (!tail_exemplars_.enabled) return;
+
+  const std::uint64_t trace = inv.trace.trace.value();
+  metrics_.sample_traced("tail_latency", latency, trace, inv.id.value());
+  obs::Histogram& family = metrics_.histogram_ref(
+      "tail_latency.fn." + obs::base_function_name(inv.spec->name));
+  if (!family.exemplars_enabled()) family.enable_exemplars(tail_exemplars_);
+  family.record_traced(latency, trace, inv.id.value());
+}
+
 void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   if (inv.phase == Phase::kCompleted || inv.phase == Phase::kFailed ||
       inv.phase == Phase::kPending || inv.phase == Phase::kShed) {
@@ -782,6 +823,7 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   ++inv.failures;
   inv.phase = Phase::kFailed;
   m_failures_.add();
+  if (series_ != nullptr) series_->count("failures", sim_.now());
   obs_end_phase(inv);
   if (spans_ != nullptr) {
     spans_->instant(obs::SpanKind::kFailure, std::string(to_string_view(kind)),
@@ -816,6 +858,7 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
     auto& target = internal(id);
     if (target.attempt != attempt || target.phase != Phase::kFailed) return;
     obs_event(target, obs::EventKind::kDetect, "detect");
+    if (series_ != nullptr) series_->count("detections", sim_.now());
     if (recovery_ != nullptr) recovery_->on_failure(target, info);
   });
 }
@@ -845,6 +888,7 @@ void Platform::confirm_node_dead(NodeId node) {
       continue;
     }
     obs_event(target, obs::EventKind::kDetect, "detect");
+    if (series_ != nullptr) series_->count("detections", sim_.now());
     if (recovery_ != nullptr) recovery_->on_failure(target, stash.info);
   }
 }
@@ -858,6 +902,10 @@ void Platform::resolve_recovery_markers(InvocationInternal& inv) {
       inv.recovery_time += recovery;
       m_recovery_time_.record_duration(recovery);
       m_recoveries_.add();
+      if (series_ != nullptr) {
+        series_->count("recoveries", now);
+        series_->sample("recovery_time", now, recovery.to_seconds());
+      }
       if (spans_ != nullptr) {
         spans_->record(obs::SpanKind::kRecovery, "recovery", it->fail_time,
                        now, obs_labels(inv));
@@ -987,6 +1035,11 @@ void Platform::cancel_hedge(FunctionId loser, FunctionId winner) {
 void Platform::fail_node(NodeId node) {
   cluster_.fail_node(node);
   m_node_failures_.add();
+  if (series_ != nullptr) {
+    series_->count("node_failures", sim_.now());
+    series_->set_level("nodes_up", sim_.now(),
+                       static_cast<double>(cluster_.alive_count()));
+  }
   if (spans_ != nullptr) {
     obs::SpanLabels labels;
     labels.node = node;

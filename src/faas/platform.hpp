@@ -32,6 +32,7 @@
 #include "obs/metric_registry.hpp"
 #include "obs/slo_monitor.hpp"
 #include "obs/span.hpp"
+#include "obs/time_series.hpp"
 #include "sim/simulator.hpp"
 
 namespace canary::faas {
@@ -128,6 +129,26 @@ class Platform {
   /// breaches recorded online as kSlaViolation events.
   void set_slo_monitor(obs::SloMonitor* slo) { slo_ = slo; }
   obs::SloMonitor* slo_monitor() const { return slo_; }
+  /// Install windowed time-series rollups: completions, failures,
+  /// detections, cold starts and node health land in fixed sim-interval
+  /// windows. Null disables (the default).
+  void set_time_series(obs::TimeSeries* series) { series_ = series; }
+  obs::TimeSeries* time_series() const { return series_; }
+  /// Enable tail-latency attribution: completions additionally record
+  /// into exemplar-carrying histograms ("tail_latency" plus one per
+  /// workload family) whose tail buckets retain trace ids, anchored at
+  /// the admission arrival for open-loop requests so the recorded value
+  /// equals the causal chain's end-to-end window. Off by default;
+  /// attribution-off runs emit byte-identical reports.
+  void enable_tail_attribution(const obs::ExemplarConfig& config);
+  bool tail_attribution_enabled() const { return tail_exemplars_.enabled; }
+  const obs::ExemplarConfig& tail_exemplar_config() const {
+    return tail_exemplars_;
+  }
+
+  /// Current simulated time (handlers recording into the time series
+  /// need a timestamp without holding their own simulator reference).
+  TimePoint now() const { return sim_.now(); }
 
   // ---- job/function API ----------------------------------------------
   /// Validate against platform limits and enqueue every function of the
@@ -337,6 +358,9 @@ class Platform {
   void complete_function(InvocationInternal& inv);
   void handle_kill(InvocationInternal& inv, FailureKind kind);
   void resolve_recovery_markers(InvocationInternal& inv);
+  /// Tail-histogram + time-series recording at completion (no-op unless
+  /// attribution or the series is installed).
+  void record_tail_latency(InvocationInternal& inv);
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
@@ -350,6 +374,10 @@ class Platform {
   obs::SpanRecorder* spans_ = nullptr;
   obs::EventLog* events_ = nullptr;
   obs::SloMonitor* slo_ = nullptr;
+  obs::TimeSeries* series_ = nullptr;
+  /// Exemplar shape for the tail histograms; .enabled gates the whole
+  /// attribution path.
+  obs::ExemplarConfig tail_exemplars_;
   /// While fail_node() kills a node's containers, the kNodeFailure event
   /// whose cause edge every victim's kFailure event carries.
   obs::EventId node_failure_cause_ = obs::kNoEvent;

@@ -17,7 +17,11 @@ void Aggregate::add(const RunResult& run) {
   metrics.merge(run.metrics);
   breakdown.merge(run.breakdown);
   span_health.merge({run.spans_recorded, run.spans_dropped});
-  event_health.merge({run.events_recorded, run.events_dropped});
+  obs::RecorderHealth events{run.events_recorded, run.events_dropped};
+  events.dropped_by_kind = run.events_dropped_by_kind;
+  event_health.merge(events);
+  tail.merge(run.tail);
+  timeseries.merge(run.timeseries);
   if (!run.completed) ++incomplete_runs;
 }
 
@@ -83,6 +87,8 @@ obs::RunReport make_report(std::string name, const ScenarioConfig& config,
   report.breakdown = agg.breakdown;
   report.span_health = agg.span_health;
   report.event_health = agg.event_health;
+  report.tail = agg.tail;
+  report.timeseries = agg.timeseries;
   return report;
 }
 

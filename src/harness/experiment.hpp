@@ -36,6 +36,12 @@ struct Aggregate {
   /// Recorder overflow accounting summed across repetitions.
   obs::RecorderHealth span_health;
   obs::RecorderHealth event_health;
+  /// Merged tail attribution across repetitions (sample counts add, the
+  /// deeper-tail representative wins); empty unless tail attribution ran.
+  obs::TailReport tail;
+  /// Merged windowed rollups (windows align by start, counters add,
+  /// per-window histograms merge); empty unless time-series ran.
+  obs::TimeSeries timeseries;
 
   void add(const RunResult& run);
   double counter_mean(const std::string& name) const;

@@ -61,6 +61,17 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   }
   platform.set_slo_monitor(&slo);
 
+  // Opt-in tail attribution + windowed rollups. Neither touches any code
+  // path when disabled, so attribution-off runs stay byte-identical.
+  obs::TimeSeries series;
+  if (config.timeseries.enabled) {
+    series.configure(config.timeseries);
+    platform.set_time_series(&series);
+  }
+  if (config.tail.enabled) {
+    platform.enable_tail_attribution(config.tail.exemplar_config());
+  }
+
   // While this run is live, this thread's log records carry the simulated
   // time and kWarn+ records mirror into the causal log as annotations.
   // Each repetition runs on its own thread, so parallel runs don't mix.
@@ -313,8 +324,22 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   if (events != nullptr) {
     result.events_recorded = events->size();
     result.events_dropped = events->dropped();
+    if (events->dropped() > 0) {
+      for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+        const obs::EventKind kind = static_cast<obs::EventKind>(k);
+        const std::size_t dropped = events->dropped_of(kind);
+        if (dropped > 0) {
+          result.events_dropped_by_kind[std::string(obs::to_string_view(
+              kind))] = static_cast<std::uint64_t>(dropped);
+        }
+      }
+    }
     obs::CriticalPathAnalyzer analyzer(*events);
     result.breakdown = analyzer.report(slo.targets());
+    if (config.tail.enabled) {
+      obs::TailAnalyzer tail_analyzer(metrics, *events, analyzer);
+      result.tail = tail_analyzer.analyze(config.tail);
+    }
   }
   if (traffic_gen.has_value()) {
     RunResult::TrafficSummary& t = result.traffic;
@@ -363,6 +388,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     h.skipped = static_cast<std::uint64_t>(metrics.counter("hedges_skipped"));
     h.open = hedge->open_races();
   }
+  if (series.enabled()) result.timeseries = std::move(series);
   result.metrics = std::move(metrics);
   result.spans = std::move(spans);
   result.events = std::move(events);

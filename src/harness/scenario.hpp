@@ -20,6 +20,8 @@
 #include "obs/event_log.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/span.hpp"
+#include "obs/tail_analyzer.hpp"
+#include "obs/time_series.hpp"
 #include "recovery/strategies.hpp"
 #include "traffic/generator.hpp"
 
@@ -102,6 +104,17 @@ struct ScenarioConfig {
   /// — the batch `jobs`. Disabled by default; enabling it forces
   /// PlatformConfig::reuse_containers so warm-pool sizing can matter.
   traffic::TrafficConfig traffic;
+  /// Tail-latency attribution: exemplar-linked latency histograms whose
+  /// tail buckets retain trace ids, resolved post-run into exact
+  /// per-component attributions (queueing/cold-start/detection/...) via
+  /// the causal event DAG. Off by default; when disabled the run — and
+  /// every artifact derived from it — is byte-identical to a build
+  /// without this feature.
+  obs::TailConfig tail;
+  /// Windowed time-series rollups (counter rates, per-window latency
+  /// quantiles, node health) over fixed sim-time intervals. Off by
+  /// default with the same byte-identity guarantee as `tail`.
+  obs::TimeSeriesConfig timeseries;
 };
 
 struct RunResult {
@@ -198,6 +211,16 @@ struct RunResult {
     std::uint64_t open = 0;       // races unresolved at run end
   };
   HedgeSummary hedge;
+
+  /// Tail-latency attribution (empty unless ScenarioConfig::tail.enabled
+  /// and event recording is on): per-histogram percentile targets with a
+  /// representative exemplar and its exact component attribution.
+  obs::TailReport tail;
+  /// Windowed rollups (empty unless ScenarioConfig::timeseries.enabled).
+  obs::TimeSeries timeseries;
+  /// Per-EventKind drop counts for the causal log (recorder health);
+  /// empty when nothing was dropped.
+  std::map<std::string, std::uint64_t> events_dropped_by_kind;
 };
 
 class ScenarioRunner {

@@ -100,6 +100,38 @@ void write_flow_pair(JsonWriter& json, const Event& cause,
   json.end_object();
 }
 
+/// One stepped counter sample: chrome renders consecutive "C" records
+/// with the same name as a filled step graph.
+void write_counter_sample(JsonWriter& json, const std::string& name,
+                          std::int64_t ts_usec, double value) {
+  json.begin_object();
+  json.field("name", name);
+  json.field("cat", "timeseries");
+  json.field("ph", "C");
+  json.field("ts", ts_usec);
+  json.field("pid", std::int64_t{1});
+  json.field("tid", std::int64_t{0});
+  json.key("args").begin_object();
+  json.field("value", value);
+  json.end_object();
+  json.end_object();
+}
+
+void write_counter_tracks(JsonWriter& json, const TimeSeries& series) {
+  for (const TimeSeries::Window& window : series.windows()) {
+    const std::int64_t ts = window.start.count_usec();
+    for (const auto& [name, value] : window.counters) {
+      write_counter_sample(json, "ts." + name, ts, value);
+    }
+    for (const auto& [name, value] : window.levels) {
+      write_counter_sample(json, "ts." + name, ts, value);
+    }
+    for (const auto& [name, hist] : window.samples) {
+      write_counter_sample(json, "ts." + name + ".p99", ts, hist.p99());
+    }
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const SpanRecorder& spans) {
@@ -108,6 +140,11 @@ void write_chrome_trace(std::ostream& os, const SpanRecorder& spans) {
 
 void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
                         const EventLog* events) {
+  write_chrome_trace(os, spans, events, nullptr);
+}
+
+void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
+                        const EventLog* events, const TimeSeries* series) {
   JsonWriter json(os, /*indent=*/0);
   json.begin_object();
   json.key("displayTimeUnit").value("ms");
@@ -124,6 +161,9 @@ void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
         }
       }
     }
+  }
+  if (series != nullptr && series->enabled()) {
+    write_counter_tracks(json, *series);
   }
   json.end_array();
   // Recorder health: a truncated stream means this timeline is partial.
@@ -147,9 +187,15 @@ bool write_chrome_trace_file(const std::string& path,
 bool write_chrome_trace_file(const std::string& path,
                              const SpanRecorder* spans,
                              const EventLog* events) {
+  return write_chrome_trace_file(path, spans, events, nullptr);
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder* spans, const EventLog* events,
+                             const TimeSeries* series) {
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(out, spans, events);
+  write_chrome_trace(out, spans, events, series);
   return out.good();
 }
 

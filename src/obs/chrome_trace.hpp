@@ -18,6 +18,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/span.hpp"
+#include "obs/time_series.hpp"
 
 namespace canary::obs {
 
@@ -29,6 +30,13 @@ void write_chrome_trace(std::ostream& os, const SpanRecorder& spans);
 void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
                         const EventLog* events);
 
+/// Full export: spans + causal events + windowed rollups rendered as
+/// counter tracks ("ph":"C" — one stepped graph per counter/level/p99
+/// stream, named "ts.<stream>"). A null or disabled series emits exactly
+/// the two-argument document, byte for byte.
+void write_chrome_trace(std::ostream& os, const SpanRecorder* spans,
+                        const EventLog* events, const TimeSeries* series);
+
 /// Write to `path`; returns false (and leaves no partial file guarantees)
 /// when the file cannot be opened.
 bool write_chrome_trace_file(const std::string& path,
@@ -36,5 +44,8 @@ bool write_chrome_trace_file(const std::string& path,
 bool write_chrome_trace_file(const std::string& path,
                              const SpanRecorder* spans,
                              const EventLog* events);
+bool write_chrome_trace_file(const std::string& path,
+                             const SpanRecorder* spans, const EventLog* events,
+                             const TimeSeries* series);
 
 }  // namespace canary::obs

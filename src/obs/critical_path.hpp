@@ -127,11 +127,6 @@ class CriticalPathAnalyzer {
   /// SloMonitor (the log only holds breaches, not armed targets).
   BreakdownReport report(std::uint64_t slo_targets = 0) const;
 
- private:
-  struct FunctionTimeline;
-  void analyze(const EventLog& log);
-
-  std::vector<RecoveryWindow> windows_;
   // Per-function end-to-end component sums + metadata, keyed by id.
   struct PerFunction {
     std::string family;
@@ -140,6 +135,18 @@ class CriticalPathAnalyzer {
     double window_s = 0.0;
     ComponentSums recovery;
   };
+  /// Per-instance decomposition (not family-aggregated): the exact
+  /// submit-to-completion partition of one invocation. The tail analyzer
+  /// resolves exemplar refs (FunctionId values) through this map.
+  const std::map<FunctionId, PerFunction>& per_function_decomposition() const {
+    return functions_;
+  }
+
+ private:
+  struct FunctionTimeline;
+  void analyze(const EventLog& log);
+
+  std::vector<RecoveryWindow> windows_;
   std::map<FunctionId, PerFunction> functions_;
   // (family, dominant component) per SLA breach, in event order.
   std::vector<std::pair<std::string, PathComponent>> breaches_;

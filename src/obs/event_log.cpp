@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/logging.hpp"
 #include "obs/json.hpp"
 
 namespace canary::obs {
@@ -39,6 +40,14 @@ EventId EventLog::append_raw(TraceId trace, EventId parent, EventKind kind,
                              EventId cause) {
   if (events_.size() >= capacity_) {
     ++dropped_;
+    const auto slot = static_cast<std::size_t>(kind);
+    ++dropped_by_kind_[slot];
+    if (!drop_warned_[slot]) {
+      drop_warned_[slot] = true;
+      CANARY_LOG_WARN("event log at capacity (" << capacity_ << "): dropping '"
+                                                << to_string_view(kind)
+                                                << "' events");
+    }
     return kNoEvent;
   }
   const EventId id = events_.size();
@@ -143,6 +152,8 @@ void EventLog::write_json(std::ostream& os, std::size_t begin) const {
 void EventLog::clear() {
   events_.clear();
   dropped_ = 0;
+  dropped_by_kind_.fill(0);
+  drop_warned_.fill(false);
   next_trace_ = 1;
   flight_dumps_ = 0;
 }

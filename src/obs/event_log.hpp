@@ -21,6 +21,7 @@
 // big to keep full traces of.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -76,6 +77,10 @@ enum class EventKind {
   kHedgeCancelled,  // this copy lost the hedge race (cause = winner)
 };
 
+/// Number of EventKind values; sized per-kind arrays (drop counters).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kHedgeCancelled) + 1;
+
 std::string_view to_string_view(EventKind kind);
 
 struct Event {
@@ -126,6 +131,12 @@ class EventLog {
   }
   std::size_t size() const { return events_.size(); }
   std::size_t dropped() const { return dropped_; }
+  /// Drops attributed to one EventKind: which part of the causal record
+  /// is incomplete, not just that something is. A chain missing kDetect
+  /// drops reads very differently from one missing kAnnotation drops.
+  std::size_t dropped_of(EventKind kind) const {
+    return dropped_by_kind_[static_cast<std::size_t>(kind)];
+  }
   /// True when the capacity cap discarded at least one event — consumers
   /// must treat counts derived from the log as lower bounds.
   bool truncated() const { return dropped_ > 0; }
@@ -150,6 +161,8 @@ class EventLog {
 
   std::size_t capacity_;
   std::size_t dropped_ = 0;
+  std::array<std::size_t, kEventKindCount> dropped_by_kind_{};
+  std::array<bool, kEventKindCount> drop_warned_{};
   std::uint64_t next_trace_ = 1;
   std::vector<Event> events_;
 

@@ -33,6 +33,116 @@ void write_health(JsonWriter& json, const RecorderHealth& health) {
   json.field("recorded", health.recorded);
   json.field("dropped", health.dropped);
   json.field("truncated", health.truncated());
+  if (!health.dropped_by_kind.empty()) {
+    json.key("dropped_by_kind").begin_object();
+    for (const auto& [kind, count] : health.dropped_by_kind) {
+      json.field(kind, count);
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+void write_tail(JsonWriter& json, const TailReport& tail) {
+  json.key("tail").begin_object();
+  json.key("groups").begin_object();
+  for (const TailGroup& group : tail.groups) {
+    json.key(group.metric).begin_object();
+    json.field("exemplars", group.exemplars);
+    json.key("percentiles").begin_array();
+    for (const TailAttribution& a : group.percentiles) {
+      json.begin_object();
+      json.field("p", a.percentile);
+      json.field("samples", a.samples);
+      json.field("bucket_estimate_s", a.bucket_estimate_s);
+      if (a.has_exemplar) {
+        json.field("latency_s", a.latency_s);
+        json.field("trace", a.trace);
+        json.field("function", a.function);
+        json.field("attributed_s", a.attributed_s);
+        json.field("chain_events", a.chain_events);
+        json.field("chain_complete", a.chain_complete);
+        json.key("components");
+        write_components(json, a.components);
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void write_timeseries(JsonWriter& json, const TimeSeries& series) {
+  json.key("timeseries").begin_object();
+  json.field("window_s", series.config().window.to_seconds());
+  json.field("windows", static_cast<std::uint64_t>(series.windows().size()));
+  json.field("evicted", series.evicted());
+
+  // Column-major: one row list per named stream, each row [t_s, ...].
+  // Names are collected across all windows so sparse streams still line
+  // up deterministically.
+  std::map<std::string, int> counters;
+  std::map<std::string, int> samples;
+  std::map<std::string, int> levels;
+  for (const TimeSeries::Window& window : series.windows()) {
+    for (const auto& [name, value] : window.counters) counters[name] = 1;
+    for (const auto& [name, hist] : window.samples) samples[name] = 1;
+    for (const auto& [name, value] : window.levels) levels[name] = 1;
+  }
+
+  json.key("counters").begin_object();
+  for (const auto& [name, unused] : counters) {
+    json.key(name).begin_array();
+    for (const TimeSeries::Window& window : series.windows()) {
+      const auto it = window.counters.find(name);
+      json.begin_array();
+      json.value(window.start.to_seconds());
+      json.value(it != window.counters.end() ? it->second : 0.0);
+      json.end_array();
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("quantiles").begin_object();
+  for (const auto& [name, unused] : samples) {
+    json.key(name).begin_array();
+    for (const TimeSeries::Window& window : series.windows()) {
+      const auto it = window.samples.find(name);
+      json.begin_array();
+      json.value(window.start.to_seconds());
+      if (it != window.samples.end()) {
+        json.value(static_cast<std::uint64_t>(it->second.count()));
+        json.value(it->second.p50());
+        json.value(it->second.p99());
+      } else {
+        json.value(std::uint64_t{0});
+        json.value(0.0);
+        json.value(0.0);
+      }
+      json.end_array();
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("levels").begin_object();
+  for (const auto& [name, unused] : levels) {
+    json.key(name).begin_array();
+    for (const TimeSeries::Window& window : series.windows()) {
+      const auto it = window.levels.find(name);
+      if (it == window.levels.end()) continue;  // levels may be sparse
+      json.begin_array();
+      json.value(window.start.to_seconds());
+      json.value(it->second);
+      json.end_array();
+    }
+    json.end_array();
+  }
+  json.end_object();
+
   json.end_object();
 }
 
@@ -44,8 +154,9 @@ void RunReport::set_param(const std::string& key, double value) {
 
 void RunReport::write_json(std::ostream& os) const {
   JsonWriter json(os, /*indent=*/2);
+  const bool v3 = tail.enabled || timeseries.enabled();
   json.begin_object();
-  json.field("schema", kRunReportSchema);
+  json.field("schema", v3 ? kRunReportSchemaV3 : kRunReportSchema);
   json.field("name", name);
 
   json.key("params").begin_object();
@@ -118,6 +229,9 @@ void RunReport::write_json(std::ostream& os) const {
   json.key("events");
   write_health(json, event_health);
   json.end_object();
+
+  if (tail.enabled) write_tail(json, tail);
+  if (timeseries.enabled()) write_timeseries(json, timeseries);
 
   json.key("series").begin_array();
   for (const Series& s : series) {

@@ -29,9 +29,15 @@
 //       "spans":  { "recorded", "dropped", "truncated" },
 //       "events": { "recorded", "dropped", "truncated" }
 //     },
+//     "tail": { ... },                  // v3 only: tail attribution
+//     "timeseries": { ... },            // v3 only: windowed rollups
 //     "series": [ { "name", "columns": [..], "rows": [[..], ..] }, .. ],
 //     "claims": [ { "claim", "measured", "unit" }, .. ]
 //   }
+//
+// With tail attribution enabled the schema string becomes
+// "canary.run_report/v3" and the `tail` / `timeseries` sections appear;
+// otherwise the report is exactly the v2 document above.
 //
 // Serialisation is deterministic: map keys are ordered, numbers are
 // formatted locale-free, and nothing wall-clock-dependent is embedded —
@@ -46,10 +52,16 @@
 
 #include "obs/critical_path.hpp"
 #include "obs/metric_registry.hpp"
+#include "obs/tail_analyzer.hpp"
+#include "obs/time_series.hpp"
 
 namespace canary::obs {
 
 inline constexpr std::string_view kRunReportSchema = "canary.run_report/v2";
+/// Emitted instead of v2 when the report carries `tail` / `timeseries`
+/// sections (attribution enabled). Attribution-off reports keep the v2
+/// string and stay byte-identical to pre-attribution builds.
+inline constexpr std::string_view kRunReportSchemaV3 = "canary.run_report/v3";
 
 /// Health of one capacity-capped recorder stream. A truncated stream means
 /// every count derived from it is a lower bound — the report says so
@@ -57,11 +69,18 @@ inline constexpr std::string_view kRunReportSchema = "canary.run_report/v2";
 struct RecorderHealth {
   std::uint64_t recorded = 0;
   std::uint64_t dropped = 0;
+  /// Drops attributed to one event kind (event stream only; empty unless
+  /// the cap actually discarded something, so clean runs serialise
+  /// exactly as before the per-kind split existed).
+  std::map<std::string, std::uint64_t> dropped_by_kind;
 
   bool truncated() const { return dropped > 0; }
   void merge(const RecorderHealth& other) {
     recorded += other.recorded;
     dropped += other.dropped;
+    for (const auto& [kind, count] : other.dropped_by_kind) {
+      dropped_by_kind[kind] += count;
+    }
   }
 };
 
@@ -80,6 +99,11 @@ struct RunReport {
   /// Recorder capacity-cap health for the span and event streams.
   RecorderHealth span_health;
   RecorderHealth event_health;
+
+  /// Tail-latency attribution (v3; absent from the JSON unless enabled).
+  TailReport tail;
+  /// Windowed rollups (v3; absent from the JSON unless enabled).
+  TimeSeries timeseries;
 
   /// A named table, e.g. one reproduced figure's series.
   struct Series {

@@ -1,0 +1,95 @@
+#include "obs/time_series.hpp"
+
+#include <algorithm>
+
+namespace canary::obs {
+
+TimeSeries::Window& TimeSeries::window_at(TimePoint at) {
+  const std::int64_t width = std::max<std::int64_t>(
+      1, config_.window.count_usec());
+  std::int64_t start_us = (at.count_usec() / width) * width;
+  if (at.count_usec() < 0) start_us = 0;  // defensive; sim time is >= 0
+
+  if (windows_.empty()) {
+    windows_.push_back(Window{TimePoint::from_usec(start_us), {}, {}, {}});
+    return windows_.back();
+  }
+
+  // Retroactive timestamps (kQueued is stamped at enqueue time) can land
+  // before the oldest retained window; fold them into it rather than
+  // resurrecting evicted history.
+  if (start_us <= windows_.front().start.count_usec()) {
+    return windows_.front();
+  }
+
+  // Append empty windows up to the target so the series has no gaps —
+  // a window with zero completions is data, not absence of data.
+  while (windows_.back().start.count_usec() < start_us) {
+    const TimePoint next =
+        TimePoint::from_usec(windows_.back().start.count_usec() + width);
+    windows_.push_back(Window{next, {}, {}, {}});
+    while (windows_.size() > std::max<std::size_t>(1, config_.max_windows)) {
+      windows_.pop_front();
+      ++evicted_;
+    }
+  }
+  return windows_.back();
+}
+
+void TimeSeries::count(std::string_view counter, TimePoint at, double delta) {
+  if (!config_.enabled) return;
+  window_at(at).counters[std::string(counter)] += delta;
+}
+
+void TimeSeries::sample(std::string_view series, TimePoint at, double value) {
+  if (!config_.enabled) return;
+  window_at(at).samples[std::string(series)].record(value);
+}
+
+void TimeSeries::set_level(std::string_view level, TimePoint at,
+                           double value) {
+  if (!config_.enabled) return;
+  window_at(at).levels[std::string(level)] = value;
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (!other.config_.enabled && other.windows_.empty()) return;
+  if (!config_.enabled) config_ = other.config_;
+  evicted_ += other.evicted_;
+  for (const Window& theirs : other.windows_) {
+    auto it = std::find_if(windows_.begin(), windows_.end(),
+                           [&](const Window& w) {
+                             return w.start == theirs.start;
+                           });
+    if (it == windows_.end()) {
+      // Keep windows_ sorted by start so serialisation stays ordered.
+      auto pos = std::find_if(windows_.begin(), windows_.end(),
+                              [&](const Window& w) {
+                                return w.start > theirs.start;
+                              });
+      windows_.insert(pos, theirs);
+      continue;
+    }
+    for (const auto& [name, value] : theirs.counters) {
+      it->counters[name] += value;
+    }
+    for (const auto& [name, hist] : theirs.samples) {
+      it->samples[name].merge(hist);
+    }
+    for (const auto& [name, value] : theirs.levels) {
+      auto [lit, inserted] = it->levels.emplace(name, value);
+      if (!inserted) lit->second = std::max(lit->second, value);
+    }
+  }
+  while (windows_.size() > std::max<std::size_t>(1, config_.max_windows)) {
+    windows_.pop_front();
+    ++evicted_;
+  }
+}
+
+void TimeSeries::clear() {
+  windows_.clear();
+  evicted_ = 0;
+}
+
+}  // namespace canary::obs

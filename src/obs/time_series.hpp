@@ -1,0 +1,83 @@
+// Windowed time-series rollups over simulated time.
+//
+// Run-level histograms and counters collapse the whole run into one
+// number; the event log keeps everything but answers nothing without a
+// walk. The TimeSeries sits between them: fixed sim-interval windows in a
+// bounded ring buffer, each holding counter sums (rates once divided by
+// the window), per-window latency distributions (windowed quantiles), and
+// last-write levels (node/tenant health gauges). It feeds the
+// `timeseries` section of a v3 run report and the chrome-trace counter
+// track, so "p99 degraded" becomes "p99 degraded in the three windows
+// after the node failure, while nodes_up was 7".
+//
+// Recording is O(log windows) map work per hook and entirely opt-in:
+// a disabled TimeSeries ignores every call, and runs without one emit
+// reports byte-identical to pre-series builds. Eviction at the ring
+// bound is counted, never silent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+#include "obs/histogram.hpp"
+
+namespace canary::obs {
+
+struct TimeSeriesConfig {
+  bool enabled = false;
+  /// Rollup interval in simulated time.
+  Duration window = Duration::sec(1.0);
+  /// Ring-buffer bound: oldest windows are evicted (and counted) past it.
+  std::size_t max_windows = 512;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(const TimeSeriesConfig& config) : config_(config) {}
+
+  void configure(const TimeSeriesConfig& config) { config_ = config; }
+  bool enabled() const { return config_.enabled; }
+  const TimeSeriesConfig& config() const { return config_; }
+
+  // ---- recording hooks (no-ops while disabled) ------------------------
+  /// Add to a per-window sum (completions, failures, sheds, ...).
+  void count(std::string_view counter, TimePoint at, double delta = 1.0);
+  /// Record into the window's distribution (per-window quantiles).
+  void sample(std::string_view series, TimePoint at, double value);
+  /// Last-write level within the window (nodes up, pool size, ...).
+  void set_level(std::string_view level, TimePoint at, double value);
+
+  /// One rollup interval. Keys are ordered maps so serialisation and
+  /// merge are deterministic.
+  struct Window {
+    TimePoint start;
+    std::map<std::string, double> counters;
+    std::map<std::string, Histogram> samples;
+    std::map<std::string, double> levels;
+  };
+
+  /// Oldest-to-newest retained windows.
+  const std::deque<Window>& windows() const { return windows_; }
+  std::uint64_t evicted() const { return evicted_; }
+
+  /// Fold `other` in, aligning windows by start time: counters add,
+  /// distributions merge exactly, levels take the max (deterministic and
+  /// associative, unlike last-writer-wins across repetitions).
+  void merge(const TimeSeries& other);
+
+  void clear();
+
+ private:
+  Window& window_at(TimePoint at);
+
+  TimeSeriesConfig config_;
+  std::deque<Window> windows_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace canary::obs

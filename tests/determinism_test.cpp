@@ -85,6 +85,55 @@ TEST(DeterminismTest, ChromeTraceIsByteIdenticalAcrossRuns) {
   EXPECT_EQ(trace_a, trace_b) << "chrome trace diverged between runs";
 }
 
+TEST(DeterminismTest, AttributionSectionsAreByteIdenticalAcrossRuns) {
+  // The v3 sections (tail + timeseries) must be as deterministic as the
+  // rest of the report: exemplar reservoirs are seeded, repetition merge
+  // is associative, and window rollups key off sim time only.
+  harness::ScenarioConfig config = scenario_under_test();
+  config.tail.enabled = true;
+  config.timeseries.enabled = true;
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const std::string first =
+      render_report(harness::run_repetitions(config, jobs, 3));
+  const std::string second =
+      render_report(harness::run_repetitions(config, jobs, 3));
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "v3 report JSON diverged between runs";
+  EXPECT_NE(first.find("canary.run_report/v3"), std::string::npos);
+  EXPECT_NE(first.find("\"tail\""), std::string::npos);
+  EXPECT_NE(first.find("\"timeseries\""), std::string::npos);
+}
+
+TEST(DeterminismTest, AttributionOffKeepsArtifactsByteIdentical) {
+  // The attribution layer's contract: when disabled (the default), the
+  // report is tagged v2, carries neither new section, and the chrome
+  // trace has no counter track — nothing a pre-attribution build would
+  // not also emit.
+  const harness::ScenarioConfig config = scenario_under_test();
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const std::string report =
+      render_report(harness::run_repetitions(config, jobs, 2));
+  EXPECT_NE(report.find("canary.run_report/v2"), std::string::npos);
+  EXPECT_EQ(report.find("\"tail\""), std::string::npos);
+  EXPECT_EQ(report.find("\"timeseries\""), std::string::npos);
+  EXPECT_EQ(report.find("dropped_by_kind"), std::string::npos);
+
+  const harness::RunResult run = harness::ScenarioRunner::run(config, jobs);
+  EXPECT_FALSE(run.timeseries.enabled());
+  EXPECT_EQ(run.tail.groups.size(), 0u);
+  std::ostringstream two_arg;
+  obs::write_chrome_trace(two_arg, run.spans.get(), run.events.get());
+  std::ostringstream four_arg;
+  obs::write_chrome_trace(four_arg, run.spans.get(), run.events.get(),
+                          &run.timeseries);
+  // A disabled series pointer must not change a byte of the trace.
+  EXPECT_EQ(two_arg.str(), four_arg.str());
+  EXPECT_EQ(two_arg.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
 TEST(DeterminismTest, HeadlineScalarsAreReproducible) {
   const harness::ScenarioConfig config = scenario_under_test();
   const std::vector<faas::JobSpec> jobs = jobs_under_test();

@@ -175,6 +175,147 @@ TEST(HistogramTest, NegativeValuesClampButCount) {
   EXPECT_DOUBLE_EQ(h.percentile(0.0), -2.5);
 }
 
+TEST(HistogramTest, PercentileEdgeTable) {
+  // Pin the nearest-rank contract (rank = ceil(p/100 * n), 1-based) on a
+  // table of edge cases. Values are well separated so each lands in its
+  // own bucket; the 2% bound is the log-linear bucketing error, not
+  // slack in the rank math — a rank off by one selects a neighbouring
+  // value, 2x away, and fails loudly.
+  struct Case {
+    std::size_t n;       // record 1.0, 2.0, ..., n
+    double p;
+    double expected;     // value at the nearest rank
+  };
+  const Case kCases[] = {
+      {1, 50.0, 1.0},      // a single sample is every percentile
+      {1, 99.9, 1.0},
+      {2, 50.0, 1.0},      // ceil(1.0) == 1: the lower sample
+      {2, 50.1, 2.0},      // just past the boundary: the upper one
+      {4, 25.0, 1.0},      // exact boundary ranks must not round up...
+      {4, 50.0, 2.0},
+      {4, 75.0, 3.0},
+      {4, 76.0, 4.0},      // ...but anything past them must
+      {10, 10.0, 1.0},
+      {10, 90.0, 9.0},
+      {10, 91.0, 10.0},
+      // FP-rank guard: 0.975 * 40 is 39.000000000000007 in binary;
+      // without the guard ceil() inflates the rank to 40 and p97.5
+      // reports the max instead of the 39th sample.
+      {40, 97.5, 39.0},
+      {40, 2.5, 1.0},
+      {1000, 99.9, 999.0},
+  };
+  for (const Case& c : kCases) {
+    Histogram h;
+    for (std::size_t i = 1; i <= c.n; ++i) h.record(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(c.p), c.expected, c.expected * 0.02)
+        << "n=" << c.n << " p=" << c.p;
+    // quantile() is the same query on a [0, 1] axis.
+    EXPECT_DOUBLE_EQ(h.quantile(c.p / 100.0), h.percentile(c.p))
+        << "quantile(q) != percentile(100q) at n=" << c.n << " p=" << c.p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars
+// ---------------------------------------------------------------------------
+
+TEST(HistogramExemplarTest, DisabledByDefaultAndRetainsNothing) {
+  Histogram h;
+  EXPECT_FALSE(h.exemplars_enabled());
+  for (int i = 1; i <= 50; ++i) {
+    h.record_traced(static_cast<double>(i), 1000 + i, i);
+  }
+  EXPECT_EQ(h.exemplar_count(), 0u);
+  EXPECT_TRUE(h.exemplars_above(0.0).empty());
+  // record_traced must still behave exactly like record().
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(HistogramExemplarTest, RetainsOnlyTheTailAboveTheQuantileFloor) {
+  obs::ExemplarConfig config;
+  config.enabled = true;
+  config.per_bucket = 2;
+  config.min_quantile = 0.5;
+  Histogram h;
+  h.enable_exemplars(config);
+  for (int i = 1; i <= 100; ++i) {
+    h.record_traced(static_cast<double>(i), 1000 + i, i);
+  }
+  const auto retained = h.exemplars_above(0.0);
+  ASSERT_FALSE(retained.empty());
+  // Retention floor: nothing below the median may survive the prune.
+  const double median = h.quantile(0.5);
+  for (const obs::Exemplar& e : retained) {
+    EXPECT_GE(e.value, median * 0.98)
+        << "exemplar " << e.value << " below the retention floor";
+    // The exemplar carries the ids it was recorded with.
+    EXPECT_EQ(e.trace, 1000 + static_cast<std::uint64_t>(e.value));
+    EXPECT_EQ(e.ref, static_cast<std::uint64_t>(e.value));
+  }
+  // The deepest tail is always retained (reservoir of the max bucket).
+  EXPECT_DOUBLE_EQ(retained.front().value, 100.0);
+  // Sorted by value descending for deterministic iteration.
+  for (std::size_t i = 1; i < retained.size(); ++i) {
+    EXPECT_GE(retained[i - 1].value, retained[i].value);
+  }
+  // exemplars_above(min) filters.
+  for (const obs::Exemplar& e : h.exemplars_above(90.0)) {
+    EXPECT_GE(e.value, 90.0);
+  }
+}
+
+TEST(HistogramExemplarTest, SeededReservoirIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    obs::ExemplarConfig config;
+    config.enabled = true;
+    config.per_bucket = 3;
+    config.seed = seed;
+    Histogram h;
+    h.enable_exemplars(config);
+    // Many samples per bucket so the reservoir actually replaces.
+    for (int i = 0; i < 2000; ++i) {
+      const double v = 1.0 + (i % 17) * 0.5;
+      h.record_traced(v, static_cast<std::uint64_t>(i), 7000 + i);
+    }
+    return h.exemplars_above(0.0);
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].trace, b[i].trace);
+    EXPECT_EQ(a[i].ref, b[i].ref);
+  }
+}
+
+TEST(HistogramExemplarTest, MergeKeepsLargestPerBucketAndStaysBounded) {
+  obs::ExemplarConfig config;
+  config.enabled = true;
+  config.per_bucket = 2;
+  config.min_quantile = 0.0;  // retain everywhere: the bound is per bucket
+  Histogram a, b;
+  a.enable_exemplars(config);
+  b.enable_exemplars(config);
+  // Same bucket (same value), disjoint trace ids.
+  for (int i = 0; i < 8; ++i) {
+    a.record_traced(5.0, 100 + i, 100 + i);
+    b.record_traced(5.0, 200 + i, 200 + i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 16u);
+  const auto retained = a.exemplars_above(0.0);
+  // The shared bucket may keep at most per_bucket exemplars.
+  EXPECT_LE(retained.size(), config.per_bucket);
+  // Merging into an exemplar-less histogram adopts the other's config.
+  Histogram c;
+  c.merge(a);
+  EXPECT_TRUE(c.exemplars_enabled());
+  EXPECT_EQ(c.exemplars_above(0.0).size(), retained.size());
+}
+
 // ---------------------------------------------------------------------------
 // MetricRegistry
 // ---------------------------------------------------------------------------

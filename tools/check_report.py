@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate canary report JSON files.
 
-Three schemas are understood, dispatched on the report's `schema` tag:
+Several schemas are understood, dispatched on the report's `schema` tag:
 
 canary.run_report/v2 — the machine-readable run reports emitted by the
 benches, the experiment CLI and harness::make_report. Verifies the
@@ -9,6 +9,14 @@ presence and types of every section, that the breakdown's component maps
 carry exactly the known critical-path components, and that the recovery
 components sum to the recovery window within tolerance (1 sim-ms per
 recovery, the acceptance bound of the decomposition).
+
+canary.run_report/v3 — a v2 report plus the opt-in tail-attribution
+sections: `tail` (exemplar-linked percentile attributions whose component
+partition must sum to the representative's measured latency within 1
+sim-ms whenever the causal chain is complete) and/or `timeseries`
+(fixed-window rollups whose row counts must match the declared window
+count). A v3 report must carry at least one of the two sections; a v2
+report must carry neither.
 
 canary.bench/v1 — the throughput reports emitted by bench/scale_stress:
 named phases with events, wall time, events/sec and exact allocation
@@ -37,7 +45,10 @@ bench/fig09_hedging. Verifies the exactly-once race accounting
 one hedge per admitted request), that the hedged p99 is monotone
 non-increasing versus the no-hedge baseline, that hedging costs less
 than full request replication, and that the bench's own self-check
-verdict is clean.
+verdict is clean. With --baseline pointing at a committed hedge report
+(bench/BENCH_hedge.baseline.json), the hedge strategy's p99_ms and
+cost_usd are additionally gated against the baseline: either growing by
+more than --max-regress fails the check.
 
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
             report.json [report2.json ...]
@@ -49,6 +60,7 @@ import json
 import sys
 
 SCHEMA = "canary.run_report/v2"
+SCHEMA_V3 = "canary.run_report/v3"
 BENCH_SCHEMA = "canary.bench/v1"
 CHAOS_SCHEMA = "canary.chaos/v1"
 TRAFFIC_SCHEMA = "canary.traffic/v1"
@@ -118,6 +130,20 @@ def check_health(obj, path):
            f"{path}.truncated: expected a bool")
     expect((obj["dropped"] > 0) == obj["truncated"],
            f"{path}: truncated flag inconsistent with dropped={obj['dropped']}")
+    # Per-EventKind drop accounting is only present when something was
+    # dropped, and must sum exactly to the total.
+    by_kind = obj.get("dropped_by_kind")
+    if by_kind is not None:
+        expect(isinstance(by_kind, dict) and by_kind,
+               f"{path}.dropped_by_kind: expected a non-empty object")
+        expect(obj["dropped"] > 0,
+               f"{path}.dropped_by_kind present with dropped=0")
+        for kind, count in by_kind.items():
+            expect(isinstance(count, int) and count > 0,
+                   f"{path}.dropped_by_kind.{kind}: bad count")
+        expect(sum(by_kind.values()) == obj["dropped"],
+               f"{path}.dropped_by_kind sums to {sum(by_kind.values())}, "
+               f"not dropped={obj['dropped']}")
 
 
 def check_breakdown(breakdown):
@@ -167,10 +193,102 @@ def check_breakdown(breakdown):
            "breakdown.slo: breaches_by_component does not sum to violations")
 
 
+def check_tail(tail, path="tail"):
+    """Validate a v3 tail-attribution section."""
+    expect(isinstance(tail, dict), f"{path}: expected an object")
+    groups = tail.get("groups")
+    expect(isinstance(groups, dict), f"{path}.groups: expected an object")
+    attributions = 0
+    for metric, group in groups.items():
+        g = f"{path}.groups.{metric}"
+        expect(isinstance(group, dict), f"{g}: expected an object")
+        check_number(group, "exemplars", g)
+        expect(group["exemplars"] >= 0, f"{g}.exemplars: negative")
+        percentiles = group.get("percentiles")
+        expect(isinstance(percentiles, list) and percentiles,
+               f"{g}.percentiles: expected a non-empty array")
+        prev_p = -1.0
+        for i, a in enumerate(percentiles):
+            p = f"{g}.percentiles[{i}]"
+            expect(isinstance(a, dict), f"{p}: expected an object")
+            for key in ("p", "samples", "bucket_estimate_s"):
+                check_number(a, key, p)
+            expect(0.0 <= a["p"] <= 100.0, f"{p}.p: out of [0, 100]")
+            expect(a["p"] > prev_p, f"{p}.p: percentiles not increasing")
+            prev_p = a["p"]
+            if "latency_s" not in a:
+                continue  # no exemplar survived retention for this target
+            attributions += 1
+            for key in ("latency_s", "trace", "function", "attributed_s",
+                        "chain_events"):
+                check_number(a, key, p)
+            expect(isinstance(a.get("chain_complete"), bool),
+                   f"{p}.chain_complete: expected a bool")
+            check_components(a.get("components"), f"{p}.components")
+            # Acceptance bound: when the causal chain resolved, the exact
+            # component partition must sum to the representative's
+            # measured latency within one simulated millisecond.
+            if a["chain_complete"]:
+                expect(abs(a["attributed_s"] - a["latency_s"]) <= 1e-3,
+                       f"{p}: attributed {a['attributed_s']:.6f} s != "
+                       f"latency {a['latency_s']:.6f} s (tolerance 1e-3)")
+    return len(groups), attributions
+
+
+def check_timeseries(ts, path="timeseries"):
+    """Validate a v3 windowed-rollup section."""
+    expect(isinstance(ts, dict), f"{path}: expected an object")
+    check_number(ts, "window_s", path)
+    expect(ts["window_s"] > 0, f"{path}.window_s: must be positive")
+    check_number(ts, "windows", path)
+    check_number(ts, "evicted", path)
+    expect(ts["evicted"] >= 0, f"{path}.evicted: negative")
+    windows = ts["windows"]
+
+    counters = ts.get("counters")
+    expect(isinstance(counters, dict), f"{path}.counters: expected an object")
+    for name, rows in counters.items():
+        p = f"{path}.counters.{name}"
+        expect(isinstance(rows, list) and len(rows) == windows,
+               f"{p}: expected {windows} rows, got "
+               f"{len(rows) if isinstance(rows, list) else type(rows)}")
+        prev_t = -1.0
+        for row in rows:
+            expect(isinstance(row, list) and len(row) == 2,
+                   f"{p}: rows must be [t_s, value] pairs")
+            expect(row[0] > prev_t, f"{p}: window starts not increasing")
+            prev_t = row[0]
+
+    quantiles = ts.get("quantiles")
+    expect(isinstance(quantiles, dict), f"{path}.quantiles: expected an object")
+    for name, rows in quantiles.items():
+        p = f"{path}.quantiles.{name}"
+        expect(isinstance(rows, list) and len(rows) == windows,
+               f"{p}: expected {windows} rows")
+        for row in rows:
+            expect(isinstance(row, list) and len(row) == 4,
+                   f"{p}: rows must be [t_s, count, p50, p99]")
+            if row[1] > 0:
+                expect(row[3] >= row[2],
+                       f"{p}: p99 {row[3]} < p50 {row[2]} at t={row[0]}")
+
+    levels = ts.get("levels")
+    expect(isinstance(levels, dict), f"{path}.levels: expected an object")
+    for name, rows in levels.items():
+        p = f"{path}.levels.{name}"
+        expect(isinstance(rows, list), f"{p}: expected an array")
+        expect(len(rows) <= windows, f"{p}: more rows than windows")
+        for row in rows:
+            expect(isinstance(row, list) and len(row) == 2,
+                   f"{p}: rows must be [t_s, value] pairs")
+    return len(counters) + len(quantiles) + len(levels)
+
+
 def check_report(report, path):
     expect(isinstance(report, dict), "top level: expected an object")
-    expect(report.get("schema") == SCHEMA,
-           f"schema: expected '{SCHEMA}', got {report.get('schema')!r}")
+    schema = report.get("schema")
+    expect(schema in (SCHEMA, SCHEMA_V3),
+           f"schema: expected '{SCHEMA}' or '{SCHEMA_V3}', got {schema!r}")
     expect(isinstance(report.get("name"), str) and report["name"],
            "name: expected a non-empty string")
 
@@ -194,6 +312,22 @@ def check_report(report, path):
     check_health(obs.get("spans"), "obs.spans")
     check_health(obs.get("events"), "obs.events")
 
+    # Schema discipline: the attribution sections both require and imply
+    # the v3 tag — a v2 report carrying them (or a v3 report without
+    # either) means the writer's gating broke.
+    tail_stats = None
+    ts_streams = None
+    if schema == SCHEMA_V3:
+        expect("tail" in report or "timeseries" in report,
+               "v3 report carries neither a tail nor a timeseries section")
+        if "tail" in report:
+            tail_stats = check_tail(report["tail"])
+        if "timeseries" in report:
+            ts_streams = check_timeseries(report["timeseries"])
+    else:
+        expect("tail" not in report and "timeseries" not in report,
+               "v2 report carries attribution sections (should be v3)")
+
     series = report.get("series")
     expect(isinstance(series, list), "series: expected an array")
     for i, s in enumerate(series):
@@ -212,9 +346,15 @@ def check_report(report, path):
                f"claims[{i}]: expected an object with a claim")
         check_number(c, "measured", f"claims[{i}]")
 
-    print(f"{path}: OK ({SCHEMA}, "
+    extra = ""
+    if tail_stats is not None:
+        extra += (f", tail: {tail_stats[0]} metric(s) / "
+                  f"{tail_stats[1]} attribution(s)")
+    if ts_streams is not None:
+        extra += f", timeseries: {ts_streams} stream(s)"
+    print(f"{path}: OK ({schema}, "
           f"{report['breakdown']['recoveries']['count']} recoveries, "
-          f"{len(series)} series, {len(claims)} claims)")
+          f"{len(series)} series, {len(claims)} claims{extra})")
 
 
 def check_bench_report(report, path):
@@ -555,6 +695,31 @@ def check_hedge_report(report, path):
           f"{baseline['p99_ms']:.0f} ms)")
 
 
+def compare_hedge(report, baseline, max_regress, path):
+    """Gate a hedge report's headline numbers against a committed baseline.
+
+    The hedge strategy's p99_ms and cost_usd may not grow by more than
+    max_regress versus the baseline report (same bench, same quick mode).
+    """
+    def strategy(rep, which):
+        for s in rep.get("strategies", []):
+            if s.get("name") == "hedge":
+                return s
+        raise Invalid(f"{which}: no 'hedge' strategy to compare")
+
+    ours = strategy(report, path)
+    base = strategy(baseline, "baseline")
+    for key in ("p99_ms", "cost_usd"):
+        ceiling = base[key] * (1.0 + max_regress)
+        expect(ours[key] <= ceiling,
+               f"{path}: hedge {key} regressed: {ours[key]:.3f} > "
+               f"{ceiling:.3f} (baseline {base[key]:.3f}, "
+               f"max regression {max_regress:.0%})")
+        delta = ((ours[key] - base[key]) / base[key]) if base[key] else 0.0
+        print(f"{path}: hedge {key}: {ours[key]:.3f} vs baseline "
+              f"{base[key]:.3f} ({delta:+.1%})")
+
+
 def compare_bench(rates, baseline_rates, max_regress, path):
     """Fail if any phase's events/sec regressed beyond max_regress."""
     for name, base_rate in baseline_rates.items():
@@ -603,10 +768,15 @@ def main(argv):
         return 2
 
     baseline_rates = None
+    baseline_hedge = None
     if baseline_path is not None:
         try:
-            baseline_rates = check_bench_report(load(baseline_path),
-                                                baseline_path)
+            baseline = load(baseline_path)
+            if baseline.get("schema") == HEDGE_SCHEMA:
+                check_hedge_report(baseline, baseline_path)
+                baseline_hedge = baseline
+            else:
+                baseline_rates = check_bench_report(baseline, baseline_path)
         except (OSError, json.JSONDecodeError) as err:
             print(f"{baseline_path}: unreadable: {err}", file=sys.stderr)
             return 1
@@ -627,6 +797,8 @@ def main(argv):
                 check_traffic_report(report, path)
             elif report.get("schema") == HEDGE_SCHEMA:
                 check_hedge_report(report, path)
+                if baseline_hedge is not None:
+                    compare_hedge(report, baseline_hedge, max_regress, path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
