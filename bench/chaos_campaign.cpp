@@ -16,8 +16,15 @@
 // guaranteed node failure lands mid-race, and the hedge exactly-once
 // oracle checks that every fired hedge resolves exactly once.
 //
+// A fourth family runs the base scenarios sharded over the conservative
+// parallel engine (4 partitions x 4 worker threads, cluster grown 4x so
+// each partition keeps a base-sized slice): cross-shard KV mirroring and
+// completion beacons ride along, and all eight oracles are evaluated
+// inside every partition plus on the merged scalars.
+//
 // Usage: chaos_campaign [--quick] [--scenarios N] [--seed BASE]
 //                       [--traffic-scenarios N] [--hedge-scenarios N]
+//                       [--sharded-scenarios N]
 // Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
 #include <algorithm>
 #include <cstdlib>
@@ -76,9 +83,11 @@ int main(int argc, char** argv) {
   std::size_t scenarios = 0;          // 0 = derive from quick flag below
   std::size_t traffic_scenarios = 0;  // 0 = derive from quick flag below
   std::size_t hedge_scenarios = 0;    // 0 = derive from quick flag below
+  std::size_t sharded_scenarios = 0;  // 0 = derive from quick flag below
   std::uint64_t base_seed = 90001;
   std::uint64_t traffic_base_seed = 70001;
   std::uint64_t hedge_base_seed = 50001;
+  std::uint64_t sharded_base_seed = 30001;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -91,28 +100,33 @@ int main(int argc, char** argv) {
       traffic_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--hedge-scenarios" && i + 1 < argc) {
       hedge_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--sharded-scenarios" && i + 1 < argc) {
+      sharded_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::cerr << "usage: chaos_campaign [--quick] [--scenarios N] "
                    "[--seed BASE] [--traffic-scenarios N] "
-                   "[--hedge-scenarios N]\n";
+                   "[--hedge-scenarios N] [--sharded-scenarios N]\n";
       return 2;
     }
   }
   if (scenarios == 0) scenarios = quick ? 24 : 240;
   if (traffic_scenarios == 0) traffic_scenarios = quick ? 12 : 120;
   if (hedge_scenarios == 0) hedge_scenarios = quick ? 12 : 120;
+  if (sharded_scenarios == 0) sharded_scenarios = quick ? 8 : 64;
 
   std::cout << "chaos campaign: " << scenarios << " scenarios, base seed "
             << base_seed << " + " << traffic_scenarios
             << " traffic scenarios, base seed " << traffic_base_seed << " + "
             << hedge_scenarios << " hedge scenarios, base seed "
-            << hedge_base_seed << (quick ? " (quick)" : "") << "\n";
+            << hedge_base_seed << " + " << sharded_scenarios
+            << " sharded scenarios, base seed " << sharded_base_seed
+            << (quick ? " (quick)" : "") << "\n";
 
   // Seeded scenarios are independent; run them in parallel batches. The
   // traffic and hedge families ride in the same pool, indexed past the
   // base family.
   const std::size_t total_scenarios =
-      scenarios + traffic_scenarios + hedge_scenarios;
+      scenarios + traffic_scenarios + hedge_scenarios + sharded_scenarios;
   std::vector<ChaosOutcome> outcomes(total_scenarios);
   const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
   std::size_t next = 0;
@@ -122,10 +136,14 @@ int main(int argc, char** argv) {
     futures.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       const std::size_t index = next + i;
-      enum class Family { kBase, kTraffic, kHedge };
+      enum class Family { kBase, kTraffic, kHedge, kSharded };
       Family family = Family::kBase;
       std::uint64_t seed = base_seed + index;
-      if (index >= scenarios + traffic_scenarios) {
+      if (index >= scenarios + traffic_scenarios + hedge_scenarios) {
+        family = Family::kSharded;
+        seed = sharded_base_seed +
+               (index - scenarios - traffic_scenarios - hedge_scenarios);
+      } else if (index >= scenarios + traffic_scenarios) {
         family = Family::kHedge;
         seed = hedge_base_seed + (index - scenarios - traffic_scenarios);
       } else if (index >= scenarios) {
@@ -138,6 +156,8 @@ int main(int argc, char** argv) {
             return canary::harness::run_traffic_chaos_scenario(seed);
           case Family::kHedge:
             return canary::harness::run_hedge_chaos_scenario(seed);
+          case Family::kSharded:
+            return canary::harness::run_sharded_chaos_scenario(seed);
           case Family::kBase: break;
         }
         return canary::harness::run_chaos_scenario(seed);
@@ -187,6 +207,7 @@ int main(int argc, char** argv) {
   table.add_row({"scenarios", std::to_string(scenarios)});
   table.add_row({"traffic scenarios", std::to_string(traffic_scenarios)});
   table.add_row({"hedge scenarios", std::to_string(hedge_scenarios)});
+  table.add_row({"sharded scenarios", std::to_string(sharded_scenarios)});
   table.add_row({"function failures", canary::TextTable::num(total_failures, 0)});
   table.add_row({"node kills", std::to_string(node_kills)});
   table.add_row({"gray windows", std::to_string(gray)});
@@ -236,7 +257,9 @@ int main(int argc, char** argv) {
   os << "    \"traffic_scenarios\": " << traffic_scenarios << ",\n";
   os << "    \"traffic_base_seed\": " << traffic_base_seed << ",\n";
   os << "    \"hedge_scenarios\": " << hedge_scenarios << ",\n";
-  os << "    \"hedge_base_seed\": " << hedge_base_seed << "\n";
+  os << "    \"hedge_base_seed\": " << hedge_base_seed << ",\n";
+  os << "    \"sharded_scenarios\": " << sharded_scenarios << ",\n";
+  os << "    \"sharded_base_seed\": " << sharded_base_seed << "\n";
   os << "  },\n";
   os << "  \"fault_totals\": {\n";
   os << "    \"function_failures\": " << num(total_failures) << ",\n";

@@ -36,18 +36,28 @@ void Cluster::attach_and_rebuild_index() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i].set_usage_listener(this);
     if (nodes_[i].alive()) {
-      occupancy_[nodes_[i].used_slots()].insert(
-          static_cast<std::uint32_t>(i));
+      bucket_insert(nodes_[i].used_slots(), static_cast<std::uint32_t>(i));
     }
   }
+}
+
+void Cluster::bucket_insert(std::uint32_t slots, std::uint32_t idx) {
+  std::vector<std::uint32_t>& bucket = occupancy_[slots];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), idx), idx);
+}
+
+void Cluster::bucket_erase(std::uint32_t slots, std::uint32_t idx) {
+  std::vector<std::uint32_t>& bucket = occupancy_[slots];
+  const auto it = std::lower_bound(bucket.begin(), bucket.end(), idx);
+  if (it != bucket.end() && *it == idx) bucket.erase(it);
 }
 
 void Cluster::on_node_usage_changed(const Node& node,
                                     std::uint32_t old_used_slots,
                                     bool was_alive) {
   const auto idx = static_cast<std::uint32_t>(index_of(node.id()));
-  if (was_alive) occupancy_[old_used_slots].erase(idx);
-  if (node.alive()) occupancy_[node.used_slots()].insert(idx);
+  if (was_alive) bucket_erase(old_used_slots, idx);
+  if (node.alive()) bucket_insert(node.used_slots(), idx);
 }
 
 Cluster Cluster::testbed(std::size_t node_count) {

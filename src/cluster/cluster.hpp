@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -73,10 +72,15 @@ class Cluster : private NodeUsageListener {
   void on_node_usage_changed(const Node& node, std::uint32_t old_used_slots,
                              bool was_alive) override;
   void attach_and_rebuild_index();
+  void bucket_insert(std::uint32_t slots, std::uint32_t idx);
+  void bucket_erase(std::uint32_t slots, std::uint32_t idx);
 
   std::vector<Node> nodes_;
   /// occupancy_[k] = indices of alive nodes with k used slots, ascending.
-  std::vector<std::set<std::uint32_t>> occupancy_;
+  /// Sorted vectors, not sets: bucket moves are memmoves within retained
+  /// capacity, so the per-placement index maintenance never allocates in
+  /// steady state.
+  std::vector<std::vector<std::uint32_t>> occupancy_;
 };
 
 }  // namespace canary::cluster

@@ -1,0 +1,133 @@
+// Append-only slab with stable references and O(log n) allocations.
+//
+// The platform's entity tables (jobs, invocations, containers) are
+// id-indexed, append-only, and hand out long-lived references, which
+// rules out std::vector (reallocation moves elements). std::deque keeps
+// references stable but grows by fixed 512-byte chunks — for records in
+// the 100-500 byte range that is one heap allocation every couple of
+// appends, a measurable slice of a million-invocation run's allocation
+// budget. StableSlab keeps the stability guarantee while growing in
+// geometrically doubling blocks (64, 128, 256, ... elements), so a slab
+// of n elements costs O(log n) allocations total and indexing stays
+// O(1) via bit arithmetic.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace canary {
+
+template <typename T>
+class StableSlab {
+  /// First block holds 64 elements; block b holds 64 << b.
+  static constexpr std::size_t kFirstBlock = 64;
+
+ public:
+  StableSlab() = default;
+  StableSlab(StableSlab&&) noexcept = default;
+  StableSlab& operator=(StableSlab&&) noexcept = default;
+  StableSlab(const StableSlab&) = delete;
+  StableSlab& operator=(const StableSlab&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return slot(i); }
+  const T& operator[](std::size_t i) const {
+    return const_cast<StableSlab*>(this)->slot(i);
+  }
+
+  T& back() { return slot(size_ - 1); }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Append a default-constructed element; the returned reference (and
+  /// every earlier one) stays valid for the slab's lifetime.
+  T& emplace_back() {
+    const std::size_t i = size_;
+    const std::size_t b = block_of(i);
+    if (b == blocks_.size()) {
+      blocks_.push_back(std::make_unique<Storage[]>(kFirstBlock << b));
+    }
+    T* p = ::new (&blocks_[b][i - block_base(b)]) T();
+    ++size_;
+    return *p;
+  }
+
+  ~StableSlab() {
+    for (std::size_t i = 0; i < size_; ++i) slot(i).~T();
+  }
+
+  template <bool Const>
+  class Iterator {
+    using Slab = std::conditional_t<Const, const StableSlab, StableSlab>;
+
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using reference = std::conditional_t<Const, const T&, T&>;
+
+    Iterator() = default;
+    Iterator(Slab* slab, std::size_t index) : slab_(slab), index_(index) {}
+
+    reference operator*() const { return (*slab_)[index_]; }
+    pointer operator->() const { return &(*slab_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++index_;
+      return tmp;
+    }
+    bool operator==(const Iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const Iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    Slab* slab_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size_}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  struct alignas(T) Storage {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  /// Block that holds global index i: blocks 0..b-1 hold
+  /// kFirstBlock * (2^b - 1) elements, so b = bit_width(i/64 + 1) - 1.
+  static std::size_t block_of(std::size_t i) {
+    return std::bit_width(i / kFirstBlock + 1) - 1;
+  }
+  static std::size_t block_base(std::size_t b) {
+    return kFirstBlock * ((std::size_t{1} << b) - 1);
+  }
+
+  T& slot(std::size_t i) {
+    const std::size_t b = block_of(i);
+    return *std::launder(
+        reinterpret_cast<T*>(&blocks_[b][i - block_base(b)]));
+  }
+
+  std::vector<std::unique_ptr<Storage[]>> blocks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace canary

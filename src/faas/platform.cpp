@@ -14,6 +14,17 @@ bool build_trigger_graph(const JobSpec& spec,
                          std::vector<std::vector<std::size_t>>& dependents,
                          std::vector<std::size_t>& unmet_deps) {
   const std::size_t n = spec.functions.size();
+  // Trigger-free jobs (the overwhelming batch/traffic case) keep both
+  // vectors empty: acyclicity is vacuous, every function queues at
+  // submit, and the job record carries no per-job graph allocations.
+  bool has_deps = false;
+  for (const auto& fn : spec.functions) {
+    if (!fn.depends_on.empty()) {
+      has_deps = true;
+      break;
+    }
+  }
+  if (!has_deps) return true;
   dependents.assign(n, {});
   unmet_deps.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -81,10 +92,10 @@ void Platform::obs_end_phase(InvocationInternal& inv) {
 }
 
 obs::EventId Platform::obs_event(InvocationInternal& inv, obs::EventKind kind,
-                                 std::string name, obs::EventId cause) {
+                                 std::string_view name, obs::EventId cause) {
   if (events_ == nullptr) return obs::kNoEvent;
   if (!inv.trace.trace.valid()) inv.trace.trace = events_->new_trace();
-  return events_->extend(inv.trace, kind, std::move(name), sim_.now(),
+  return events_->extend(inv.trace, kind, std::string(name), sim_.now(),
                          obs_labels(inv), cause);
 }
 
@@ -177,6 +188,12 @@ void Platform::release_inflight_launch(NodeId node) {
 }
 
 Result<JobId> Platform::submit_job(JobSpec spec) {
+  return submit_job(std::make_shared<const JobSpec>(std::move(spec)));
+}
+
+Result<JobId> Platform::submit_job(std::shared_ptr<const JobSpec> spec_ptr) {
+  CANARY_CHECK(spec_ptr != nullptr, "null job spec");
+  const JobSpec& spec = *spec_ptr;
   if (spec.functions.empty()) {
     return Error::invalid_argument("job has no functions");
   }
@@ -203,14 +220,15 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
   CANARY_CHECK(job_id.value() == jobs_.size() + 1, "job id / slab desync");
   jobs_.emplace_back();
   JobRecord& record = jobs_.back();
-  record.spec = std::move(spec);
+  record.spec = std::move(spec_ptr);
   record.submitted = sim_.now();
-  record.remaining = record.spec.functions.size();
+  record.remaining = record.spec->functions.size();
   record.dependents = std::move(dependents);
   record.unmet_deps = std::move(unmet_deps);
 
-  for (std::size_t i = 0; i < record.spec.functions.size(); ++i) {
-    const auto& fn = record.spec.functions[i];
+  record.functions.reserve(record.spec->functions.size());
+  for (std::size_t i = 0; i < record.spec->functions.size(); ++i) {
+    const auto& fn = record.spec->functions[i];
     const FunctionId fid = function_ids_.next();
     CANARY_CHECK(fid.value() == invocations_.size() + 1,
                  "function id / slab desync");
@@ -225,7 +243,7 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
     // event at that instant roots the trace so the analyzer attributes
     // the pre-submission wait to the queueing component, and the SLO
     // deadline anchors at arrival instead of submission.
-    const TimePoint enqueued = record.spec.enqueued_at;
+    const TimePoint enqueued = record.spec->enqueued_at;
     const bool open_loop =
         enqueued != TimePoint::max() && enqueued < sim_.now();
     if (open_loop && events_ != nullptr) {
@@ -234,12 +252,14 @@ Result<JobId> Platform::submit_job(JobSpec spec) {
                       obs_labels(inv));
     }
     obs_event(inv, obs::EventKind::kSubmit, fn.name);
-    arm_slo(inv, fn.sla > Duration::zero() ? fn.sla : record.spec.sla,
+    arm_slo(inv, fn.sla > Duration::zero() ? fn.sla : record.spec->sla,
             open_loop ? enqueued : sim_.now());
     record.functions.push_back(fid);
     // Functions with open dependencies wait for their trigger; the rest
-    // queue immediately.
-    if (record.unmet_deps[i] == 0) pending_.push_back(fid);
+    // queue immediately (empty unmet_deps = trigger-free job).
+    if (record.unmet_deps.empty() || record.unmet_deps[i] == 0) {
+      pending_.push_back(fid);
+    }
   }
 
   for (auto* obs : observers_) obs->on_job_submitted(job_id);
@@ -255,14 +275,14 @@ Result<JobId> Platform::shed_job(JobSpec spec) {
   CANARY_CHECK(job_id.value() == jobs_.size() + 1, "job id / slab desync");
   jobs_.emplace_back();
   JobRecord& record = jobs_.back();
-  record.spec = std::move(spec);
+  record.spec = std::make_shared<const JobSpec>(std::move(spec));
   record.submitted = sim_.now();
   record.completed = sim_.now();
   record.remaining = 0;  // terminal at birth: nothing will ever run
 
-  const TimePoint enqueued = record.spec.enqueued_at;
-  for (std::size_t i = 0; i < record.spec.functions.size(); ++i) {
-    const auto& fn = record.spec.functions[i];
+  const TimePoint enqueued = record.spec->enqueued_at;
+  for (std::size_t i = 0; i < record.spec->functions.size(); ++i) {
+    const auto& fn = record.spec->functions[i];
     const FunctionId fid = function_ids_.next();
     CANARY_CHECK(fid.value() == invocations_.size() + 1,
                  "function id / slab desync");
@@ -294,7 +314,7 @@ const Invocation& Platform::invocation(FunctionId id) const {
 }
 
 const JobSpec& Platform::job_spec(JobId id) const {
-  return job_record(id).spec;
+  return *job_record(id).spec;
 }
 
 const std::vector<FunctionId>& Platform::job_functions(JobId id) const {
@@ -734,11 +754,14 @@ void Platform::complete_function(InvocationInternal& inv) {
 
   auto& job = job_record(inv.job);
   CANARY_CHECK(job.remaining > 0, "job function count underflow");
-  // Trigger the dependents whose last dependency just completed.
-  for (const std::size_t next : job.dependents[inv.index_in_job]) {
-    CANARY_CHECK(job.unmet_deps[next] > 0, "dependency count underflow");
-    if (--job.unmet_deps[next] == 0) {
-      pending_.push_back(job.functions[next]);
+  // Trigger the dependents whose last dependency just completed
+  // (trigger-free jobs carry no graph at all).
+  if (!job.dependents.empty()) {
+    for (const std::size_t next : job.dependents[inv.index_in_job]) {
+      CANARY_CHECK(job.unmet_deps[next] > 0, "dependency count underflow");
+      if (--job.unmet_deps[next] == 0) {
+        pending_.push_back(job.functions[next]);
+      }
     }
   }
   if (--job.remaining == 0) {
@@ -765,7 +788,7 @@ void Platform::record_tail_latency(InvocationInternal& inv) {
   // instant the retroactive kQueued event carries — so the recorded value
   // is exactly the causal chain's end-to-end window and the tail
   // analyzer's partition sums back to it.
-  const TimePoint enqueued = job_record(inv.job).spec.enqueued_at;
+  const TimePoint enqueued = job_record(inv.job).spec->enqueued_at;
   const TimePoint anchor =
       enqueued != TimePoint::max() && enqueued < inv.submit_time
           ? enqueued
@@ -799,8 +822,8 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
   // carry it — kRecovered draws its cause edge back to this event. During
   // fail_node() the node-level kNodeFailure event is the failure's cause.
   const obs::EventId fail_event =
-      obs_event(inv, obs::EventKind::kFailure,
-                std::string(to_string_view(kind)), node_failure_cause_);
+      obs_event(inv, obs::EventKind::kFailure, to_string_view(kind),
+                node_failure_cause_);
 
   // In-flight partial state work is lost outright.
   if (inv.phase == Phase::kExecuting &&
@@ -978,7 +1001,7 @@ FunctionId Platform::hedge_clone(FunctionId primary) {
   const FunctionId fid = function_ids_.next();
   CANARY_CHECK(fid.value() == invocations_.size() + 1,
                "function id / slab desync");
-  invocations_.emplace_back();  // deque: `inv` stays valid across growth
+  invocations_.emplace_back();  // slab: `inv` stays valid across growth
   InvocationInternal& clone = invocations_.back();
   clone.id = fid;
   clone.job = inv.job;
@@ -987,16 +1010,19 @@ FunctionId Platform::hedge_clone(FunctionId primary) {
   // job, and an identical name keeps the pair in one workload family and
   // one exactly-once identity per FunctionId.
   clone.spec = inv.spec;
-  clone.index_in_job = job.dependents.size();
+  clone.index_in_job = job.functions.size();
   clone.submit_time = sim_.now();
 
   // The clone is a first-class member of the job: `remaining` counts it,
   // so the job completes only once both copies reach a terminal state
   // (the loser via discard). Its dependents entry is empty — completing
-  // a clone can never double-trigger the primary's dependents.
+  // a clone can never double-trigger the primary's dependents. A
+  // trigger-free job keeps its graph vectors empty, clones included.
   job.functions.push_back(fid);
-  job.dependents.emplace_back();
-  job.unmet_deps.push_back(0);
+  if (!job.dependents.empty()) {
+    job.dependents.emplace_back();
+    job.unmet_deps.push_back(0);
+  }
   ++job.remaining;
 
   // kHedged on the primary marks the fork point; the clone's kSubmit then

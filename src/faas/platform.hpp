@@ -16,14 +16,17 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/network.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
+#include "common/slab.hpp"
 #include "faas/container.hpp"
 #include "faas/events.hpp"
 #include "faas/function.hpp"
@@ -154,6 +157,12 @@ class Platform {
   /// Validate against platform limits and enqueue every function of the
   /// job. Functions start as account concurrency and node capacity allow.
   Result<JobId> submit_job(JobSpec spec);
+  /// Zero-copy submission: the platform shares `spec` instead of owning a
+  /// deep copy. Batch harnesses pass a non-owning alias of their (longer
+  /// lived) job list, so a million-invocation run never duplicates the
+  /// function specs; dynamic producers wrap a temporary in one
+  /// make_shared. The spec must stay immutable and outlive the platform.
+  Result<JobId> submit_job(std::shared_ptr<const JobSpec> spec);
 
   /// Record a job rejected by admission control: every function becomes a
   /// terminal Phase::kShed invocation that never executes (no container,
@@ -289,14 +298,18 @@ class Platform {
   };
 
   struct JobRecord {
-    JobSpec spec;
+    /// Shared, immutable: submission never deep-copies the spec (see the
+    /// shared_ptr submit_job overload). Invocation::spec points into
+    /// spec->functions, so stability follows from the shared ownership.
+    std::shared_ptr<const JobSpec> spec;
     std::vector<FunctionId> functions;
     std::size_t remaining = 0;
     TimePoint submitted;
     TimePoint completed = TimePoint::max();
     /// Trigger graph: dependents[i] lists the function indices unblocked
     /// by function i's completion; unmet_deps[i] counts i's open
-    /// dependencies.
+    /// dependencies. Both stay empty for trigger-free jobs — the common
+    /// batch/traffic case submits without any per-job graph allocation.
     std::vector<std::vector<std::size_t>> dependents;
     std::vector<std::size_t> unmet_deps;
   };
@@ -344,9 +357,12 @@ class Platform {
   void obs_end_phase(InvocationInternal& inv);
   obs::SpanLabels obs_labels(const InvocationInternal& inv) const;
   /// Append an event to the invocation's causal chain (no-op without an
-  /// installed EventLog). Returns the event id for cause edges.
+  /// installed EventLog). Returns the event id for cause edges. Takes a
+  /// view so the no-op path never copies the name — materializing the
+  /// string only behind the events_ check keeps recording-off runs free
+  /// of per-event string allocations.
   obs::EventId obs_event(InvocationInternal& inv, obs::EventKind kind,
-                         std::string name,
+                         std::string_view name,
                          obs::EventId cause = obs::kNoEvent);
   /// Arm the SLO watchdog for a newly submitted invocation. The deadline
   /// is `anchor + sla`; open-loop requests anchor at their arrival
@@ -388,14 +404,14 @@ class Platform {
   IdGenerator<ContainerId> container_ids_;
 
   // Entity slabs. Ids are issued sequentially from 1 and records are
-  // never erased, so a deque indexed by id-1 replaces the old
+  // never erased, so a StableSlab indexed by id-1 replaces the old
   // unordered_map<Id, unique_ptr<T>> tables: O(1) lookup with no hashing,
-  // stable addresses across growth, and chunked allocation instead of one
-  // heap node per record (the dominant allocation source at
-  // million-invocation scale).
-  std::deque<JobRecord> jobs_;
-  std::deque<InvocationInternal> invocations_;
-  std::deque<Container> containers_;
+  // stable addresses across growth, and O(log n) total allocations via
+  // geometrically doubling blocks (a deque's fixed 512-byte chunks cost
+  // an allocation every couple of appends for records this size).
+  StableSlab<JobRecord> jobs_;
+  StableSlab<InvocationInternal> invocations_;
+  StableSlab<Container> containers_;
   /// In-flight cold launches per node, indexed by node id - 1 (the
   /// cluster's node set is fixed at construction).
   std::vector<unsigned> inflight_launches_;

@@ -13,24 +13,26 @@ void UsageLedger::open_at(const Container& c, TimePoint start) {
   rec.purpose = c.purpose;
   rec.start = start;
   rec.end = TimePoint::max();
-  open_[c.id] = records_.size();
+  const std::size_t slot = c.id.value() - 1;
+  if (slot >= open_.size()) open_.resize(slot + 1, kClosed);
+  open_[slot] = records_.size();
   records_.push_back(rec);
 }
 
 void UsageLedger::close(ContainerId id, TimePoint end) {
   // A container has at most one open interval; the index replaces the old
   // backwards scan over the (ever-growing) ledger.
-  auto it = open_.find(id);
-  if (it == open_.end()) return;
-  records_[it->second].end = end;
-  open_.erase(it);
+  const std::size_t slot = id.value() - 1;
+  if (slot >= open_.size() || open_[slot] == kClosed) return;
+  records_[open_[slot]].end = end;
+  open_[slot] = kClosed;
 }
 
 void UsageLedger::close_all_open(TimePoint end) {
   for (auto& rec : records_) {
     if (rec.end == TimePoint::max()) rec.end = end;
   }
-  open_.clear();
+  open_.assign(open_.size(), kClosed);
 }
 
 double UsageLedger::total_gb_seconds() const {

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -50,12 +49,15 @@ class UsageLedger {
   double gb_seconds_for(ContainerPurpose purpose) const;
 
  private:
+  static constexpr std::size_t kClosed = static_cast<std::size_t>(-1);
+
   std::vector<UsageRecord> records_;
-  /// Open-interval index: container id -> index of its open record in
-  /// records_. A container has at most one open interval at a time, so
-  /// close() is a hash lookup instead of a backwards scan over the whole
-  /// ledger (which grows with every pooled/destroyed container).
-  std::unordered_map<ContainerId, std::size_t> open_;
+  /// Open-interval index: open_[container id - 1] holds the index of the
+  /// container's open record in records_ (kClosed when none). Container
+  /// ids are issued sequentially from 1, so a flat vector replaces the
+  /// old hash map — close() is one array read and the per-container index
+  /// maintenance stops allocating a hash node per interval.
+  std::vector<std::size_t> open_;
 };
 
 }  // namespace canary::faas

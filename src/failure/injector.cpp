@@ -25,8 +25,15 @@ std::optional<Duration> FailureInjector::plan_kill(const faas::Invocation& inv,
   if (config_.error_rate <= 0.0) return std::nullopt;
 
   if (config_.mode == InjectionMode::kHazardRate) {
-    auto [it, inserted] = first_busy_.try_emplace(inv.id, busy_estimate);
-    const Duration reference = it->second;
+    const std::size_t slot = inv.id.value() - 1;
+    if (slot >= first_busy_.size()) {
+      // Geometric growth by hand: resize(n) alone allocates exactly n, so
+      // sequential ids would trigger a reallocation per invocation.
+      std::size_t grown = first_busy_.empty() ? 64 : first_busy_.size() * 2;
+      first_busy_.resize(std::max(grown, slot + 1), Duration::max());
+    }
+    if (first_busy_[slot] == Duration::max()) first_busy_[slot] = busy_estimate;
+    const Duration reference = first_busy_[slot];
     double exposure = 1.0;
     if (reference > Duration::zero()) exposure = busy_estimate / reference;
     const double p_fail =

@@ -135,8 +135,12 @@ class FailureInjector : public faas::FailurePolicy,
   Rng rng_;
   InjectorConfig config_;
   std::unordered_map<FunctionId, Plan> plans_;
-  /// First-attempt busy duration per function; the hazard-rate reference.
-  std::unordered_map<FunctionId, Duration> first_busy_;
+  /// First-attempt busy duration per function, the hazard-rate reference.
+  /// Function ids are sequential slab indices, so a flat vector indexed by
+  /// id-1 (Duration::max() = unset) replaces the hash map — plan_kill runs
+  /// once per attempt, and the old try_emplace allocated a hash node per
+  /// invocation on that hot path.
+  std::vector<Duration> first_busy_;
   std::vector<HeartbeatFault> heartbeat_faults_;
   std::uint64_t planned_kills_ = 0;
   std::uint64_t node_kills_ = 0;

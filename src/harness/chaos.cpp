@@ -224,12 +224,38 @@ ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed) {
   return out;
 }
 
+ChaosScenario make_sharded_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out = make_chaos_scenario(seed);
+  out.config.sharding.enabled = true;
+  out.config.sharding.partitions = 4;
+  out.config.sharding.workers = 4;
+  // Grow the cluster by the partition count so each partition keeps a
+  // full base-sized slice. Fault node ids were drawn against the base
+  // cluster size, so they stay in range inside every slice after the
+  // round-robin split's modular remap.
+  out.config.cluster_nodes *= out.config.sharding.partitions;
+  return out;
+}
+
 std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
                                        const RunResult& result) {
   std::vector<std::string> violations;
   auto violate = [&violations](const std::string& what) {
     violations.push_back(what);
   };
+
+  // Sharded runs: every oracle must hold within each partition —
+  // function ids and causal trace ids are partition-local, so the
+  // event-derived oracles (exactly-once, detection bound, hedge event
+  // identities) are only meaningful per shard. The merged result carries
+  // no event log of its own, so falling through below re-checks just the
+  // scalar oracles across the reduction.
+  for (std::size_t i = 0; i < result.shards.size(); ++i) {
+    for (const std::string& violation :
+         chaos_oracles(scenario, *result.shards[i])) {
+      violations.push_back("shard " + std::to_string(i) + ": " + violation);
+    }
+  }
 
   // 1. Completion: recovery terminated and every job finished.
   if (!result.completed) {
@@ -399,6 +425,24 @@ std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
 
 namespace {
 
+double max_detection_latency_s(const obs::EventLog* events) {
+  if (events == nullptr) return 0.0;
+  double max_latency = 0.0;
+  std::unordered_map<std::uint64_t, TimePoint> open;
+  for (const obs::Event& event : events->events()) {
+    if (event.kind == obs::EventKind::kFailure) {
+      open[event.trace.value()] = event.at;
+    } else if (event.kind == obs::EventKind::kDetect) {
+      auto it = open.find(event.trace.value());
+      if (it == open.end()) continue;
+      const double latency = (event.at - it->second).to_seconds();
+      open.erase(it);
+      if (latency > max_latency) max_latency = latency;
+    }
+  }
+  return max_latency;
+}
+
 ChaosOutcome evaluate_scenario(const ChaosScenario& scenario,
                                std::uint64_t seed) {
   const RunResult result = ScenarioRunner::run(scenario.config, scenario.jobs);
@@ -427,21 +471,12 @@ ChaosOutcome evaluate_scenario(const ChaosScenario& scenario,
            (1.0 + det.timeout_multiplier + det.confirm_multiplier) +
        det.sweep_interval * 2.0 + scenario.max_heartbeat_delay)
           .to_seconds();
-  if (result.events != nullptr) {
-    std::unordered_map<std::uint64_t, TimePoint> open;
-    for (const obs::Event& event : result.events->events()) {
-      if (event.kind == obs::EventKind::kFailure) {
-        open[event.trace.value()] = event.at;
-      } else if (event.kind == obs::EventKind::kDetect) {
-        auto it = open.find(event.trace.value());
-        if (it == open.end()) continue;
-        const double latency = (event.at - it->second).to_seconds();
-        open.erase(it);
-        if (latency > out.max_detection_latency_s) {
-          out.max_detection_latency_s = latency;
-        }
-      }
-    }
+  out.max_detection_latency_s = max_detection_latency_s(result.events.get());
+  // Sharded runs keep their event logs per partition.
+  for (const auto& shard : result.shards) {
+    out.max_detection_latency_s =
+        std::max(out.max_detection_latency_s,
+                 max_detection_latency_s(shard->events.get()));
   }
 
   out.traffic_offered = result.traffic.offered;
@@ -469,6 +504,10 @@ ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed) {
 
 ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed) {
   return evaluate_scenario(make_hedge_chaos_scenario(seed), seed);
+}
+
+ChaosOutcome run_sharded_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_sharded_chaos_scenario(seed), seed);
 }
 
 }  // namespace canary::harness

@@ -66,6 +66,17 @@ ChaosScenario make_traffic_chaos_scenario(std::uint64_t seed);
 /// (and the traffic stream's child(4)) are untouched.
 ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed);
 
+/// The base scenario scaled out over the conservative parallel engine:
+/// four partitions advanced by four worker threads, with KV checkpoint
+/// mirroring and completion beacons crossing shard boundaries. The
+/// cluster is grown 4x so each partition keeps a full base-sized slice —
+/// a one-node slice could not survive its share of the node kills, which
+/// would fail the completion oracle for reasons unrelated to sharding.
+/// Every oracle is evaluated inside each partition (function ids and
+/// causal trace ids are partition-local) and the scalar oracles are
+/// re-evaluated on the merged result.
+ChaosScenario make_sharded_chaos_scenario(std::uint64_t seed);
+
 struct ChaosOutcome {
   std::uint64_t seed = 0;
   bool completed = false;
@@ -107,8 +118,15 @@ ChaosOutcome run_traffic_chaos_scenario(std::uint64_t seed);
 /// and evaluate every oracle, hedge exactly-once included.
 ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed);
 
+/// Run one seeded sharded scenario (4 partitions x 4 workers over the
+/// parallel engine) and evaluate every oracle per shard plus the merged
+/// scalars. Exactly-once must survive cross-shard traffic and node kills.
+ChaosOutcome run_sharded_chaos_scenario(std::uint64_t seed);
+
 /// Oracle evaluation, separated for tests: checks `result` (and the
-/// scenario it came from) and returns the violations.
+/// scenario it came from) and returns the violations. For sharded
+/// results, recurses into each per-partition result (violations gain a
+/// "shard N: " prefix) before checking the merged scalars.
 std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
                                        const RunResult& result);
 

@@ -3,33 +3,16 @@
 #include <cmath>
 #include <optional>
 
-#include "canary/core.hpp"
-#include "cluster/cluster.hpp"
-#include "cluster/network.hpp"
-#include "cluster/storage.hpp"
-#include "common/logging.hpp"
-#include "faas/retry.hpp"
+#include "harness/scenario_internal.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/event_log.hpp"
-#include "obs/slo_monitor.hpp"
-#include "recovery/active_standby.hpp"
-#include "recovery/request_replication.hpp"
 #include "sim/simulator.hpp"
-#include "traffic/autoscaler.hpp"
 
 namespace canary::harness {
+namespace internal {
+namespace {
 
-RunResult ScenarioRunner::run(const ScenarioConfig& config,
-                              const std::vector<faas::JobSpec>& jobs) {
-  using recovery::StrategyKind;
-
-  sim::Simulator simulator;
-  auto cluster = cluster::Cluster::testbed(config.cluster_nodes);
-  cluster::NetworkModel network(&cluster, {});
-  auto storage =
-      config.storage.value_or(cluster::StorageHierarchy::testbed());
-  kv::KvStore store(config.kv, cluster.node_ids());
-  obs::MetricRegistry metrics;
+faas::PlatformConfig effective_platform_config(const ScenarioConfig& config) {
   faas::PlatformConfig platform_config = config.platform;
   if (config.detection.enabled) {
     // Heartbeat detection replaces the constant-delay oracle for
@@ -41,17 +24,40 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     // autoscaler's prewarmed containers could never serve an invocation.
     platform_config.reuse_containers = true;
   }
-  faas::Platform platform(simulator, cluster, network, platform_config,
-                          metrics);
+  return platform_config;
+}
 
-  std::shared_ptr<obs::SpanRecorder> spans;
+// Non-owning alias of a caller-owned batch spec. The scenario job list
+// outlives the platform run, so submission can share each spec in place —
+// no deep copy, and (via the aliasing constructor's empty owner) no
+// control-block allocation either.
+std::shared_ptr<const faas::JobSpec> borrow(const faas::JobSpec& job) {
+  return std::shared_ptr<const faas::JobSpec>(std::shared_ptr<const void>(),
+                                              &job);
+}
+
+}  // namespace
+
+ScenarioInstance::ScenarioInstance(sim::Simulator& sim,
+                                   const ScenarioConfig& cfg,
+                                   const std::vector<faas::JobSpec>& jobs,
+                                   bool install_log_hooks)
+    : config(cfg),
+      simulator(sim),
+      cluster(cluster::Cluster::testbed(config.cluster_nodes)),
+      network(&cluster, {}),
+      storage(config.storage.value_or(cluster::StorageHierarchy::testbed())),
+      store(config.kv, cluster.node_ids()),
+      metrics(),
+      platform(simulator, cluster, network, effective_platform_config(config),
+               metrics) {
+  using recovery::StrategyKind;
+
   if (config.record_spans) {
     spans = std::make_shared<obs::SpanRecorder>();
     platform.set_span_recorder(spans.get());
   }
 
-  std::shared_ptr<obs::EventLog> events;
-  obs::SloMonitor slo;
   if (config.record_events) {
     events = std::make_shared<obs::EventLog>();
     if (!config.flight_recorder_path.empty()) {
@@ -63,7 +69,6 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
 
   // Opt-in tail attribution + windowed rollups. Neither touches any code
   // path when disabled, so attribution-off runs stay byte-identical.
-  obs::TimeSeries series;
   if (config.timeseries.enabled) {
     series.configure(config.timeseries);
     platform.set_time_series(&series);
@@ -75,34 +80,27 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   // While this run is live, this thread's log records carry the simulated
   // time and kWarn+ records mirror into the causal log as annotations.
   // Each repetition runs on its own thread, so parallel runs don't mix.
-  ScopedLogClock log_clock(
-      [&simulator] { return simulator.now().count_usec(); });
-  ScopedLogMirror log_mirror([&](LogLevel, const std::string& msg) {
-    if (events == nullptr) return;
-    events->append_raw(events->new_trace(), obs::kNoEvent,
-                       obs::EventKind::kAnnotation, msg, simulator.now());
-  });
+  if (install_log_hooks) {
+    log_clock.emplace(
+        [this] { return simulator.now().count_usec(); });
+    log_mirror.emplace([this](LogLevel, const std::string& msg) {
+      if (events == nullptr) return;
+      events->append_raw(events->new_trace(), obs::kNoEvent,
+                         obs::EventKind::kAnnotation, msg, simulator.now());
+    });
+  }
 
   const bool ideal = config.strategy.kind == StrategyKind::kIdeal;
   failure::InjectorConfig injector_config;
   injector_config.error_rate = ideal ? 0.0 : config.error_rate;
   injector_config.mode = config.injection_mode;
-  failure::FailureInjector injector(Rng(config.seed), injector_config);
-  platform.set_failure_policy(&injector);
+  injector.emplace(Rng(config.seed), injector_config);
+  platform.set_failure_policy(&*injector);
 
-  std::optional<core::FailureDetector> detector;
   if (config.detection.enabled) {
     detector.emplace(simulator, platform, config.detection);
-    detector->set_fault_provider(&injector);
+    detector->set_fault_provider(&*injector);
   }
-
-  // Exactly one strategy object is materialised per run; optionals keep
-  // construction in this scope without heap indirection.
-  std::optional<faas::RetryHandler> retry;
-  std::optional<core::CoreModule> canary_fw;
-  std::optional<recovery::RequestReplicationHandler> rr;
-  std::optional<recovery::ActiveStandbyHandler> as;
-  std::optional<recovery::HedgeHandler> hedge;
 
   switch (config.strategy.kind) {
     case StrategyKind::kIdeal:
@@ -110,7 +108,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       retry.emplace(platform);
       platform.set_recovery_handler(&*retry);
       for (const auto& job : jobs) {
-        auto submitted = platform.submit_job(job);
+        auto submitted = platform.submit_job(borrow(job));
         CANARY_CHECK(submitted.ok(), "job submission failed");
       }
       break;
@@ -144,7 +142,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       platform.set_recovery_handler(&*as);
       platform.add_observer(&*as);
       for (const auto& job : jobs) {
-        auto submitted = platform.submit_job(job);
+        auto submitted = platform.submit_job(borrow(job));
         CANARY_CHECK(submitted.ok(), "job submission failed");
       }
       break;
@@ -154,7 +152,7 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
       platform.set_recovery_handler(&*hedge);
       platform.add_observer(&*hedge);
       for (const auto& job : jobs) {
-        auto submitted = platform.submit_job(job);
+        auto submitted = platform.submit_job(borrow(job));
         CANARY_CHECK(submitted.ok(), "job submission failed");
       }
       break;
@@ -164,8 +162,6 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   // Open-loop traffic rides on top of (or instead of) the batch jobs.
   // Submissions route through the Canary control plane when it is
   // installed so the Request Validator sees the offered load too.
-  std::optional<traffic::TrafficGenerator> traffic_gen;
-  std::optional<traffic::WarmPoolAutoscaler> autoscaler;
   if (config.traffic.enabled && !config.traffic.streams.empty()) {
     traffic::TrafficGenerator::SubmitFn submit_route;
     if (canary_fw.has_value()) {
@@ -211,34 +207,35 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   // failures apply only to the fault-exposed strategies.
   if (!ideal) {
     for (const Duration offset : config.node_failure_offsets) {
-      injector.schedule_node_failure(simulator, platform, &store,
-                                     TimePoint::origin() + offset);
+      injector->schedule_node_failure(simulator, platform, &store,
+                                      TimePoint::origin() + offset);
     }
     for (const auto& correlated : config.correlated_node_failures) {
-      injector.schedule_correlated_node_failure(
+      injector->schedule_correlated_node_failure(
           simulator, platform, &store, TimePoint::origin() + correlated.at,
           correlated.precursor_kills, correlated.precursor_window);
     }
     for (const auto& gray : config.gray_failures) {
-      injector.schedule_gray_window(simulator, platform,
-                                    TimePoint::origin() + gray.at,
-                                    gray.duration, gray.slowdown, gray.node);
+      injector->schedule_gray_window(simulator, platform,
+                                     TimePoint::origin() + gray.at,
+                                     gray.duration, gray.slowdown, gray.node);
     }
     for (const auto& fault : config.heartbeat_faults) {
-      injector.add_heartbeat_fault({TimePoint::origin() + fault.at,
-                                    fault.duration, fault.delay,
-                                    fault.drop_rate, fault.node});
+      injector->add_heartbeat_fault({TimePoint::origin() + fault.at,
+                                     fault.duration, fault.delay,
+                                     fault.drop_rate, fault.node});
     }
     for (const auto& fault : config.store_faults) {
-      injector.schedule_store_fault(simulator, platform, store,
-                                    TimePoint::origin() + fault.at,
-                                    fault.lose, fault.corrupt);
+      injector->schedule_store_fault(simulator, platform, store,
+                                     TimePoint::origin() + fault.at,
+                                     fault.lose, fault.corrupt);
     }
   }
 
   if (detector) detector->start();
+}
 
-  simulator.run();
+RunResult ScenarioInstance::collect() {
   platform.finalize_usage();
   if (spans != nullptr) spans->close_all_open(simulator.now());
 
@@ -309,13 +306,13 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
     result.detector_confirmed_dead = detector->confirmed_dead();
   }
   result.undetected_failures = platform.undetected_failures();
-  result.injected_node_kills = injector.node_kills();
-  result.injected_skipped_node_kills = injector.skipped_node_kills();
-  result.injected_gray_windows = injector.gray_windows();
-  result.injected_heartbeats_dropped = injector.heartbeats_dropped();
-  result.injected_heartbeats_delayed = injector.heartbeats_delayed();
-  result.injected_store_drops = injector.store_entries_dropped();
-  result.injected_store_corruptions = injector.store_entries_corrupted();
+  result.injected_node_kills = injector->node_kills();
+  result.injected_skipped_node_kills = injector->skipped_node_kills();
+  result.injected_gray_windows = injector->gray_windows();
+  result.injected_heartbeats_dropped = injector->heartbeats_dropped();
+  result.injected_heartbeats_delayed = injector->heartbeats_delayed();
+  result.injected_store_drops = injector->store_entries_dropped();
+  result.injected_store_corruptions = injector->store_entries_corrupted();
 
   if (spans != nullptr) {
     result.spans_recorded = spans->size();
@@ -393,6 +390,19 @@ RunResult ScenarioRunner::run(const ScenarioConfig& config,
   result.spans = std::move(spans);
   result.events = std::move(events);
   return result;
+}
+
+}  // namespace internal
+
+RunResult ScenarioRunner::run(const ScenarioConfig& config,
+                              const std::vector<faas::JobSpec>& jobs) {
+  if (config.sharding.enabled) return internal::run_sharded(config, jobs);
+
+  sim::Simulator simulator;
+  internal::ScenarioInstance instance(simulator, config, jobs,
+                                      /*install_log_hooks=*/true);
+  simulator.run();
+  return instance.collect();
 }
 
 }  // namespace canary::harness

@@ -1,0 +1,305 @@
+// Sharded scenario execution: one ScenarioInstance per partition over a
+// conservative sim::ShardEngine, plus the explicit cross-shard channels
+// (KV checkpoint mirroring, job-completion beacons) and the deterministic
+// partition-order merge of the per-partition results.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/scenario_internal.hpp"
+#include "sim/sharded.hpp"
+
+namespace canary::harness::internal {
+namespace {
+
+/// Per-partition cross-shard endpoints. Each partition owns one:
+///   * as a PlatformObserver on its own platform it posts a completion
+///     beacon to the hub partition (0) for every finished job — the
+///     sharded stand-in for cross-node control-plane traffic;
+///   * its `mirror_store` receives the buddy partition's checkpoint
+///     writes ((p-1 mod G) mirrors into p), modelling cross-group KV
+///     replication without ever touching the writer's state directly.
+/// All effects travel as ShardEngine messages stamped >= lookahead ahead,
+/// so they are worker-count invariant by construction.
+class ShardChannels : public faas::PlatformObserver {
+ public:
+  ShardChannels(sim::ShardEngine& engine, unsigned partition,
+                const ScenarioConfig::ShardingConfig& sharding,
+                ScenarioInstance& self, obs::MetricRegistry& hub_metrics)
+      : engine_(engine),
+        partition_(partition),
+        sharding_(sharding),
+        hub_metrics_(hub_metrics),
+        mirror_store_(self.config.kv, self.cluster.node_ids()) {}
+
+  void on_job_completed(JobId) override {
+    const TimePoint when =
+        engine_.partition(partition_).now() + sharding_.lookahead;
+    obs::MetricRegistry* hub = &hub_metrics_;
+    engine_.post(0, when, [hub] { hub->count("shard_job_beacons"); });
+  }
+
+  kv::KvStore& mirror_store() { return mirror_store_; }
+
+ private:
+  sim::ShardEngine& engine_;
+  unsigned partition_;
+  const ScenarioConfig::ShardingConfig& sharding_;
+  obs::MetricRegistry& hub_metrics_;
+  kv::KvStore mirror_store_;
+};
+
+template <typename T>
+std::vector<T> round_robin_slice(const std::vector<T>& all, unsigned partition,
+                                 unsigned partitions) {
+  std::vector<T> slice;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i % partitions == partition) slice.push_back(all[i]);
+  }
+  return slice;
+}
+
+std::optional<NodeId> remap_node(std::optional<NodeId> node,
+                                 std::size_t part_nodes) {
+  if (!node.has_value() || !node->valid()) return node;
+  // Testbed node ids are 1..n per partition; fold the original id into
+  // the partition's smaller range so the fault still lands on a node.
+  return NodeId(((node->value() - 1) % part_nodes) + 1);
+}
+
+}  // namespace
+
+ScenarioConfig derive_partition_config(const ScenarioConfig& config,
+                                       unsigned partition,
+                                       unsigned partitions) {
+  ScenarioConfig part = config;
+  part.sharding.enabled = false;  // each partition runs the monolithic wiring
+
+  // Split the cluster into near-equal node groups, never below one node.
+  std::size_t nodes = config.cluster_nodes / partitions +
+                      (partition < config.cluster_nodes % partitions ? 1 : 0);
+  if (nodes == 0) nodes = 1;
+  part.cluster_nodes = nodes;
+
+  // Decorrelate partition RNG streams while keeping the whole run a pure
+  // function of (config, partition count).
+  std::uint64_t sm =
+      config.seed + (static_cast<std::uint64_t>(partition) + 1) *
+                        0x9E3779B97F4A7C15ull;
+  part.seed = splitmix64(sm);
+
+  // Faults are dealt round-robin so every family keeps coverage at any
+  // partition count; node-targeted faults fold into the local id range.
+  part.node_failure_offsets =
+      round_robin_slice(config.node_failure_offsets, partition, partitions);
+  part.correlated_node_failures = round_robin_slice(
+      config.correlated_node_failures, partition, partitions);
+  part.gray_failures =
+      round_robin_slice(config.gray_failures, partition, partitions);
+  for (auto& gray : part.gray_failures) {
+    gray.node = remap_node(gray.node, nodes);
+  }
+  part.heartbeat_faults =
+      round_robin_slice(config.heartbeat_faults, partition, partitions);
+  for (auto& fault : part.heartbeat_faults) {
+    fault.node = remap_node(fault.node, nodes);
+  }
+  part.store_faults =
+      round_robin_slice(config.store_faults, partition, partitions);
+
+  // Traffic streams are whole-stream partitioned: a stream's arrival
+  // process, admission class, and latency accounting stay together.
+  part.traffic.streams =
+      round_robin_slice(config.traffic.streams, partition, partitions);
+
+  // The flight recorder writes files; keep dump names collision-free.
+  if (!part.flight_recorder_path.empty()) {
+    part.flight_recorder_path += ".shard" + std::to_string(partition);
+  }
+  return part;
+}
+
+RunResult merge_sharded_results(
+    std::vector<std::shared_ptr<RunResult>> parts) {
+  RunResult merged;
+  if (parts.empty()) return merged;
+  merged.completed = true;
+  for (const std::shared_ptr<RunResult>& sp : parts) {
+    const RunResult& r = *sp;
+    merged.completed = merged.completed && r.completed;
+    merged.makespan_s = std::max(merged.makespan_s, r.makespan_s);
+    merged.total_recovery_s += r.total_recovery_s;
+    merged.lost_work_s += r.lost_work_s;
+    merged.failures += r.failures;
+    merged.cost.total_usd += r.cost.total_usd;
+    merged.cost.function_usd += r.cost.function_usd;
+    merged.cost.replica_usd += r.cost.replica_usd;
+    merged.cost.rr_usd += r.cost.rr_usd;
+    merged.cost.standby_usd += r.cost.standby_usd;
+    merged.sla_violations += r.sla_violations;
+    merged.sla_jobs += r.sla_jobs;
+    merged.simulated_events += r.simulated_events;
+    merged.metrics.merge(r.metrics);
+    merged.breakdown.merge(r.breakdown);
+    merged.tail.merge(r.tail);
+    merged.timeseries.merge(r.timeseries);
+    merged.spans_recorded += r.spans_recorded;
+    merged.spans_dropped += r.spans_dropped;
+    merged.events_recorded += r.events_recorded;
+    merged.events_dropped += r.events_dropped;
+    for (const auto& [kind, dropped] : r.events_dropped_by_kind) {
+      merged.events_dropped_by_kind[kind] += dropped;
+    }
+    merged.usage_records += r.usage_records;
+    merged.usage_unbalanced += r.usage_unbalanced;
+    merged.usage_gb_seconds += r.usage_gb_seconds;
+    merged.detector_suspicions += r.detector_suspicions;
+    merged.detector_false_suspicions += r.detector_false_suspicions;
+    merged.detector_confirmed_dead += r.detector_confirmed_dead;
+    merged.undetected_failures += r.undetected_failures;
+    merged.injected_node_kills += r.injected_node_kills;
+    merged.injected_skipped_node_kills += r.injected_skipped_node_kills;
+    merged.injected_gray_windows += r.injected_gray_windows;
+    merged.injected_heartbeats_dropped += r.injected_heartbeats_dropped;
+    merged.injected_heartbeats_delayed += r.injected_heartbeats_delayed;
+    merged.injected_store_drops += r.injected_store_drops;
+    merged.injected_store_corruptions += r.injected_store_corruptions;
+    if (r.traffic.enabled) {
+      RunResult::TrafficSummary& t = merged.traffic;
+      t.enabled = true;
+      t.offered += r.traffic.offered;
+      t.admitted += r.traffic.admitted;
+      t.shed += r.traffic.shed;
+      t.completed += r.traffic.completed;
+      t.failed += r.traffic.failed;
+      t.in_flight += r.traffic.in_flight;
+      t.queued_end += r.traffic.queued_end;
+      t.queue_peak = std::max(t.queue_peak, r.traffic.queue_peak);
+      // Percentiles cannot be re-derived from summaries; report the
+      // worst shard's tail, which is what an operator would alarm on.
+      t.latency_p50_ms = std::max(t.latency_p50_ms, r.traffic.latency_p50_ms);
+      t.latency_p95_ms = std::max(t.latency_p95_ms, r.traffic.latency_p95_ms);
+      t.latency_p99_ms = std::max(t.latency_p99_ms, r.traffic.latency_p99_ms);
+      t.latency_p999_ms =
+          std::max(t.latency_p999_ms, r.traffic.latency_p999_ms);
+      t.queue_wait_p99_ms =
+          std::max(t.queue_wait_p99_ms, r.traffic.queue_wait_p99_ms);
+      t.scale_ups += r.traffic.scale_ups;
+      t.scale_ins += r.traffic.scale_ins;
+      t.containers_launched += r.traffic.containers_launched;
+      t.containers_retired += r.traffic.containers_retired;
+      // Both conservation identities are closed under addition, so the
+      // conjunction over shards certifies the merged totals too.
+      t.conservation_ok = t.conservation_ok && r.traffic.conservation_ok;
+    }
+    if (r.hedge.enabled) {
+      RunResult::HedgeSummary& h = merged.hedge;
+      h.enabled = true;
+      h.fired += r.hedge.fired;
+      h.wins += r.hedge.wins;
+      h.cancelled += r.hedge.cancelled;
+      h.denied += r.hedge.denied;
+      h.skipped += r.hedge.skipped;
+      h.open += r.hedge.open;
+    }
+  }
+  merged.counters = merged.metrics.counters();
+  merged.cost_usd = merged.cost.total_usd;
+  const double recoveries = merged.metrics.counter("recoveries");
+  merged.mean_recovery_s =
+      recoveries > 0.0 ? merged.total_recovery_s / recoveries : 0.0;
+  // Spans/events stay per-shard (trace and function ids are
+  // partition-local); consumers walk `shards` for them.
+  merged.shards = std::move(parts);
+  return merged;
+}
+
+RunResult run_sharded(const ScenarioConfig& config,
+                      const std::vector<faas::JobSpec>& jobs) {
+  const ScenarioConfig::ShardingConfig& sharding = config.sharding;
+  const unsigned partitions = sharding.partitions < 1 ? 1 : sharding.partitions;
+  if (sharding.kv_mirror) {
+    CANARY_CHECK(sharding.mirror_delay >= sharding.lookahead,
+                 "KV mirror delay below the lookahead would make mirrored "
+                 "puts undeliverable");
+  }
+
+  sim::ShardEngineOptions engine_options;
+  engine_options.partitions = partitions;
+  engine_options.workers = sharding.workers;
+  engine_options.lookahead = sharding.lookahead;
+  engine_options.queue_capacity = sharding.queue_capacity;
+  sim::ShardEngine engine(engine_options);
+
+  std::vector<std::vector<faas::JobSpec>> part_jobs(partitions);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    part_jobs[j % partitions].push_back(jobs[j]);
+  }
+
+  std::vector<std::unique_ptr<ScenarioInstance>> parts;
+  parts.reserve(partitions);
+  for (unsigned p = 0; p < partitions; ++p) {
+    parts.push_back(std::make_unique<ScenarioInstance>(
+        engine.partition(p), derive_partition_config(config, p, partitions),
+        part_jobs[p], /*install_log_hooks=*/false));
+  }
+
+  std::vector<std::unique_ptr<ShardChannels>> channels;
+  channels.reserve(partitions);
+  for (unsigned p = 0; p < partitions; ++p) {
+    channels.push_back(std::make_unique<ShardChannels>(
+        engine, p, sharding, *parts[p], parts[0]->metrics));
+    parts[p]->platform.add_observer(channels.back().get());
+  }
+  if (sharding.kv_mirror) {
+    for (unsigned p = 0; p < partitions; ++p) {
+      const unsigned buddy = (p + 1) % partitions;
+      kv::KvStore* mirror = &channels[buddy]->mirror_store();
+      obs::MetricRegistry* buddy_metrics = &parts[buddy]->metrics;
+      parts[p]->store.set_put_observer(
+          [&engine, p, buddy, mirror, buddy_metrics,
+           delay = sharding.mirror_delay](const std::string& key,
+                                          std::string payload,
+                                          Bytes logical_size) {
+            const TimePoint when = engine.partition(p).now() + delay;
+            const double bytes = static_cast<double>(payload.size());
+            engine.post(
+                buddy, when,
+                [mirror, buddy_metrics, bytes, key,
+                 payload = std::move(payload), logical_size]() mutable {
+                  (void)mirror->put(key, std::move(payload), logical_size);
+                  buddy_metrics->count("kv_mirror_in");
+                  buddy_metrics->count("kv_mirror_bytes", bytes);
+                });
+          });
+    }
+  }
+
+  engine.run();
+
+  std::vector<std::shared_ptr<RunResult>> shard_results;
+  shard_results.reserve(partitions);
+  for (unsigned p = 0; p < partitions; ++p) {
+    if (sharding.kv_mirror) {
+      parts[p]->metrics.set_gauge(
+          "kv_mirror_entries",
+          static_cast<double>(channels[p]->mirror_store().size()));
+    }
+    shard_results.push_back(
+        std::make_shared<RunResult>(parts[p]->collect()));
+  }
+
+  RunResult merged = merge_sharded_results(std::move(shard_results));
+  merged.shard_epochs = engine.epochs();
+  merged.shard_messages = engine.messages_delivered();
+  merged.metrics.set_gauge("shard_partitions", static_cast<double>(partitions));
+  merged.metrics.set_gauge("shard_epochs",
+                           static_cast<double>(merged.shard_epochs));
+  merged.metrics.set_gauge("shard_messages",
+                           static_cast<double>(merged.shard_messages));
+  return merged;
+}
+
+}  // namespace canary::harness::internal

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -105,6 +106,18 @@ class KvStore {
   /// a client remove). Returns false when the key is absent.
   bool drop_entry(const std::string& key);
 
+  /// Observer invoked after every successful put, outside the shard
+  /// lock, with the key, a copy of the stored payload, and the entry's
+  /// logical size. The sharded harness uses it to mirror checkpoint
+  /// writes to a buddy partition's replica store. Unset by default —
+  /// the non-observed put path is unchanged.
+  using PutObserver =
+      std::function<void(const std::string& key, std::string payload,
+                         Bytes logical_size)>;
+  void set_put_observer(PutObserver observer) {
+    put_observer_ = std::move(observer);
+  }
+
   /// All live keys beginning with `prefix`, sorted. O(total keys).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
@@ -131,6 +144,7 @@ class KvStore {
   bool entry_alive(const KvEntry& entry) const;
 
   KvConfig config_;
+  PutObserver put_observer_;
   std::vector<NodeId> cache_nodes_;
   std::vector<NodeId> dead_nodes_;
   std::vector<std::unique_ptr<Shard>> shards_;

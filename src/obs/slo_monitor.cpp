@@ -1,20 +1,42 @@
 #include "obs/slo_monitor.hpp"
 
+#include <algorithm>
+
 namespace canary::obs {
 
+namespace {
+constexpr TimePoint kUnarmed = TimePoint::max();
+
+/// Geometric growth by hand: resize(n) alone allocates exactly n, so
+/// arming sequential ids would trigger a reallocation per function.
+template <typename V, typename T>
+void grow_to(V& v, std::size_t slot, const T& fill) {
+  if (slot < v.size()) return;
+  const std::size_t grown = v.empty() ? 64 : v.size() * 2;
+  v.resize(std::max(grown, slot + 1), fill);
+}
+}  // namespace
+
 void SloMonitor::arm(FunctionId fn, TimePoint deadline) {
-  targets_[fn] = deadline;
+  const std::size_t slot = fn.value() - 1;
+  grow_to(targets_, slot, kUnarmed);
+  if (targets_[slot] == kUnarmed) ++armed_;
+  targets_[slot] = deadline;
 }
 
 std::optional<TimePoint> SloMonitor::deadline(FunctionId fn) const {
-  auto it = targets_.find(fn);
-  if (it == targets_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t slot = fn.value() - 1;
+  if (slot >= targets_.size() || targets_[slot] == kUnarmed) {
+    return std::nullopt;
+  }
+  return targets_[slot];
 }
 
 bool SloMonitor::record_violation(FunctionId fn, TimePoint at) {
-  auto [it, inserted] = violated_.emplace(fn, true);
-  if (!inserted) return false;
+  const std::size_t slot = fn.value() - 1;
+  grow_to(violated_, slot, false);
+  if (violated_[slot]) return false;
+  violated_[slot] = true;
   breaches_.emplace_back(fn, at);
   return true;
 }
@@ -22,6 +44,7 @@ bool SloMonitor::record_violation(FunctionId fn, TimePoint at) {
 void SloMonitor::clear() {
   targets_.clear();
   violated_.clear();
+  armed_ = 0;
   breaches_.clear();
 }
 

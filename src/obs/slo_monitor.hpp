@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -33,12 +32,12 @@ class SloMonitor {
   /// already recorded (violations are per-function, not per-attempt).
   bool record_violation(FunctionId fn, TimePoint at);
 
-  std::size_t targets() const { return targets_.size(); }
+  std::size_t targets() const { return armed_; }
   std::size_t violations() const { return breaches_.size(); }
   double violation_ratio() const {
-    return targets_.empty() ? 0.0
-                            : static_cast<double>(breaches_.size()) /
-                                  static_cast<double>(targets_.size());
+    return armed_ == 0 ? 0.0
+                       : static_cast<double>(breaches_.size()) /
+                             static_cast<double>(armed_);
   }
   /// Breaches in detection order.
   const std::vector<std::pair<FunctionId, TimePoint>>& breaches() const {
@@ -48,8 +47,14 @@ class SloMonitor {
   void clear();
 
  private:
-  std::map<FunctionId, TimePoint> targets_;
-  std::map<FunctionId, bool> violated_;
+  /// Deadlines and breach flags indexed by function id - 1. Function ids
+  /// are sequential slab indices, so flat vectors (TimePoint::max() =
+  /// unarmed) replace the old std::map — arm() runs once per submitted
+  /// function, and a tree node per invocation was a measurable slice of
+  /// the platform's allocation budget.
+  std::vector<TimePoint> targets_;
+  std::vector<bool> violated_;
+  std::size_t armed_ = 0;
   std::vector<std::pair<FunctionId, TimePoint>> breaches_;
 };
 

@@ -1,0 +1,182 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "common/result.hpp"
+
+namespace canary::sim {
+namespace {
+
+// Identifies the partition whose callback is currently executing on this
+// thread, so post() can validate the lookahead against the sender's clock
+// and stamp the message with a deterministic (src, seq) key. Outside a
+// callback (setup, between runs) there is no sender.
+thread_local ShardEngine* t_engine = nullptr;
+thread_local int t_partition = -1;
+
+}  // namespace
+
+// The plan barrier's completion step runs on exactly one thread while all
+// workers are parked, which makes it the one safe place to touch the
+// shared epoch scalars without atomics: the barrier itself orders every
+// write before it and every read after it.
+struct ShardEngine::Barriers {
+  struct PlanCompletion {
+    ShardEngine* engine;
+    void operator()() noexcept {
+      ShardEngine& e = *engine;
+      std::int64_t min_usec = -1;
+      for (std::int64_t t : e.worker_min_usec_) {
+        if (t >= 0 && (min_usec < 0 || t < min_usec)) min_usec = t;
+      }
+      if (min_usec < 0) {
+        e.done_ = true;
+        return;
+      }
+      e.window_end_usec_ = min_usec + e.lookahead_.count_usec();
+      ++e.epochs_;
+    }
+  };
+
+  std::barrier<PlanCompletion> plan;
+  std::barrier<> sync;
+
+  Barriers(std::ptrdiff_t n, ShardEngine* engine)
+      : plan(n, PlanCompletion{engine}), sync(n) {}
+};
+
+ShardEngine::ShardEngine(ShardEngineOptions options)
+    : partition_count_(options.partitions < 1 ? 1 : options.partitions),
+      worker_count_(std::clamp(options.workers, 1u, partition_count_)),
+      lookahead_(options.lookahead),
+      queue_capacity_(options.queue_capacity) {
+  CANARY_CHECK(lookahead_ >= Duration::usec(1),
+               "shard lookahead must be at least 1 us");
+  partitions_.reserve(partition_count_);
+  for (unsigned p = 0; p < partition_count_; ++p) {
+    partitions_.push_back(std::make_unique<Partition>(options.simulator));
+    partitions_.back()->outbox.resize(partition_count_);
+  }
+  worker_min_usec_.assign(worker_count_, -1);
+  barriers_ = std::make_unique<Barriers>(
+      static_cast<std::ptrdiff_t>(worker_count_), this);
+}
+
+ShardEngine::~ShardEngine() = default;
+
+Simulator& ShardEngine::partition(unsigned p) {
+  CANARY_CHECK(p < partition_count_, "partition index out of range");
+  return partitions_[p]->sim;
+}
+
+void ShardEngine::post(unsigned dst, TimePoint when, UniqueFunction fn) {
+  CANARY_CHECK(dst < partition_count_, "post: partition index out of range");
+  if (!running_) {
+    // Setup is single-threaded; schedule straight into the destination.
+    partitions_[dst]->sim.schedule_at(when, std::move(fn));
+    return;
+  }
+  CANARY_CHECK(t_engine == this && t_partition >= 0,
+               "post() during run() must come from a partition callback");
+  Partition& src = *partitions_[static_cast<unsigned>(t_partition)];
+  CANARY_CHECK(when >= src.sim.now() + lookahead_,
+               "post: timestamp violates the conservative lookahead");
+  std::vector<Message>& box = src.outbox[dst];
+  CANARY_CHECK(box.size() < queue_capacity_,
+               "inter-shard queue overflow: the model must apply "
+               "backpressure, not buffer unbounded cross-shard traffic");
+  box.push_back(Message{when.count_usec(),
+                        static_cast<std::uint32_t>(t_partition),
+                        src.next_msg_seq++, std::move(fn)});
+}
+
+void ShardEngine::deliver_inbox(unsigned p) {
+  Partition& dst = *partitions_[p];
+  std::vector<Message>& inbox = dst.inbox;
+  for (std::unique_ptr<Partition>& src : partitions_) {
+    std::vector<Message>& box = src->outbox[p];
+    for (Message& m : box) inbox.push_back(std::move(m));
+    box.clear();
+  }
+  if (inbox.empty()) return;
+  // (when, src, seq) is a total order and none of its components depend
+  // on thread interleaving, so the destination heap receives the same
+  // FIFO sequence numbers at any worker count.
+  std::sort(inbox.begin(), inbox.end(),
+            [](const Message& a, const Message& b) {
+              if (a.when_usec != b.when_usec) return a.when_usec < b.when_usec;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Message& m : inbox) {
+    dst.sim.schedule_at(TimePoint::from_usec(m.when_usec), std::move(m.fn));
+  }
+  dst.delivered += inbox.size();
+  inbox.clear();
+}
+
+void ShardEngine::worker_loop(unsigned worker) {
+  t_engine = this;
+  while (true) {
+    // Delivery phase: drain every source's outbox into the partitions this
+    // worker owns. Each (src, dst) slot has exactly one reader (dst's
+    // owner) and its writes were sealed by the previous sync barrier.
+    std::int64_t local_min = -1;
+    for (unsigned p = worker; p < partition_count_; p += worker_count_) {
+      deliver_inbox(p);
+      const std::int64_t t = partitions_[p]->sim.next_event_usec();
+      if (t >= 0 && (local_min < 0 || t < local_min)) local_min = t;
+    }
+    worker_min_usec_[worker] = local_min;
+    barriers_->plan.arrive_and_wait();
+    if (done_) break;
+    // Execution phase: every partition may run events strictly below the
+    // window end. Messages posted now are stamped >= now + lookahead >=
+    // window_end, so next epoch's delivery is never late.
+    const TimePoint until = TimePoint::from_usec(window_end_usec_ - 1);
+    for (unsigned p = worker; p < partition_count_; p += worker_count_) {
+      t_partition = static_cast<int>(p);
+      partitions_[p]->sim.run_until(until);
+    }
+    t_partition = -1;
+    barriers_->sync.arrive_and_wait();
+  }
+  t_engine = nullptr;
+}
+
+std::uint64_t ShardEngine::run() {
+  CANARY_CHECK(!running_, "ShardEngine::run is not reentrant");
+  done_ = false;
+  epochs_ = 0;
+  running_ = true;
+  for (std::unique_ptr<Partition>& p : partitions_) p->delivered = 0;
+  const std::uint64_t before = executed_events();
+  if (worker_count_ == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count_);
+    for (unsigned w = 0; w < worker_count_; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  running_ = false;
+  messages_delivered_ = 0;
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    messages_delivered_ += p->delivered;
+  }
+  return executed_events() - before;
+}
+
+std::uint64_t ShardEngine::executed_events() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    total += p->sim.executed_events();
+  }
+  return total;
+}
+
+}  // namespace canary::sim

@@ -1,0 +1,142 @@
+// Conservative parallel discrete-event engine: N logical partitions,
+// each owning a private sim::Simulator (slab, heap, clock), advanced in
+// lockstep windows by a pool of worker threads.
+//
+// Synchronization is conservative with lookahead L: every epoch the
+// engine computes the global lower bound on the next event time (LBTS)
+// across all partitions and lets every partition execute events in
+// [LBTS, LBTS + L) in parallel. Cross-partition interactions are
+// explicit timestamped messages carried in bounded per-(src, dst)
+// outboxes; a message posted at local time t must be stamped no earlier
+// than t + L, which guarantees it is delivered (at the next barrier)
+// before its partition's clock can reach it. Within a window no
+// partition can observe another's state, so each partition's execution
+// is exactly the sequential execution of its own event stream.
+//
+// Determinism is by construction independent of the worker count:
+//   * the partition count fixes the model — partitions are the unit of
+//     semantics, workers only map partitions onto OS threads
+//     (partition p runs on worker p % workers);
+//   * message delivery order into a partition is sorted by
+//     (timestamp, source partition, per-source sequence number), none
+//     of which depend on thread interleaving;
+//   * all published results (executed counts, epoch count, per-partition
+//     state) are reductions in partition order.
+// Consequently every run with the same partition count produces the
+// same per-partition event sequences whether it uses 1 worker or 8 —
+// the property the determinism suite asserts byte-for-byte and TSan
+// certifies free of data races.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "sim/unique_function.hpp"
+
+namespace canary::sim {
+
+struct ShardEngineOptions {
+  /// Logical partition count. Fixed by the model, not the machine:
+  /// changing it changes which entities share a sequential event stream.
+  unsigned partitions = 1;
+  /// Worker threads executing the partitions (clamped to `partitions`).
+  /// Any value produces identical results; it only buys wall-clock.
+  unsigned workers = 1;
+  /// Conservative lookahead: the minimum cross-partition message delay.
+  /// Defaults to the network model's same-rack latency floor (80 us) —
+  /// no modelled cross-node interaction is faster. Posts stamped closer
+  /// than `lookahead` to the sender's clock are a CHECK failure.
+  Duration lookahead = Duration::usec(80);
+  /// Bound on each (source, destination) inter-shard queue. Overflow is
+  /// a CHECK failure: the simulated system must apply backpressure at
+  /// the model level, not silently buffer unbounded traffic.
+  std::size_t queue_capacity = 1 << 16;
+  /// Options forwarded to every partition's Simulator.
+  SimulatorOptions simulator;
+};
+
+class ShardEngine {
+ public:
+  explicit ShardEngine(ShardEngineOptions options);
+  ~ShardEngine();
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  unsigned partitions() const { return partition_count_; }
+  unsigned workers() const { return worker_count_; }
+  Duration lookahead() const { return lookahead_; }
+
+  /// The partition's private simulator. Direct scheduling is allowed
+  /// during setup (before run()) and from the partition's own callbacks;
+  /// cross-partition scheduling during run() must go through post().
+  Simulator& partition(unsigned p);
+
+  /// Deliver `fn` on partition `dst` at absolute time `when`.
+  ///
+  /// Called from a running partition's callback, `when` must be at least
+  /// the sender's clock plus the lookahead (CHECK-enforced); the message
+  /// rides the sender's outbox and is scheduled into `dst` at the next
+  /// epoch barrier, in deterministic (when, src, seq) order. Called
+  /// before run() (setup is single-threaded), it schedules directly.
+  void post(unsigned dst, TimePoint when, UniqueFunction fn);
+
+  /// Run every partition to global quiescence (no pending events, no
+  /// undelivered messages). Returns the total executed event count.
+  std::uint64_t run();
+
+  std::uint64_t executed_events() const;
+  /// Barrier rounds taken by the last run().
+  std::uint64_t epochs() const { return epochs_; }
+  /// Cross-partition messages delivered by the last run().
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Message {
+    std::int64_t when_usec = 0;
+    std::uint32_t src = 0;
+    std::uint64_t seq = 0;  // per-source counter: worker-count invariant
+    UniqueFunction fn;
+  };
+
+  struct Partition {
+    Simulator sim;
+    /// outbox[d]: messages posted by this partition for partition d
+    /// during the current window. Written only by this partition's
+    /// worker; drained by d's worker at the barrier.
+    std::vector<std::vector<Message>> outbox;
+    /// Gather/sort scratch for this partition's deliveries; a member so
+    /// the capacity is reused across epochs instead of reallocated.
+    std::vector<Message> inbox;
+    std::uint64_t next_msg_seq = 0;
+    std::uint64_t delivered = 0;
+
+    explicit Partition(const SimulatorOptions& options) : sim(options) {}
+  };
+
+  void worker_loop(unsigned worker);
+  void deliver_inbox(unsigned p);
+
+  unsigned partition_count_ = 1;
+  unsigned worker_count_ = 1;
+  Duration lookahead_;
+  std::size_t queue_capacity_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+
+  bool running_ = false;
+  bool done_ = false;
+  std::int64_t window_end_usec_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  /// Per-worker minimum next-event time, reduced by the plan barrier's
+  /// completion step (leader-only, so no atomics needed on the scalars
+  /// above: the barrier orders every access).
+  std::vector<std::int64_t> worker_min_usec_;
+
+  struct Barriers;  // hides <barrier> from this header
+  std::unique_ptr<Barriers> barriers_;
+};
+
+}  // namespace canary::sim

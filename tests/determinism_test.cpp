@@ -9,6 +9,7 @@
 // globals, statics, or allocator-address-dependent ordering.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -132,6 +133,157 @@ TEST(DeterminismTest, AttributionOffKeepsArtifactsByteIdentical) {
   // A disabled series pointer must not change a byte of the trace.
   EXPECT_EQ(two_arg.str(), four_arg.str());
   EXPECT_EQ(two_arg.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
+// ---- sharded execution: worker-count invariance -----------------------
+//
+// The parallel engine's contract: the partition count fixes the model,
+// worker threads only map partitions onto cores. With partitions pinned
+// at 8, the merged report and the multi-process chrome trace must be
+// byte-identical at workers ∈ {1, 2, 4, 8} — with and without traffic,
+// hedging, and attribution enabled.
+
+harness::ScenarioConfig sharded_scenario(unsigned workers) {
+  harness::ScenarioConfig config = scenario_under_test();
+  config.cluster_nodes = 48;  // 6 nodes per partition
+  config.sharding.enabled = true;
+  config.sharding.partitions = 8;
+  config.sharding.workers = workers;
+  return config;
+}
+
+std::vector<faas::JobSpec> sharded_jobs() {
+  std::vector<faas::JobSpec> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(workloads::make_mixed_batch(4 + i % 5));
+  }
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(workloads::make_mapreduce_job(4, 2));
+  }
+  return jobs;
+}
+
+void add_traffic(harness::ScenarioConfig& config) {
+  config.traffic.enabled = true;
+  config.traffic.horizon = Duration::sec(10.0);
+  for (int s = 0; s < 8; ++s) {
+    traffic::StreamConfig stream;
+    stream.name = "det-stream-" + std::to_string(s);
+    faas::StateSpec state;
+    state.duration = Duration::msec(150 + 40 * s);
+    state.checkpoint_payload = Bytes::of(128 * 1024);
+    stream.fn.states.push_back(state);
+    stream.fn.finalize = Duration::msec(40);
+    stream.arrival.rate_hz = 4.0 + s;
+    stream.sla = Duration::sec(6.0);
+    stream.admission.max_concurrent = 6;
+    stream.admission.queue_capacity = 16;
+    config.traffic.streams.push_back(std::move(stream));
+  }
+  config.traffic.autoscaler.enabled = true;
+  config.traffic.autoscaler.max_warm = 6;
+}
+
+void add_hedging(harness::ScenarioConfig& config) {
+  recovery::HedgeConfig hedge;
+  hedge.percentile = 90.0;
+  hedge.min_samples = 6;
+  hedge.initial_delay = Duration::msec(800);
+  hedge.max_outstanding = 8;
+  config.strategy = recovery::StrategyConfig::hedged(hedge);
+  config.gray_failures.push_back({Duration::sec(3.0)});
+}
+
+void add_attribution(harness::ScenarioConfig& config) {
+  config.tail.enabled = true;
+  config.timeseries.enabled = true;
+}
+
+std::string render_sharded_report(const harness::RunResult& result,
+                                  const harness::ScenarioConfig& config) {
+  harness::Aggregate agg;
+  agg.add(result);
+  return harness::make_report("shard_probe", config, agg).to_json();
+}
+
+std::string render_sharded_trace(const harness::RunResult& result) {
+  std::vector<obs::TraceSection> sections;
+  for (const auto& shard : result.shards) {
+    sections.push_back({shard->spans.get(), shard->events.get(),
+                        shard->timeseries.enabled() ? &shard->timeseries
+                                                    : nullptr});
+  }
+  std::ostringstream out;
+  obs::write_chrome_trace(out, sections);
+  return out.str();
+}
+
+void expect_worker_invariant(
+    const std::function<void(harness::ScenarioConfig&)>& mutate) {
+  const std::vector<faas::JobSpec> jobs = sharded_jobs();
+  std::string reference_report;
+  std::string reference_trace;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    harness::ScenarioConfig config = sharded_scenario(workers);
+    if (mutate) mutate(config);
+    const harness::RunResult result =
+        harness::ScenarioRunner::run(config, jobs);
+    ASSERT_EQ(result.shards.size(), 8u);
+    const std::string report = render_sharded_report(result, config);
+    const std::string trace = render_sharded_trace(result);
+    ASSERT_FALSE(report.empty());
+    ASSERT_FALSE(trace.empty());
+    if (workers == 1) {
+      reference_report = report;
+      reference_trace = trace;
+      continue;
+    }
+    EXPECT_EQ(report, reference_report)
+        << "merged report diverged at workers=" << workers;
+    EXPECT_EQ(trace, reference_trace)
+        << "sharded trace diverged at workers=" << workers;
+  }
+}
+
+TEST(ShardInvarianceTest, ReportAndTraceInvariantAcrossWorkerCounts) {
+  expect_worker_invariant(nullptr);
+}
+
+TEST(ShardInvarianceTest, InvariantWithTraffic) {
+  expect_worker_invariant([](harness::ScenarioConfig& c) { add_traffic(c); });
+}
+
+TEST(ShardInvarianceTest, InvariantWithHedging) {
+  expect_worker_invariant([](harness::ScenarioConfig& c) { add_hedging(c); });
+}
+
+TEST(ShardInvarianceTest, InvariantWithAttribution) {
+  expect_worker_invariant(
+      [](harness::ScenarioConfig& c) { add_attribution(c); });
+}
+
+TEST(ShardInvarianceTest, ShardedRunExercisesCrossShardChannels) {
+  // The invariance above would be vacuous if nothing crossed shards:
+  // assert the KV mirror and completion beacons actually flowed.
+  harness::ScenarioConfig config = sharded_scenario(2);
+  const harness::RunResult result =
+      harness::ScenarioRunner::run(config, sharded_jobs());
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.shard_messages, 0u);
+  EXPECT_GT(result.shard_epochs, 0u);
+  EXPECT_GT(result.metrics.counter("shard_job_beacons"), 0.0);
+  EXPECT_GT(result.metrics.counter("kv_mirror_in"), 0.0);
+}
+
+TEST(ShardInvarianceTest, ShardingOffIsUntouched) {
+  // sharding.enabled=false must route through the monolithic path and
+  // leave no sharded artifacts behind.
+  const harness::RunResult result =
+      harness::ScenarioRunner::run(scenario_under_test(), jobs_under_test());
+  EXPECT_TRUE(result.shards.empty());
+  EXPECT_EQ(result.shard_epochs, 0u);
+  EXPECT_EQ(result.shard_messages, 0u);
+  EXPECT_EQ(result.metrics.counter("shard_job_beacons"), 0.0);
 }
 
 TEST(DeterminismTest, HeadlineScalarsAreReproducible) {
