@@ -22,9 +22,19 @@
 // completion beacons ride along, and all eight oracles are evaluated
 // inside every partition plus on the merged scalars.
 //
+// A fifth family injects the partition surface: long zone bipartitions
+// that fence a minority fault domain, short asymmetric windows (one-way
+// heartbeat loss that must un-suspect on heal), and correlated zone
+// outages racing the cuts, with fault-domain-aware placement on for half
+// the seeds. Two additional oracles apply: no-split-brain (every commit
+// attempted by a fenced minority-side zombie is rejected at the store's
+// epoch gate) and heal-convergence (all windows healed, no reachability
+// rule outlives the run, metadata liveness views agree at the end).
+// Every fourth partition seed runs sharded over the parallel engine.
+//
 // Usage: chaos_campaign [--quick] [--scenarios N] [--seed BASE]
 //                       [--traffic-scenarios N] [--hedge-scenarios N]
-//                       [--sharded-scenarios N]
+//                       [--sharded-scenarios N] [--partition-scenarios N]
 // Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
 #include <algorithm>
 #include <cstdlib>
@@ -84,10 +94,12 @@ int main(int argc, char** argv) {
   std::size_t traffic_scenarios = 0;  // 0 = derive from quick flag below
   std::size_t hedge_scenarios = 0;    // 0 = derive from quick flag below
   std::size_t sharded_scenarios = 0;  // 0 = derive from quick flag below
+  std::size_t partition_scenarios = 0;  // 0 = derive from quick flag below
   std::uint64_t base_seed = 90001;
   std::uint64_t traffic_base_seed = 70001;
   std::uint64_t hedge_base_seed = 50001;
   std::uint64_t sharded_base_seed = 30001;
+  std::uint64_t partition_base_seed = 10001;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -102,10 +114,13 @@ int main(int argc, char** argv) {
       hedge_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--sharded-scenarios" && i + 1 < argc) {
       sharded_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--partition-scenarios" && i + 1 < argc) {
+      partition_scenarios = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::cerr << "usage: chaos_campaign [--quick] [--scenarios N] "
                    "[--seed BASE] [--traffic-scenarios N] "
-                   "[--hedge-scenarios N] [--sharded-scenarios N]\n";
+                   "[--hedge-scenarios N] [--sharded-scenarios N] "
+                   "[--partition-scenarios N]\n";
       return 2;
     }
   }
@@ -113,20 +128,23 @@ int main(int argc, char** argv) {
   if (traffic_scenarios == 0) traffic_scenarios = quick ? 12 : 120;
   if (hedge_scenarios == 0) hedge_scenarios = quick ? 12 : 120;
   if (sharded_scenarios == 0) sharded_scenarios = quick ? 8 : 64;
+  if (partition_scenarios == 0) partition_scenarios = quick ? 8 : 64;
 
   std::cout << "chaos campaign: " << scenarios << " scenarios, base seed "
             << base_seed << " + " << traffic_scenarios
             << " traffic scenarios, base seed " << traffic_base_seed << " + "
             << hedge_scenarios << " hedge scenarios, base seed "
             << hedge_base_seed << " + " << sharded_scenarios
-            << " sharded scenarios, base seed " << sharded_base_seed
-            << (quick ? " (quick)" : "") << "\n";
+            << " sharded scenarios, base seed " << sharded_base_seed << " + "
+            << partition_scenarios << " partition scenarios, base seed "
+            << partition_base_seed << (quick ? " (quick)" : "") << "\n";
 
   // Seeded scenarios are independent; run them in parallel batches. The
   // traffic and hedge families ride in the same pool, indexed past the
   // base family.
-  const std::size_t total_scenarios =
-      scenarios + traffic_scenarios + hedge_scenarios + sharded_scenarios;
+  const std::size_t total_scenarios = scenarios + traffic_scenarios +
+                                      hedge_scenarios + sharded_scenarios +
+                                      partition_scenarios;
   std::vector<ChaosOutcome> outcomes(total_scenarios);
   const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
   std::size_t next = 0;
@@ -136,10 +154,25 @@ int main(int argc, char** argv) {
     futures.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       const std::size_t index = next + i;
-      enum class Family { kBase, kTraffic, kHedge, kSharded };
+      enum class Family {
+        kBase,
+        kTraffic,
+        kHedge,
+        kSharded,
+        kPartition,
+        kShardedPartition,
+      };
       Family family = Family::kBase;
       std::uint64_t seed = base_seed + index;
-      if (index >= scenarios + traffic_scenarios + hedge_scenarios) {
+      if (index >=
+          scenarios + traffic_scenarios + hedge_scenarios + sharded_scenarios) {
+        const std::size_t off = index - scenarios - traffic_scenarios -
+                                hedge_scenarios - sharded_scenarios;
+        // Every fourth partition seed runs sharded over the parallel
+        // engine, so the split-brain oracles also cover cross-shard runs.
+        family = off % 4 == 3 ? Family::kShardedPartition : Family::kPartition;
+        seed = partition_base_seed + off;
+      } else if (index >= scenarios + traffic_scenarios + hedge_scenarios) {
         family = Family::kSharded;
         seed = sharded_base_seed +
                (index - scenarios - traffic_scenarios - hedge_scenarios);
@@ -158,6 +191,10 @@ int main(int argc, char** argv) {
             return canary::harness::run_hedge_chaos_scenario(seed);
           case Family::kSharded:
             return canary::harness::run_sharded_chaos_scenario(seed);
+          case Family::kPartition:
+            return canary::harness::run_partition_chaos_scenario(seed);
+          case Family::kShardedPartition:
+            return canary::harness::run_sharded_partition_chaos_scenario(seed);
           case Family::kBase: break;
         }
         return canary::harness::run_chaos_scenario(seed);
@@ -177,6 +214,10 @@ int main(int argc, char** argv) {
   std::uint64_t traffic_offered = 0, traffic_admitted = 0;
   std::uint64_t traffic_shed = 0, traffic_completed = 0;
   std::uint64_t hedges_fired = 0, hedge_wins = 0, hedges_cancelled = 0;
+  std::uint64_t partitions_started = 0, partitions_healed = 0;
+  std::uint64_t zone_outages = 0, hb_partition_dropped = 0;
+  std::uint64_t stale_epoch_rejects = 0, quorum_blocked = 0;
+  std::uint64_t zombie_attempts = 0, zombie_rejected = 0;
   double total_failures = 0.0;
   double max_detection = 0.0;
   std::vector<const ChaosOutcome*> failed;
@@ -198,6 +239,14 @@ int main(int argc, char** argv) {
     hedges_fired += out.hedges_fired;
     hedge_wins += out.hedge_wins;
     hedges_cancelled += out.hedges_cancelled;
+    partitions_started += out.partitions_started;
+    partitions_healed += out.partitions_healed;
+    zone_outages += out.zone_outages;
+    hb_partition_dropped += out.heartbeats_partition_dropped;
+    stale_epoch_rejects += out.stale_epoch_rejects;
+    quorum_blocked += out.quorum_blocked_puts;
+    zombie_attempts += out.zombie_commit_attempts;
+    zombie_rejected += out.zombie_commits_rejected;
     total_failures += out.failures;
     max_detection = std::max(max_detection, out.max_detection_latency_s);
     if (!out.violations.empty()) failed.push_back(&out);
@@ -208,6 +257,7 @@ int main(int argc, char** argv) {
   table.add_row({"traffic scenarios", std::to_string(traffic_scenarios)});
   table.add_row({"hedge scenarios", std::to_string(hedge_scenarios)});
   table.add_row({"sharded scenarios", std::to_string(sharded_scenarios)});
+  table.add_row({"partition scenarios", std::to_string(partition_scenarios)});
   table.add_row({"function failures", canary::TextTable::num(total_failures, 0)});
   table.add_row({"node kills", std::to_string(node_kills)});
   table.add_row({"gray windows", std::to_string(gray)});
@@ -224,6 +274,11 @@ int main(int argc, char** argv) {
   table.add_row({"arrivals shed", std::to_string(traffic_shed)});
   table.add_row({"hedges fired", std::to_string(hedges_fired)});
   table.add_row({"hedge wins", std::to_string(hedge_wins)});
+  table.add_row({"partitions started", std::to_string(partitions_started)});
+  table.add_row({"partitions healed", std::to_string(partitions_healed)});
+  table.add_row({"zone outages", std::to_string(zone_outages)});
+  table.add_row({"stale-epoch rejects", std::to_string(stale_epoch_rejects)});
+  table.add_row({"zombie commit attempts", std::to_string(zombie_attempts)});
   table.add_row({"oracle violations", std::to_string(violations)});
   table.print(std::cout);
 
@@ -259,7 +314,9 @@ int main(int argc, char** argv) {
   os << "    \"hedge_scenarios\": " << hedge_scenarios << ",\n";
   os << "    \"hedge_base_seed\": " << hedge_base_seed << ",\n";
   os << "    \"sharded_scenarios\": " << sharded_scenarios << ",\n";
-  os << "    \"sharded_base_seed\": " << sharded_base_seed << "\n";
+  os << "    \"sharded_base_seed\": " << sharded_base_seed << ",\n";
+  os << "    \"partition_scenarios\": " << partition_scenarios << ",\n";
+  os << "    \"partition_base_seed\": " << partition_base_seed << "\n";
   os << "  },\n";
   os << "  \"fault_totals\": {\n";
   os << "    \"function_failures\": " << num(total_failures) << ",\n";
@@ -287,11 +344,23 @@ int main(int argc, char** argv) {
   os << "    \"wins\": " << hedge_wins << ",\n";
   os << "    \"cancelled\": " << hedges_cancelled << "\n";
   os << "  },\n";
+  os << "  \"partition_totals\": {\n";
+  os << "    \"partitions_started\": " << partitions_started << ",\n";
+  os << "    \"partitions_healed\": " << partitions_healed << ",\n";
+  os << "    \"zone_outages\": " << zone_outages << ",\n";
+  os << "    \"heartbeats_partition_dropped\": " << hb_partition_dropped
+     << ",\n";
+  os << "    \"stale_epoch_rejects\": " << stale_epoch_rejects << ",\n";
+  os << "    \"quorum_blocked_puts\": " << quorum_blocked << ",\n";
+  os << "    \"zombie_commit_attempts\": " << zombie_attempts << ",\n";
+  os << "    \"zombie_commits_rejected\": " << zombie_rejected << "\n";
+  os << "  },\n";
   os << "  \"oracles\": {\n";
   os << "    \"checked\": [\"completion\", \"exactly_once\", "
         "\"no_corrupt_restore\", \"detection_bound\", \"ledger_balance\", "
         "\"no_stranded_failures\", \"conservation\", "
-        "\"hedge_exactly_once\"],\n";
+        "\"hedge_exactly_once\", \"no_split_brain\", "
+        "\"heal_convergence\"],\n";
   os << "    \"violations\": " << violations << "\n";
   os << "  },\n";
   os << "  \"failed_scenarios\": [";

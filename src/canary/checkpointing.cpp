@@ -125,12 +125,12 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
     // The KV store is replicated (and persistent in the testbed config),
     // so in-KV checkpoints survive node failures immediately.
     row.flushed_to_shared = true;
-    const Status put = store_.put(key, meta.str(), payload);
+    const Status put = store_.put(key, meta.str(), payload, inv.node);
     if (!put.ok()) {
-      // A degraded store (shard fault, capacity) must never crash the
-      // checkpoint path: the state commit stands, this checkpoint is
-      // simply not durable — recovery falls back to an older intact row
-      // or full re-execution.
+      // A degraded store (shard fault, capacity, fenced/partitioned
+      // writer) must never crash the checkpoint path: the state commit
+      // stands, this checkpoint is simply not durable — recovery falls
+      // back to an older intact row or full re-execution.
       metrics_.count("checkpoint_write_failures");
       CANARY_LOG_WARN("checkpoint put failed for " << key << ": "
                                                    << put.error().message);
@@ -142,7 +142,8 @@ void CheckpointingModule::on_state_committed(const faas::Invocation& inv,
     const auto& tier_profile = storage_.profile(row.location);
     row.flushed_to_shared = tier_profile.shared;
     meta << ";loc=" << to_string_view(row.location);
-    const Status put = store_.put(key, meta.str(), config_.metadata_size);
+    const Status put = store_.put(key, meta.str(), config_.metadata_size,
+                                  inv.node);
     if (!put.ok()) {
       metrics_.count("checkpoint_write_failures");
       CANARY_LOG_WARN("checkpoint metadata put failed for "
@@ -255,6 +256,33 @@ RestorePlan CheckpointingModule::restore_plan(FunctionId fn,
     return plan;
   }
   return plan;  // no usable checkpoint: restart from the first state
+}
+
+void CheckpointingModule::zombie_commit(NodeId node, FunctionId fn) {
+  metrics_.count("zombie_commit_attempts");
+  // A dedicated key prefix: even a buggy gate that lets the put through
+  // must not overwrite a real checkpoint row.
+  const std::string key = "zombie/" + to_string(fn);
+  const Status put = store_.put(key, "zombie", Bytes::of(6), node);
+  if (put.ok()) {
+    // Split brain: the fenced side's side effect landed. The oracle trips
+    // on this counter; remove the probe entry so store contents stay
+    // comparable either way.
+    metrics_.count("zombie_commits_committed");
+    (void)store_.remove(key);
+  } else {
+    metrics_.count("zombie_commits_rejected");
+  }
+  if (events_ != nullptr) {
+    obs::SpanLabels labels;
+    labels.node = node;
+    labels.function = fn;
+    events_->append_raw(events_->new_trace(), obs::kNoEvent,
+                        obs::EventKind::kAnnotation,
+                        put.ok() ? "zombie_commit_committed"
+                                 : "zombie_commit_rejected",
+                        sim_.now(), labels);
+  }
 }
 
 void CheckpointingModule::drop_function(FunctionId fn) {

@@ -104,6 +104,14 @@ class CheckpointingModule {
   /// Drop all checkpoints of a completed function.
   void drop_function(FunctionId fn);
 
+  /// Split-brain probe: a logically fenced (minority-partition) worker
+  /// finished executing `fn` and now tries to commit. The attempt is a
+  /// REAL writer-attributed KV put routed through the store's epoch gate;
+  /// a correct gate rejects it (stale epoch) and the commit is a no-op.
+  /// Metrics record the outcome — the chaos no-split-brain oracle asserts
+  /// zombie_commits_committed stays zero.
+  void zombie_commit(NodeId node, FunctionId fn);
+
   static std::string kv_key(FunctionId fn, std::size_t state_idx);
 
  private:

@@ -8,6 +8,7 @@ CoreModule::CoreModule(faas::Platform& platform, kv::KvStore& store,
                        const cluster::StorageHierarchy& storage,
                        CanaryConfig config)
     : platform_(platform),
+      store_(store),
       config_(config),
       validator_(platform.config().limits),
       checkpointing_(platform.simulator(), platform.cluster(), storage,
@@ -30,6 +31,13 @@ void CoreModule::install() {
   checkpointing_.set_spans(platform_.spans());
   checkpointing_.set_event_log(platform_.events());
   replication_.set_spans(platform_.spans());
+  // Split-brain probe: when the platform logically fences a worker that is
+  // alive but cut off from the quorum, the worker's in-flight functions
+  // finish executing over there and try to commit. Route those attempts
+  // through the checkpointing module so they hit the store's epoch gate.
+  platform_.set_zombie_commit_hook([this](NodeId node, FunctionId fn) {
+    checkpointing_.zombie_commit(node, fn);
+  });
 }
 
 void CoreModule::refresh_worker_table() {
@@ -46,6 +54,7 @@ void CoreModule::refresh_worker_table() {
     row.memory = node.spec().memory;
     row.container_slots = node.spec().container_slots;
     row.rack = node.spec().rack;
+    row.zone = node.spec().zone;
     row.alive = node.alive();
     metadata_.upsert_worker(row);
   }
@@ -117,8 +126,16 @@ bool CoreModule::sla_urgent(const faas::Invocation& inv) const {
   return done_if_cold > it->second;
 }
 
+std::optional<std::uint32_t> CoreModule::recovery_avoid_zone(
+    const faas::Invocation& inv) const {
+  if (!config_.spread_fault_domains) return std::nullopt;
+  if (platform_.cluster().node(inv.node).alive()) return std::nullopt;
+  return platform_.cluster().zone_of(inv.node);
+}
+
 void CoreModule::recover_cold(const faas::Invocation& inv,
-                              std::optional<NodeId> avoid) {
+                              std::optional<NodeId> avoid,
+                              std::optional<std::uint32_t> avoid_zone) {
   // No replica ready (mass failure burst or replication disabled): fall
   // back to a cold container but still restore from the checkpoint.
   // Avoid the failed worker if it is predicted to be failing or stalled.
@@ -130,6 +147,16 @@ void CoreModule::recover_cold(const faas::Invocation& inv,
   NodeId target;
   if (prefer) {
     target = *prefer;
+  } else if (avoid_zone) {
+    // The failed worker's whole fault domain is suspect: place outside it
+    // when any other zone has capacity (falls back to in-zone placement
+    // otherwise — least_loaded_avoiding_zone degrades gracefully).
+    std::vector<NodeId> excluded;
+    if (avoid) excluded.push_back(*avoid);
+    target = platform_.cluster()
+                 .least_loaded_avoiding_zone(inv.spec->effective_memory(),
+                                             *avoid_zone, excluded)
+                 .value_or(inv.node);
   } else if (avoid) {
     target = platform_.cluster()
                  .least_loaded_excluding(inv.spec->effective_memory(), {*avoid})
@@ -175,7 +202,8 @@ void CoreModule::dispatch_recovery(const faas::Invocation& inv,
           ? std::optional(inv.node)
           : std::nullopt;
 
-  auto replica = runtime_manager_.acquire(image, prefer, avoid);
+  const std::optional<std::uint32_t> avoid_zone = recovery_avoid_zone(inv);
+  auto replica = runtime_manager_.acquire(image, prefer, avoid, avoid_zone);
   if (replica) {
     // Fast path: migrate onto the warm replicated runtime and restore the
     // latest checkpoint there.
@@ -211,7 +239,7 @@ void CoreModule::dispatch_recovery(const faas::Invocation& inv,
   }
 
   replication_.reconcile(image);  // provision replicas for the next failure
-  recover_cold(inv, avoid);
+  recover_cold(inv, avoid, avoid_zone);
 }
 
 // ---- recovery watchdog ------------------------------------------------------
@@ -430,6 +458,11 @@ void CoreModule::on_worker_unsuspected(NodeId node) {
 
 void CoreModule::on_worker_confirmed_dead(NodeId node) {
   detector_suspects_.erase(node);  // dead, not merely suspect
+  // Epoch fence before the platform acts on the confirmation: if the
+  // worker is actually a minority-side zombie (alive but partitioned),
+  // any commit it attempts from here on is stale-epoch and rejected. For
+  // a genuinely dead worker the fence is a harmless no-op.
+  store_.fence_node(node);
   refresh_worker_table();
 }
 

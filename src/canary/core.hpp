@@ -44,6 +44,11 @@ struct CanaryConfig {
   /// functions may reserve a replica that is still launching instead of
   /// falling back to a cold container.
   bool sla_aware = false;
+  /// Fault-domain-aware recovery: when the failed worker is dead, its
+  /// whole zone is treated as suspect of a correlated outage — replica
+  /// acquisition and cold-fallback placement route out of that zone when
+  /// any other zone has capacity. Off by default (domain-blind recovery).
+  bool spread_fault_domains = false;
   /// Reassignment/routing overhead when migrating a failed function onto
   /// a replicated runtime (in addition to checkpoint restore time).
   Duration migration_overhead = Duration::msec(50);
@@ -127,9 +132,16 @@ class CoreModule final : public faas::RecoveryHandler,
   /// watchdog observed stalling this function's previous recovery).
   void dispatch_recovery(const faas::Invocation& inv,
                          std::optional<NodeId> avoid);
-  /// Cold-path recovery: restore the checkpoint onto a fresh container.
+  /// Cold-path recovery: restore the checkpoint onto a fresh container,
+  /// steering clear of `avoid_zone` when fault-domain spreading is on.
   void recover_cold(const faas::Invocation& inv,
-                    std::optional<NodeId> avoid = std::nullopt);
+                    std::optional<NodeId> avoid = std::nullopt,
+                    std::optional<std::uint32_t> avoid_zone = std::nullopt);
+  /// The failed worker's zone when it should be routed around: set only
+  /// when fault-domain spreading is on and the worker is actually dead
+  /// (a correlated outage may be eating the rest of its zone right now).
+  std::optional<std::uint32_t> recovery_avoid_zone(
+      const faas::Invocation& inv) const;
   void arm_recovery_watch(FunctionId id, NodeId target);
   void recovery_watch_fired(FunctionId id);
   void disarm_recovery_watch(FunctionId id);
@@ -140,6 +152,10 @@ class CoreModule final : public faas::RecoveryHandler,
   void recovery_instant(const faas::Invocation& inv, const char* name);
 
   faas::Platform& platform_;
+  /// Retained for split-brain fencing: a worker the detector confirms dead
+  /// is fenced at the store, so a minority-side zombie's late commit is
+  /// rejected as stale-epoch.
+  kv::KvStore& store_;
   CanaryConfig config_;
   MetadataStore metadata_;
   RequestValidator validator_;

@@ -70,6 +70,17 @@ void FailureDetector::schedule_heartbeat(NodeId node) {
     const TimePoint sent = sim_.now();
     ++heartbeats_sent_;
     platform_.metrics().count("heartbeats_sent");
+    // Partition gate: the controller hears the majority side. A beat from
+    // a worker that cannot reach a quorum of its peers never arrives —
+    // that is what makes the minority side look dead over there. Checked
+    // at send time; reaches_majority short-circuits to true when no
+    // partition is active.
+    if (!platform_.network().reaches_majority(node)) {
+      ++heartbeats_partition_dropped_;
+      platform_.metrics().count("heartbeats_partition_dropped");
+      schedule_heartbeat(node);
+      return;
+    }
     std::optional<Duration> delay =
         faults_ != nullptr ? faults_->heartbeat_delay(node, sent)
                            : std::optional<Duration>(Duration::zero());

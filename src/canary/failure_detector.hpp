@@ -102,6 +102,11 @@ class FailureDetector {
 
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
   std::uint64_t heartbeats_lost() const { return heartbeats_lost_; }
+  /// Beats that never reached the controller because the sender was on
+  /// the minority side of an active partition.
+  std::uint64_t heartbeats_partition_dropped() const {
+    return heartbeats_partition_dropped_;
+  }
   std::uint64_t suspicions() const { return suspicions_; }
   std::uint64_t false_suspicions() const { return false_suspicions_; }
   std::uint64_t confirmed_dead() const { return confirmed_dead_; }
@@ -134,6 +139,7 @@ class FailureDetector {
   bool started_ = false;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t heartbeats_lost_ = 0;
+  std::uint64_t heartbeats_partition_dropped_ = 0;
   std::uint64_t suspicions_ = 0;
   std::uint64_t false_suspicions_ = 0;
   std::uint64_t confirmed_dead_ = 0;

@@ -28,6 +28,9 @@ struct WorkerInfoRow {
   Bytes memory = Bytes::zero();
   std::uint32_t container_slots = 0;
   std::uint32_t rack = 0;
+  /// Fault domain (availability zone) the worker lives in; recovery and
+  /// replica placement spread copies across zones when configured.
+  std::uint32_t zone = 0;
   bool alive = true;
   std::string role = "invoker";
   /// Heartbeat lease state published by the failure detector (§IV-C1:

@@ -164,6 +164,14 @@ std::optional<NodeId> ReplicationModule::place_replica(
       function_racks.push_back(cluster.node(node).spec().rack);
     }
   }
+  std::vector<std::uint32_t> replica_zones;
+  if (config_.spread_fault_domains) {
+    for (const NodeId node : replica_nodes) {
+      if (cluster.contains(node)) {
+        replica_zones.push_back(cluster.node(node).spec().zone);
+      }
+    }
+  }
   std::optional<NodeId> best;
   double best_score = 0.0;
   for (const NodeId node : cluster.alive_node_ids()) {
@@ -177,9 +185,18 @@ std::optional<NodeId> ReplicationModule::place_replica(
         std::find(function_racks.begin(), function_racks.end(),
                   host.spec().rack) != function_racks.end();
     const bool suspect = advisor_ != nullptr && advisor_->is_suspect(node);
+    // Fault-domain spreading: a zone already holding a replica of this
+    // runtime is a single correlated failure away from losing both
+    // copies. The penalty dominates load and locality but yields to the
+    // suspect term — a zone-diverse placement on a predicted-failing
+    // worker is no diversity at all.
+    const bool zone_taken =
+        config_.spread_fault_domains &&
+        std::find(replica_zones.begin(), replica_zones.end(),
+                  host.spec().zone) != replica_zones.end();
     // Lower is better: predicted-failing workers are a last resort, then
-    // load, then rack locality.
-    const double score = (suspect ? 1e6 : 0.0) +
+    // zone duplication, then load, then rack locality.
+    const double score = (suspect ? 1e6 : 0.0) + (zone_taken ? 1e3 : 0.0) +
                          static_cast<double>(host.used_slots()) * 10.0 +
                          (near_functions ? 0.0 : 1.0);
     if (!best || score < best_score) {

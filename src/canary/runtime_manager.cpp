@@ -35,7 +35,7 @@ void RuntimeManagerModule::mark_dead(ContainerId container) {
 
 std::optional<ReplicationInfoRow> RuntimeManagerModule::acquire(
     faas::RuntimeImage image, std::optional<NodeId> prefer,
-    std::optional<NodeId> avoid) {
+    std::optional<NodeId> avoid, std::optional<std::uint32_t> avoid_zone) {
   ReplicationInfoRow* best = nullptr;
   int best_score = 0;
   for (const auto* row_view : metadata_.replicas_of(image)) {
@@ -43,7 +43,9 @@ std::optional<ReplicationInfoRow> RuntimeManagerModule::acquire(
     if (row->status != ReplicaStatus::kActive) continue;
     if (!cluster_.node(row->worker).alive()) continue;
     if (avoid && row->worker == *avoid) continue;
-    // Locality score: same node beats same rack beats anywhere.
+    // Locality score: same node beats same rack beats anywhere. A replica
+    // inside the avoided fault domain is pushed below every outside
+    // candidate (the whole zone may be about to go) but stays eligible.
     int score = 1;
     if (prefer && cluster_.contains(*prefer)) {
       if (row->worker == *prefer) {
@@ -51,6 +53,9 @@ std::optional<ReplicationInfoRow> RuntimeManagerModule::acquire(
       } else if (cluster_.rack_distance(row->worker, *prefer) == 0) {
         score = 2;
       }
+    }
+    if (avoid_zone && cluster_.zone_of(row->worker) == *avoid_zone) {
+      score -= 100;
     }
     if (best == nullptr || score > best_score) {
       best = row;

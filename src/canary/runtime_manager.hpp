@@ -36,10 +36,14 @@ class RuntimeManagerModule {
   /// rack, then lowest replica id. The replica is marked consumed — its
   /// container now belongs to the recovering function. Replicas hosted on
   /// `avoid` are skipped (without being consumed) — the recovery watchdog
-  /// routes stalled functions away from gray workers this way.
+  /// routes stalled functions away from gray workers this way. Replicas in
+  /// `avoid_zone` (the failed worker's fault domain, suspect of a
+  /// correlated outage) lose to any replica outside it, but remain a
+  /// fallback when every replica sits in that zone.
   std::optional<ReplicationInfoRow> acquire(
       faas::RuntimeImage image, std::optional<NodeId> prefer,
-      std::optional<NodeId> avoid = std::nullopt);
+      std::optional<NodeId> avoid = std::nullopt,
+      std::optional<std::uint32_t> avoid_zone = std::nullopt);
 
   /// Replicas that are warm and unconsumed.
   std::size_t active_count(faas::RuntimeImage image) const;

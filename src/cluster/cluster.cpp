@@ -70,6 +70,7 @@ Cluster Cluster::testbed(std::size_t node_count) {
     NodeSpec spec;
     spec.cpu = kClasses[i % 3];
     spec.rack = static_cast<std::uint32_t>(i / 4);
+    spec.zone = spec.rack;  // testbed: one fault domain per rack
     specs.push_back(spec);
   }
   return Cluster(std::move(specs));
@@ -154,6 +155,44 @@ std::uint32_t Cluster::rack_distance(NodeId a, NodeId b) const {
   const auto ra = node(a).spec().rack;
   const auto rb = node(b).spec().rack;
   return ra == rb ? 0 : 1;
+}
+
+std::uint32_t Cluster::zone_of(NodeId id) const { return node(id).spec().zone; }
+
+std::vector<NodeId> Cluster::nodes_in_zone(std::uint32_t zone) const {
+  std::vector<NodeId> ids;
+  for (const auto& n : nodes_) {
+    if (n.spec().zone == zone) ids.push_back(n.id());
+  }
+  return ids;
+}
+
+std::vector<std::uint32_t> Cluster::zones() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& n : nodes_) out.push_back(n.spec().zone);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<NodeId> Cluster::least_loaded_avoiding_zone(
+    Bytes memory, std::uint32_t avoid_zone,
+    const std::vector<NodeId>& excluded) const {
+  // Same walk as least_loaded_excluding with a zone filter; a second pass
+  // without the filter keeps placement total — capacity beats spreading.
+  for (const auto& bucket : occupancy_) {
+    for (const std::uint32_t idx : bucket) {
+      const Node& n = nodes_[idx];
+      if (n.spec().zone == avoid_zone) continue;
+      if (!n.can_host(memory)) continue;
+      if (std::find(excluded.begin(), excluded.end(), n.id()) !=
+          excluded.end()) {
+        continue;
+      }
+      return n.id();
+    }
+  }
+  return least_loaded_excluding(memory, excluded);
 }
 
 void Cluster::fail_node(NodeId id) { node(id).mark_failed(); }

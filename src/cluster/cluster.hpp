@@ -64,6 +64,23 @@ class Cluster : private NodeUsageListener {
   /// Number of inter-rack hops between two nodes (0 = same rack).
   std::uint32_t rack_distance(NodeId a, NodeId b) const;
 
+  /// Fault domain of a node (NodeSpec::zone).
+  std::uint32_t zone_of(NodeId id) const;
+
+  /// All node ids in `zone`, ascending.
+  std::vector<NodeId> nodes_in_zone(std::uint32_t zone) const;
+
+  /// Sorted unique fault domains present in the cluster.
+  std::vector<std::uint32_t> zones() const;
+
+  /// Least-loaded alive candidate preferring nodes OUTSIDE `avoid_zone`;
+  /// falls back to in-zone hosts only when no other zone has capacity.
+  /// The fault-domain-spreading placement primitive: two copies land in
+  /// one zone only when the cluster leaves no alternative.
+  std::optional<NodeId> least_loaded_avoiding_zone(
+      Bytes memory, std::uint32_t avoid_zone,
+      const std::vector<NodeId>& excluded) const;
+
   void fail_node(NodeId id);
   void restore_node(NodeId id);
 

@@ -23,4 +23,47 @@ Duration NetworkModel::transfer_time(NodeId a, NodeId b, Bytes payload,
   return latency(a, b) + Duration::sec(seconds);
 }
 
+NetworkModel::RuleId NetworkModel::block(std::vector<NodeId> from,
+                                         std::vector<NodeId> to) {
+  const RuleId id = next_rule_++;
+  rules_.push_back(Rule{id, std::move(from), std::move(to)});
+  return id;
+}
+
+void NetworkModel::unblock(RuleId id) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id == id) {
+      rules_.erase(it);
+      return;
+    }
+  }
+}
+
+bool NetworkModel::reachable(NodeId from, NodeId to) const {
+  if (rules_.empty() || from == to) return true;
+  for (const Rule& rule : rules_) {
+    const bool src = std::find(rule.from.begin(), rule.from.end(), from) !=
+                     rule.from.end();
+    if (!src) continue;
+    if (std::find(rule.to.begin(), rule.to.end(), to) != rule.to.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NetworkModel::reaches_majority(NodeId node) const {
+  if (rules_.empty()) return true;
+  if (!cluster_->contains(node) || !cluster_->node(node).alive()) return false;
+  std::size_t alive = 0;
+  std::size_t reached = 0;
+  for (const NodeId peer : cluster_->alive_node_ids()) {
+    ++alive;
+    if (peer == node || (reachable(node, peer) && reachable(peer, node))) {
+      ++reached;
+    }
+  }
+  return reached * 2 > alive;
+}
+
 }  // namespace canary::cluster

@@ -6,6 +6,9 @@
 // storage on a remote node.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "common/time.hpp"
 #include "cluster/cluster.hpp"
@@ -36,9 +39,48 @@ class NetworkModel {
   Duration transfer_time(NodeId a, NodeId b, Bytes payload,
                          unsigned concurrent_flows = 1) const;
 
+  // ---- reachability (network partitions) --------------------------------
+  //
+  // Directed block rules model asymmetric partitions: a rule blocks every
+  // packet from a node in `from` to a node in `to` while the reverse
+  // direction flows unless a second rule blocks it too. Rules are
+  // installed/removed at event fire time by the failure injector; every
+  // query reflects the rules active at sim-now. With no rules installed
+  // (the default) every query short-circuits to "reachable", so runs that
+  // never schedule a partition are byte-identical to builds without this
+  // surface.
+
+  using RuleId = std::uint64_t;
+
+  /// Install a directed block rule; returns the handle for unblock().
+  RuleId block(std::vector<NodeId> from, std::vector<NodeId> to);
+  /// Remove a rule (heal); unknown ids are ignored.
+  void unblock(RuleId id);
+
+  /// True when any block rule is installed — the fast path guard.
+  bool has_partitions() const { return !rules_.empty(); }
+  std::size_t active_rules() const { return rules_.size(); }
+
+  /// Directed reachability: can a packet from `from` reach `to` now?
+  bool reachable(NodeId from, NodeId to) const;
+
+  /// Quorum predicate: `node` is alive and can exchange traffic (both
+  /// directions) with a strict majority of the cluster's alive nodes,
+  /// itself included. The side of a partition that fails this test cannot
+  /// commit state — the fencing layer builds on it.
+  bool reaches_majority(NodeId node) const;
+
  private:
+  struct Rule {
+    RuleId id;
+    std::vector<NodeId> from;
+    std::vector<NodeId> to;
+  };
+
   const Cluster* cluster_;
   NetworkProfile profile_;
+  std::vector<Rule> rules_;
+  RuleId next_rule_ = 1;
 };
 
 }  // namespace canary::cluster

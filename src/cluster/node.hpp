@@ -38,6 +38,10 @@ struct NodeSpec {
   Bytes memory = Bytes::gib(192);
   std::uint32_t container_slots = 64;
   std::uint32_t rack = 0;
+  /// Fault domain (availability zone). Racks in the same zone share power
+  /// and uplinks, so zone-level failures take them out together. Defaults
+  /// to rack-granularity domains in the testbed.
+  std::uint32_t zone = 0;
 };
 
 class Node;

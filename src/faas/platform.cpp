@@ -888,13 +888,21 @@ void Platform::handle_kill(InvocationInternal& inv, FailureKind kind) {
 
 void Platform::confirm_node_dead(NodeId node) {
   if (cluster_.contains(node) && cluster_.node(node).alive()) {
-    // Fencing: the detector may confirm a live-but-unresponsive worker.
-    // Killing it outright before redeploying its functions is what makes
-    // recovery exactly-once — the fenced attempts can never complete
-    // concurrently with their replacements. The kills stash into
-    // undetected_ and drain below.
-    metrics_.count("nodes_fenced");
-    fail_node(node);
+    if (network_.reaches_majority(node)) {
+      // Fencing: the detector may confirm a live-but-unresponsive worker.
+      // Killing it outright before redeploying its functions is what makes
+      // recovery exactly-once — the fenced attempts can never complete
+      // concurrently with their replacements. The kills stash into
+      // undetected_ and drain below.
+      metrics_.count("nodes_fenced");
+      fail_node(node);
+    } else {
+      // Split-brain case: the worker is alive on the minority side of a
+      // partition, so there is no way to kill it from here. Fence it
+      // logically — its replacements redeploy on the majority side while
+      // the zombie's eventual commit is rejected by the KV epoch gate.
+      logically_fence(node);
+    }
   }
   std::vector<UndetectedFailure> drained;
   for (auto it = undetected_.begin(); it != undetected_.end();) {
@@ -914,6 +922,68 @@ void Platform::confirm_node_dead(NodeId node) {
     if (series_ != nullptr) series_->count("detections", sim_.now());
     if (recovery_ != nullptr) recovery_->on_failure(target, stash.info);
   }
+}
+
+void Platform::logically_fence(NodeId node) {
+  fenced_nodes_.insert(node);
+  metrics_.count("nodes_fenced_logical");
+  // The fence is an ambient root event like a node failure: every victim
+  // invocation's kFailure chains off it, and so does the zombie's later
+  // rejected commit annotation.
+  if (events_ != nullptr) {
+    obs::SpanLabels labels;
+    labels.node = node;
+    node_failure_cause_ =
+        events_->append_raw(events_->new_trace(), obs::kNoEvent,
+                            obs::EventKind::kAnnotation, "node_fenced",
+                            sim_.now(), labels);
+  }
+
+  // Zombie commit attempts: each executing invocation on the minority
+  // side keeps running over there and tries to commit its in-flight state
+  // when that state finishes. The hook routes the attempt through the
+  // real KV put path, where the stale-epoch gate rejects it. Scheduled
+  // before the kills below so the projected end times are still intact.
+  std::vector<ContainerId> on_node;
+  for (const auto& c : containers_) {
+    if (c.node == node && c.alive()) on_node.push_back(c.id);
+  }
+  if (zombie_commit_hook_) {
+    for (const ContainerId cid : on_node) {
+      const auto& c = container_ref(cid);
+      if (!c.assigned.valid()) continue;
+      const InvocationInternal& inv = internal(c.assigned);
+      if (inv.container != cid || inv.phase != Phase::kExecuting) continue;
+      const TimePoint commit_at = std::max(sim_.now(), inv.state_planned_end);
+      const FunctionId id = inv.id;
+      // Deliberately not attempt-guarded: the replacement's progress on
+      // the majority side cannot call the zombie back.
+      sim_.schedule_at(commit_at, [this, node, id] {
+        zombie_commit_hook_(node, id);
+      });
+    }
+  }
+
+  // Retire the node from the scheduler's view (placement, alive_count,
+  // quorum size) and fail its invocations so recovery redeploys them; in
+  // kHeartbeat mode the kills stash into undetected_ and our caller
+  // drains them.
+  cluster_.fail_node(node);
+  if (series_ != nullptr) {
+    series_->set_level("nodes_up", sim_.now(),
+                       static_cast<double>(cluster_.alive_count()));
+  }
+  for (const ContainerId cid : on_node) {
+    auto& c = container_ref(cid);
+    if (!c.alive()) continue;
+    if (c.assigned.valid() && internal(c.assigned).container == cid &&
+        !internal(c.assigned).completed()) {
+      handle_kill(internal(c.assigned), FailureKind::kNodeFailure);
+    } else {
+      destroy_container(cid);
+    }
+  }
+  node_failure_cause_ = obs::kNoEvent;
 }
 
 void Platform::resolve_recovery_markers(InvocationInternal& inv) {
@@ -1038,8 +1108,13 @@ FunctionId Platform::hedge_clone(FunctionId primary) {
   // lands on the same host.
   StartSpec spec;
   if (inv.node.valid()) {
-    spec.node_pref = cluster_.least_loaded_excluding(
-        clone.spec->effective_memory(), {inv.node});
+    spec.node_pref =
+        config_.spread_fault_domains
+            ? cluster_.least_loaded_avoiding_zone(
+                  clone.spec->effective_memory(),
+                  cluster_.zone_of(inv.node), {inv.node})
+            : cluster_.least_loaded_excluding(clone.spec->effective_memory(),
+                                              {inv.node});
   }
   start_attempt(fid, spec);
   return fid;
@@ -1058,7 +1133,7 @@ void Platform::cancel_hedge(FunctionId loser, FunctionId winner) {
   discard_function(loser);
 }
 
-void Platform::fail_node(NodeId node) {
+void Platform::fail_node(NodeId node, obs::EventId cause) {
   cluster_.fail_node(node);
   m_node_failures_.add();
   if (series_ != nullptr) {
@@ -1081,7 +1156,7 @@ void Platform::fail_node(NodeId node) {
     node_failure_cause_ =
         events_->append_raw(events_->new_trace(), obs::kNoEvent,
                             obs::EventKind::kNodeFailure, "node_failure",
-                            sim_.now(), labels);
+                            sim_.now(), labels, cause);
   }
 
   // Slab order is id order, so the victim list is already sorted.

@@ -91,6 +91,11 @@ struct PlatformConfig {
   /// idles (providers do not charge users for the warm pool).
   bool reuse_containers = false;
   Duration warm_pool_idle_timeout = Duration::sec(60.0);
+  /// Fault-domain-aware dispatch: hedge clones prefer a node in a
+  /// *different zone* than the primary (not merely a different node), so
+  /// a zone outage cannot take both copies down together. Off by default;
+  /// disabled runs are byte-identical to builds without the feature.
+  bool spread_fault_domains = false;
 };
 
 /// How a (re)start should run: from which state, on which container/node,
@@ -248,15 +253,33 @@ class Platform {
   /// and completion races are no-ops by construction.
   void cancel_hedge(FunctionId loser, FunctionId winner);
   /// Node-level failure: every hosted container dies; busy invocations
-  /// fail, warm replicas are destroyed.
-  void fail_node(NodeId node);
+  /// fail, warm replicas are destroyed. When `cause` is a valid event id
+  /// (a zone-outage annotation), the node's kNodeFailure root event chains
+  /// off it, so correlated kills share one causal ancestor in the DAG.
+  void fail_node(NodeId node, obs::EventId cause = obs::kNoEvent);
   /// Heartbeat-mode detection endpoint: the failure detector confirmed
-  /// `node` dead. A still-alive node is fenced first (failed outright —
-  /// the exactly-once guarantee for false confirmations on gray or
-  /// partitioned workers), then every stashed undetected failure on the
-  /// node is reported to the recovery handler. No-op in kOracle mode
-  /// unless failures were stashed (there never are).
+  /// `node` dead. A still-alive node that can reach the majority side is
+  /// fenced physically (failed outright — the exactly-once guarantee for
+  /// false confirmations on gray workers). A still-alive node cut off by
+  /// a partition cannot be reached to kill: it is fenced *logically* —
+  /// marked fenced, excluded from placement, its invocations redeployed —
+  /// while the minority-side zombie runs to its natural completion and
+  /// attempts its commit through the zombie-commit hook, where the KV
+  /// store's epoch gate rejects it. Either way every stashed undetected
+  /// failure on the node is then reported to the recovery handler.
   void confirm_node_dead(NodeId node);
+  /// True when `node` was logically fenced by confirm_node_dead (alive
+  /// but partitioned away from the majority at confirmation time).
+  bool node_fenced(NodeId node) const {
+    return fenced_nodes_.count(node) > 0;
+  }
+  /// Install the zombie-commit hook: called at the sim-time a logically
+  /// fenced invocation would have committed its in-flight state, with the
+  /// fenced node and invocation id. The canary checkpointing layer wires
+  /// this to a real (stale-epoch, rejected) KV put.
+  void set_zombie_commit_hook(std::function<void(NodeId, FunctionId)> hook) {
+    zombie_commit_hook_ = std::move(hook);
+  }
   /// Node failures awaiting heartbeat confirmation (kHeartbeat mode).
   std::size_t undetected_failures() const { return undetected_.size(); }
 
@@ -267,6 +290,7 @@ class Platform {
 
   sim::Simulator& simulator() { return sim_; }
   cluster::Cluster& cluster() { return cluster_; }
+  cluster::NetworkModel& network() { return network_; }
   const cluster::NetworkModel& network() const { return network_; }
   const PlatformConfig& config() const { return config_; }
   obs::MetricRegistry& metrics() { return metrics_; }
@@ -373,6 +397,10 @@ class Platform {
   void schedule_next_state(InvocationInternal& inv);
   void complete_function(InvocationInternal& inv);
   void handle_kill(InvocationInternal& inv, FailureKind kind);
+  /// Logical fence for a confirmed-dead node the majority cannot reach:
+  /// mark fenced, retire it from placement, schedule zombie commit
+  /// attempts for its executing invocations, then kill-and-redeploy them.
+  void logically_fence(NodeId node);
   void resolve_recovery_markers(InvocationInternal& inv);
   /// Tail-histogram + time-series recording at completion (no-op unless
   /// attribution or the series is installed).
@@ -431,6 +459,12 @@ class Platform {
     FailureInfo info;
   };
   std::vector<UndetectedFailure> undetected_;
+
+  /// Nodes logically fenced by confirm_node_dead: alive but unreachable
+  /// from the majority at confirmation, excluded from placement forever
+  /// after (re-admission after heal is out of scope).
+  std::set<NodeId> fenced_nodes_;
+  std::function<void(NodeId, FunctionId)> zombie_commit_hook_;
 
   std::deque<FunctionId> pending_;  // waiting on account concurrency
   std::deque<std::pair<FunctionId, StartSpec>> capacity_waiters_;

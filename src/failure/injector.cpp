@@ -6,16 +6,18 @@ namespace canary::failure {
 
 namespace {
 /// Mark an injector-driven node failure in the causal log, so traces can
-/// distinguish injected chaos from organic deaths.
-void annotate_injection(sim::Simulator& simulator, faas::Platform& platform,
-                        NodeId node, const char* what) {
+/// distinguish injected chaos from organic deaths. Returns the event id
+/// (kNoEvent without a log) so correlated kills can share it as a cause.
+obs::EventId annotate_injection(sim::Simulator& simulator,
+                                faas::Platform& platform, NodeId node,
+                                const char* what) {
   auto* events = platform.events();
-  if (events == nullptr) return;
+  if (events == nullptr) return obs::kNoEvent;
   obs::SpanLabels labels;
   labels.node = node;
-  events->append_raw(events->new_trace(), obs::kNoEvent,
-                     obs::EventKind::kAnnotation, what, simulator.now(),
-                     labels);
+  return events->append_raw(events->new_trace(), obs::kNoEvent,
+                            obs::EventKind::kAnnotation, what, simulator.now(),
+                            labels);
 }
 }  // namespace
 
@@ -73,10 +75,10 @@ std::optional<Duration> FailureInjector::plan_kill(const faas::Invocation& inv,
 void FailureInjector::fire_node_failure(sim::Simulator& simulator,
                                         faas::Platform& platform,
                                         kv::KvStore* store, NodeId victim,
-                                        const char* what) {
+                                        const char* what, obs::EventId cause) {
   ++node_kills_;
   annotate_injection(simulator, platform, victim, what);
-  platform.fail_node(victim);
+  platform.fail_node(victim, cause);
   if (store != nullptr) store->fail_node(victim);
 }
 
@@ -139,9 +141,14 @@ void FailureInjector::schedule_correlated_node_failure(
         }
       });
     }
-    // Terminal failure.
+    // Terminal failure. A victim already killed by an overlapping failure
+    // event counts as a skipped kill, same as the explicit-victim path of
+    // schedule_node_failure — one node, one death in the accounting.
     simulator.schedule_at(when, [this, &simulator, &platform, store, node] {
-      if (!platform.cluster().node(node).alive()) return;
+      if (!platform.cluster().node(node).alive()) {
+        ++skipped_node_kills_;
+        return;
+      }
       if (platform.cluster().alive_count() <= 1) return;
       fire_node_failure(simulator, platform, store, node,
                         "injected_correlated_node_failure");
@@ -254,6 +261,88 @@ void FailureInjector::schedule_store_fault(sim::Simulator& simulator,
     if (fired) {
       annotate_injection(simulator, platform, NodeId::invalid(),
                          "injected_store_fault");
+    }
+  });
+}
+
+void FailureInjector::schedule_partition(sim::Simulator& simulator,
+                                         faas::Platform& platform,
+                                         TimePoint start, Duration duration,
+                                         std::vector<NodeId> from,
+                                         std::vector<NodeId> to,
+                                         bool symmetric) {
+  simulator.schedule_at(start, [this, &simulator, &platform, duration,
+                                from = std::move(from), to = std::move(to),
+                                symmetric] {
+    if (from.empty() || to.empty()) {
+      // Degenerate window (a zone slice with no members in this shard):
+      // still counted, so per-shard counter merges stay invariant.
+      ++partitions_started_;
+      ++partitions_healed_;
+      return;
+    }
+    auto& net = platform.network();
+    const auto forward = net.block(from, to);
+    const auto reverse =
+        symmetric ? net.block(to, from) : cluster::NetworkModel::RuleId{0};
+    ++partitions_started_;
+    annotate_injection(simulator, platform, NodeId::invalid(),
+                       "partition_start");
+    simulator.schedule_after(duration, [this, &simulator, &platform, forward,
+                                        reverse, symmetric] {
+      auto& healed = platform.network();
+      healed.unblock(forward);
+      if (symmetric) healed.unblock(reverse);
+      ++partitions_healed_;
+      annotate_injection(simulator, platform, NodeId::invalid(),
+                         "partition_heal");
+    });
+  });
+}
+
+void FailureInjector::schedule_zone_partition(sim::Simulator& simulator,
+                                              faas::Platform& platform,
+                                              TimePoint start,
+                                              Duration duration,
+                                              std::uint32_t zone) {
+  // Resolve membership at fire time: nodes that died before the window
+  // opens are no longer endpoints worth blocking.
+  simulator.schedule_at(start, [this, &simulator, &platform, duration, zone] {
+    std::vector<NodeId> inside;
+    std::vector<NodeId> outside;
+    for (const NodeId id : platform.cluster().alive_node_ids()) {
+      (platform.cluster().zone_of(id) == zone ? inside : outside)
+          .push_back(id);
+    }
+    schedule_partition(simulator, platform, simulator.now(), duration,
+                       std::move(inside), std::move(outside),
+                       /*symmetric=*/true);
+  });
+}
+
+void FailureInjector::schedule_zone_outage(sim::Simulator& simulator,
+                                           faas::Platform& platform,
+                                           kv::KvStore* store, TimePoint when,
+                                           std::uint32_t zone) {
+  simulator.schedule_at(when, [this, &simulator, &platform, store, zone] {
+    ++zone_outages_;
+    // One causal root for the whole outage: every member's kNodeFailure
+    // event carries a cause edge back to it, so the trace shows a single
+    // domain-level event fanning out to correlated kills.
+    const obs::EventId cause = annotate_injection(
+        simulator, platform, NodeId::invalid(), "injected_zone_outage");
+    for (const NodeId member : platform.cluster().nodes_in_zone(zone)) {
+      if (!platform.cluster().node(member).alive()) {
+        // Overlap with an earlier scheduled kill on this member: one
+        // death, one count — the correlated extension of the PR4
+        // double-kill guard.
+        ++skipped_node_kills_;
+        continue;
+      }
+      // Keep at least one node alive so the workload can finish.
+      if (platform.cluster().alive_count() <= 1) break;
+      fire_node_failure(simulator, platform, store, member,
+                        "injected_zone_outage_kill", cause);
     }
   });
 }

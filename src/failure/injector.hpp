@@ -111,6 +111,39 @@ class FailureInjector : public faas::FailurePolicy,
                             faas::Platform& platform, kv::KvStore& store,
                             TimePoint when, unsigned lose, unsigned corrupt);
 
+  // ---- fault surface v3: partitions and fault domains -------------------
+
+  /// Timed partition window: traffic from every node in `from` to every
+  /// node in `to` is blocked during [start, start+duration). Asymmetric by
+  /// default (the reverse direction keeps flowing); `symmetric` installs
+  /// both directions. The heal is a first-class event: rules are removed
+  /// and a partition_heal annotation lands in the causal log.
+  void schedule_partition(sim::Simulator& simulator, faas::Platform& platform,
+                          TimePoint start, Duration duration,
+                          std::vector<NodeId> from, std::vector<NodeId> to,
+                          bool symmetric = false);
+
+  /// Domain bipartition: fault domain `zone` is symmetrically cut off from
+  /// the rest of the cluster for `duration`. Membership is resolved at
+  /// fire time; an empty side makes the window a no-op (still counted, so
+  /// sharded slices merge consistently).
+  void schedule_zone_partition(sim::Simulator& simulator,
+                               faas::Platform& platform, TimePoint start,
+                               Duration duration, std::uint32_t zone);
+
+  /// Correlated zone outage: every still-alive member of `zone` dies at
+  /// `when`, all kills sharing ONE causal zone_outage event in the obs
+  /// DAG. Members already taken down by an earlier scheduled failure are
+  /// skipped and counted in skipped_node_kills — the same double-kill
+  /// guard as schedule_node_failure, extended to correlated kills.
+  void schedule_zone_outage(sim::Simulator& simulator,
+                            faas::Platform& platform, kv::KvStore* store,
+                            TimePoint when, std::uint32_t zone);
+
+  std::uint64_t partitions_started() const { return partitions_started_; }
+  std::uint64_t partitions_healed() const { return partitions_healed_; }
+  std::uint64_t zone_outages() const { return zone_outages_; }
+
   std::uint64_t planned_kills() const { return planned_kills_; }
   std::uint64_t node_kills() const { return node_kills_; }
   std::uint64_t skipped_node_kills() const { return skipped_node_kills_; }
@@ -130,7 +163,8 @@ class FailureInjector : public faas::FailurePolicy,
   };
 
   void fire_node_failure(sim::Simulator& simulator, faas::Platform& platform,
-                         kv::KvStore* store, NodeId victim, const char* what);
+                         kv::KvStore* store, NodeId victim, const char* what,
+                         obs::EventId cause = obs::kNoEvent);
 
   Rng rng_;
   InjectorConfig config_;
@@ -150,6 +184,9 @@ class FailureInjector : public faas::FailurePolicy,
   std::uint64_t heartbeats_delayed_ = 0;
   std::uint64_t store_entries_dropped_ = 0;
   std::uint64_t store_entries_corrupted_ = 0;
+  std::uint64_t partitions_started_ = 0;
+  std::uint64_t partitions_healed_ = 0;
+  std::uint64_t zone_outages_ = 0;
 };
 
 }  // namespace canary::failure

@@ -224,6 +224,95 @@ ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed) {
   return out;
 }
 
+ChaosScenario make_partition_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out = make_chaos_scenario(seed);
+  // child(6): the base consumes child(1..3), traffic child(4), hedge
+  // child(5); the partition overlay draws from its own stream, so the
+  // same seed without the overlay reproduces the plain chaos scenario.
+  Rng part = Rng(seed).child(6);
+  ScenarioConfig& cfg = out.config;
+
+  // Re-size the cluster so cutting the last (smallest) fault domain
+  // always leaves a strict majority in the worst case. Ten nodes put two
+  // in the last zone (testbed racks hold four); even with every other
+  // possible death landing outside it — two base kills, two node-scoped
+  // heartbeat-fault fences, the asymmetric window's victim — five alive
+  // nodes remain, of which three reach each other: still more than the
+  // two cut off. Eleven or twelve nodes would widen the cut zone enough
+  // for that same worst case to deadlock both sides below quorum.
+  cfg.cluster_nodes = 10;
+  const std::uint32_t cut_zone =
+      static_cast<std::uint32_t>((cfg.cluster_nodes - 1) / 4);
+
+  // Tighten detection so every zone cut outlasts the confirm threshold:
+  // bound <= 400ms * (1 + 3 + 2) + 2*150ms = 2.7s, below the shortest
+  // window. The majority side fences-and-redeploys while the minority
+  // keeps executing — the zombie-commit probe fires on every such seed.
+  cfg.detection.heartbeat_interval =
+      Duration::msec(part.uniform_int(200, 400));
+  cfg.detection.timeout_multiplier = part.uniform(2.0, 3.0);
+  cfg.detection.confirm_multiplier = part.uniform(1.0, 2.0);
+
+  // Half the seeds exercise fault-domain-aware placement, half the
+  // domain-blind baseline — the oracles must hold for both.
+  cfg.fault_domain_spread = part.bernoulli(0.5);
+
+  const std::size_t cut_count = part.uniform_int(1, 2);
+  for (std::size_t i = 0; i < cut_count; ++i) {
+    ScenarioConfig::PartitionFault window;
+    window.at = Duration::sec(part.uniform(1.0, 6.0));
+    window.duration = Duration::sec(part.uniform(4.0, 10.0));
+    window.zone = cut_zone;
+    cfg.partitions.push_back(window);
+  }
+
+  // An optional short asymmetric window: one victim loses its outbound
+  // path only (one-way heartbeat loss). Shorter than the confirm
+  // threshold on most draws, so the suspicion it raises must cancel
+  // cleanly when the window heals instead of fencing a live node.
+  if (part.bernoulli(0.7)) {
+    ScenarioConfig::PartitionFault window;
+    window.at = Duration::sec(part.uniform(1.0, 8.0));
+    window.duration = Duration::sec(part.uniform(0.4, 1.6));
+    const NodeId victim{part.uniform_int(1, cfg.cluster_nodes)};
+    window.from.push_back(victim);
+    for (std::size_t n = 1; n <= cfg.cluster_nodes; ++n) {
+      if (NodeId{n} != victim) window.to.push_back(NodeId{n});
+    }
+    window.symmetric = false;
+    cfg.partitions.push_back(window);
+  }
+
+  // An optional correlated outage of the cut zone, racing the windows.
+  // Landing inside a cut it kills already-fenced members (the injector's
+  // overlap accounting must count them as skipped, not double deaths);
+  // landing outside it turns the later cut into a window over dead nodes.
+  // Targeting only the cut zone keeps the loss bounded at one domain, so
+  // completion stays achievable on every seed.
+  if (part.bernoulli(0.5)) {
+    ScenarioConfig::ZoneOutage outage;
+    outage.at = Duration::sec(part.uniform(2.0, 12.0));
+    outage.zone = cut_zone;
+    cfg.zone_outages.push_back(outage);
+  }
+
+  return out;
+}
+
+ChaosScenario make_sharded_partition_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario out = make_partition_chaos_scenario(seed);
+  out.config.sharding.enabled = true;
+  out.config.sharding.partitions = 4;
+  out.config.sharding.workers = 4;
+  // As in make_sharded_chaos_scenario: grow the cluster by the partition
+  // count so each engine partition keeps a full base-sized slice. Zone
+  // windows and outages carry zone ids (slice-local layout is identical)
+  // and the node-set windows' ids remap modularly, so every slice sees
+  // the same storm the monolithic run would.
+  out.config.cluster_nodes *= out.config.sharding.partitions;
+  return out;
+}
+
 ChaosScenario make_sharded_chaos_scenario(std::uint64_t seed) {
   ChaosScenario out = make_chaos_scenario(seed);
   out.config.sharding.enabled = true;
@@ -317,6 +406,53 @@ std::vector<std::string> chaos_oracles(const ChaosScenario& scenario,
       os << "hedge-exactly-once: completed run left " << h.open
          << " race(s) open";
       violate(os.str());
+    }
+  }
+
+  // 9. No split brain: a logically fenced minority-side zombie finishes
+  // executing, but every commit it attempts must be rejected at the
+  // store's epoch gate. Together with oracle 2 (one kComplete per
+  // function) this bounds committed side effects at one per invocation.
+  auto counter = [&result](const char* name) -> double {
+    auto it = result.counters.find(name);
+    return it == result.counters.end() ? 0.0 : it->second;
+  };
+  const double zombie_attempts = counter("zombie_commit_attempts");
+  const double zombie_committed = counter("zombie_commits_committed");
+  const double zombie_rejected = counter("zombie_commits_rejected");
+  if (zombie_committed > 0.0) {
+    std::ostringstream os;
+    os << "no-split-brain: " << zombie_committed
+       << " fenced-writer commit(s) reached the store";
+    violate(os.str());
+  }
+  if (zombie_attempts != zombie_committed + zombie_rejected) {
+    std::ostringstream os;
+    os << "no-split-brain: " << zombie_attempts << " zombie attempt(s) != "
+       << zombie_rejected << " rejected + " << zombie_committed
+       << " committed";
+    violate(os.str());
+  }
+
+  // 10. Heal convergence: after the last heal the cluster's views agree.
+  if (result.injected_partitions > 0 || result.injected_zone_outages > 0) {
+    if (result.injected_partition_heals != result.injected_partitions) {
+      std::ostringstream os;
+      os << "heal-convergence: " << result.injected_partitions
+         << " partition(s) started but " << result.injected_partition_heals
+         << " healed";
+      violate(os.str());
+    }
+    if (result.partitions_active_end != 0) {
+      std::ostringstream os;
+      os << "heal-convergence: " << result.partitions_active_end
+         << " reachability rule(s) still active at end of run";
+      violate(os.str());
+    }
+    if (!result.metadata_views_consistent) {
+      violate(
+          "heal-convergence: controller worker_info liveness disagrees "
+          "with cluster ground truth after the last heal");
     }
   }
 
@@ -488,6 +624,21 @@ ChaosOutcome evaluate_scenario(const ChaosScenario& scenario,
   out.hedge_wins = result.hedge.wins;
   out.hedges_cancelled = result.hedge.cancelled;
 
+  out.partitions_started = result.injected_partitions;
+  out.partitions_healed = result.injected_partition_heals;
+  out.zone_outages = result.injected_zone_outages;
+  out.heartbeats_partition_dropped = result.heartbeats_partition_dropped;
+  out.stale_epoch_rejects = result.kv_stale_epoch_rejects;
+  out.quorum_blocked_puts = result.kv_quorum_blocked_puts;
+  if (auto it = result.counters.find("zombie_commit_attempts");
+      it != result.counters.end()) {
+    out.zombie_commit_attempts = static_cast<std::uint64_t>(it->second);
+  }
+  if (auto it = result.counters.find("zombie_commits_rejected");
+      it != result.counters.end()) {
+    out.zombie_commits_rejected = static_cast<std::uint64_t>(it->second);
+  }
+
   out.violations = chaos_oracles(scenario, result);
   return out;
 }
@@ -508,6 +659,14 @@ ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed) {
 
 ChaosOutcome run_sharded_chaos_scenario(std::uint64_t seed) {
   return evaluate_scenario(make_sharded_chaos_scenario(seed), seed);
+}
+
+ChaosOutcome run_partition_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_partition_chaos_scenario(seed), seed);
+}
+
+ChaosOutcome run_sharded_partition_chaos_scenario(std::uint64_t seed) {
+  return evaluate_scenario(make_sharded_partition_chaos_scenario(seed), seed);
 }
 
 }  // namespace canary::harness

@@ -29,7 +29,19 @@
 //                      once (fired == wins + cancelled, no race left
 //                      open on a completed run) and the causal log
 //                      agrees (#kHedged == fired, #kHedgeCancelled ==
-//                      resolved races).
+//                      resolved races);
+//   9. no split brain — at most one committed side effect per invocation
+//                      even when both sides of a partition execute it:
+//                      every commit attempted by a logically fenced
+//                      (minority-side zombie) worker is rejected at the
+//                      store's epoch gate (zombie_commits_committed == 0,
+//                      on top of oracle 2's per-function completion
+//                      count);
+//  10. heal convergence — every partition window that started also
+//                      healed, no reachability rule outlives the run,
+//                      the controller's worker_info liveness view agrees
+//                      with the cluster ground truth, and no invocation
+//                      is left stranded (oracle 6 under partitions).
 #pragma once
 
 #include <cstdint>
@@ -77,6 +89,23 @@ ChaosScenario make_hedge_chaos_scenario(std::uint64_t seed);
 /// re-evaluated on the merged result.
 ChaosScenario make_sharded_chaos_scenario(std::uint64_t seed);
 
+/// The fifth family: partition/zone/heal storms. The base scenario gains
+/// 1-2 long zone bipartitions (cutting the cluster's last fault domain,
+/// sized so the majority side always survives), an optional short
+/// asymmetric window (one-way heartbeat loss that must un-suspect cleanly
+/// on heal), and an optional correlated zone outage racing the windows.
+/// Half the seeds turn on fault-domain-aware placement. Derived from
+/// `Rng(seed).child(6)`, so the base draws (and every other overlay's
+/// stream) are untouched.
+ChaosScenario make_partition_chaos_scenario(std::uint64_t seed);
+
+/// The partition scenario scaled out over the conservative parallel
+/// engine (4 partitions x 4 workers), the same way
+/// make_sharded_chaos_scenario scales the base: each shard keeps a full
+/// base-sized cluster slice and resolves its zone windows/outages against
+/// its own slice.
+ChaosScenario make_sharded_partition_chaos_scenario(std::uint64_t seed);
+
 struct ChaosOutcome {
   std::uint64_t seed = 0;
   bool completed = false;
@@ -103,6 +132,15 @@ struct ChaosOutcome {
   std::uint64_t hedges_fired = 0;
   std::uint64_t hedge_wins = 0;
   std::uint64_t hedges_cancelled = 0;
+  // Partition-surface totals (zero for non-partition scenarios).
+  std::uint64_t partitions_started = 0;
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t zone_outages = 0;
+  std::uint64_t heartbeats_partition_dropped = 0;
+  std::uint64_t stale_epoch_rejects = 0;
+  std::uint64_t quorum_blocked_puts = 0;
+  std::uint64_t zombie_commit_attempts = 0;
+  std::uint64_t zombie_commits_rejected = 0;
   /// Human-readable oracle violations; empty = scenario passed.
   std::vector<std::string> violations;
 };
@@ -122,6 +160,14 @@ ChaosOutcome run_hedge_chaos_scenario(std::uint64_t seed);
 /// parallel engine) and evaluate every oracle per shard plus the merged
 /// scalars. Exactly-once must survive cross-shard traffic and node kills.
 ChaosOutcome run_sharded_chaos_scenario(std::uint64_t seed);
+
+/// Run one seeded partition scenario (zone cuts + asymmetric windows +
+/// correlated outages) and evaluate every oracle, no-split-brain and
+/// heal-convergence included.
+ChaosOutcome run_partition_chaos_scenario(std::uint64_t seed);
+
+/// Run one seeded sharded partition scenario (4 partitions x 4 workers).
+ChaosOutcome run_sharded_partition_chaos_scenario(std::uint64_t seed);
 
 /// Oracle evaluation, separated for tests: checks `result` (and the
 /// scenario it came from) and returns the violations. For sharded

@@ -24,7 +24,16 @@ faas::PlatformConfig effective_platform_config(const ScenarioConfig& config) {
     // autoscaler's prewarmed containers could never serve an invocation.
     platform_config.reuse_containers = true;
   }
+  if (config.fault_domain_spread) {
+    platform_config.spread_fault_domains = true;  // hedge-clone placement
+  }
   return platform_config;
+}
+
+kv::KvConfig effective_kv_config(const ScenarioConfig& config) {
+  kv::KvConfig kv_config = config.kv;
+  if (config.fault_domain_spread) kv_config.spread_fault_domains = true;
+  return kv_config;
 }
 
 // Non-owning alias of a caller-owned batch spec. The scenario job list
@@ -47,7 +56,7 @@ ScenarioInstance::ScenarioInstance(sim::Simulator& sim,
       cluster(cluster::Cluster::testbed(config.cluster_nodes)),
       network(&cluster, {}),
       storage(config.storage.value_or(cluster::StorageHierarchy::testbed())),
-      store(config.kv, cluster.node_ids()),
+      store(effective_kv_config(config), cluster.node_ids()),
       metrics(),
       platform(simulator, cluster, network, effective_platform_config(config),
                metrics) {
@@ -66,6 +75,15 @@ ScenarioInstance::ScenarioInstance(sim::Simulator& sim,
     platform.set_event_log(events.get());
   }
   platform.set_slo_monitor(&slo);
+
+  // Writer-attributed KV commits route through the reachability model: a
+  // writer cut off from the quorum cannot commit. With no partition rules
+  // installed reaches_majority short-circuits to true, so this gate is
+  // free (and byte-identical) for every pre-partition scenario. The zone
+  // map only matters when fault_domain_spread turns on zone-aware owners.
+  store.set_writer_quorum(
+      [&net = network](NodeId writer) { return net.reaches_majority(writer); });
+  store.set_zone_map([&c = cluster](NodeId node) { return c.zone_of(node); });
 
   // Opt-in tail attribution + windowed rollups. Neither touches any code
   // path when disabled, so attribution-off runs stay byte-identical.
@@ -114,7 +132,12 @@ ScenarioInstance::ScenarioInstance(sim::Simulator& sim,
       break;
     }
     case StrategyKind::kCanary: {
-      canary_fw.emplace(platform, store, storage, config.strategy.canary);
+      core::CanaryConfig canary_config = config.strategy.canary;
+      if (config.fault_domain_spread) {
+        canary_config.spread_fault_domains = true;
+        canary_config.replication.spread_fault_domains = true;
+      }
+      canary_fw.emplace(platform, store, storage, canary_config);
       canary_fw->install();
       if (detector) {
         detector->set_listener(&*canary_fw);
@@ -230,6 +253,23 @@ ScenarioInstance::ScenarioInstance(sim::Simulator& sim,
                                      TimePoint::origin() + fault.at,
                                      fault.lose, fault.corrupt);
     }
+    for (const auto& part : config.partitions) {
+      if (part.zone.has_value()) {
+        injector->schedule_zone_partition(simulator, platform,
+                                          TimePoint::origin() + part.at,
+                                          part.duration, *part.zone);
+      } else {
+        injector->schedule_partition(simulator, platform,
+                                     TimePoint::origin() + part.at,
+                                     part.duration, part.from, part.to,
+                                     part.symmetric);
+      }
+    }
+    for (const auto& outage : config.zone_outages) {
+      injector->schedule_zone_outage(simulator, platform, &store,
+                                     TimePoint::origin() + outage.at,
+                                     outage.zone);
+    }
   }
 
   if (detector) detector->start();
@@ -313,6 +353,41 @@ RunResult ScenarioInstance::collect() {
   result.injected_heartbeats_delayed = injector->heartbeats_delayed();
   result.injected_store_drops = injector->store_entries_dropped();
   result.injected_store_corruptions = injector->store_entries_corrupted();
+  result.injected_partitions = injector->partitions_started();
+  result.injected_partition_heals = injector->partitions_healed();
+  result.injected_zone_outages = injector->zone_outages();
+  result.partitions_active_end = network.active_rules();
+  if (detector) {
+    result.heartbeats_partition_dropped =
+        detector->heartbeats_partition_dropped();
+  }
+  {
+    const kv::KvStats kv_stats = store.stats();
+    result.kv_stale_epoch_rejects = kv_stats.stale_epoch_rejects;
+    result.kv_quorum_blocked_puts = kv_stats.quorum_blocked_puts;
+  }
+  if (canary_fw.has_value()) {
+    // Heal-convergence view check. A row may legitimately lag a death the
+    // detector never got to confirm (the run can end first), so the
+    // asserted direction is the split-brain-relevant one: no row declares
+    // dead a worker that is actually alive, and every detector-confirmed
+    // worker's row reads dead.
+    for (const NodeId id : cluster.node_ids()) {
+      const auto* row = canary_fw->metadata().worker(id);
+      if (row == nullptr) {
+        result.metadata_views_consistent = false;
+        break;
+      }
+      if (!row->alive && cluster.node(id).alive()) {
+        result.metadata_views_consistent = false;
+        break;
+      }
+      if (detector && detector->is_confirmed_dead(id) && row->alive) {
+        result.metadata_views_consistent = false;
+        break;
+      }
+    }
+  }
 
   if (spans != nullptr) {
     result.spans_recorded = spans->size();

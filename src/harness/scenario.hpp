@@ -79,6 +79,32 @@ struct ScenarioConfig {
     unsigned corrupt = 0;
   };
   std::vector<StoreFault> store_faults;
+  /// Timed network partition windows (fault surface v3). A window either
+  /// bipartitions a fault domain (`zone` set: the zone is symmetrically
+  /// cut off from the rest of the cluster) or blocks the explicit node
+  /// sets `from` -> `to` (one-way unless `symmetric`). Every window heals
+  /// after `duration`; heals are first-class events in the causal log.
+  struct PartitionFault {
+    Duration at;
+    Duration duration = Duration::sec(2.0);
+    std::optional<std::uint32_t> zone;
+    std::vector<NodeId> from;
+    std::vector<NodeId> to;
+    bool symmetric = false;
+  };
+  std::vector<PartitionFault> partitions;
+  /// Correlated fault-domain outages: every still-alive member of `zone`
+  /// dies at the offset, all kills sharing ONE causal event in the DAG.
+  struct ZoneOutage {
+    Duration at;
+    std::uint32_t zone = 0;
+  };
+  std::vector<ZoneOutage> zone_outages;
+  /// Fault-domain-aware placement across the stack: replica placement,
+  /// checkpoint KV-shard owners, hedge clones, and recovery re-dispatch
+  /// all spread across zones. Off by default — the domain-blind baseline
+  /// (and byte-identical artifacts with the partition surface unused).
+  bool fault_domain_spread = false;
   std::uint64_t seed = 42;
   faas::PlatformConfig platform;
   kv::KvConfig kv;
@@ -200,6 +226,22 @@ struct RunResult {
   std::uint64_t injected_heartbeats_delayed = 0;
   std::uint64_t injected_store_drops = 0;
   std::uint64_t injected_store_corruptions = 0;
+  /// Partition surface (fault surface v3). Heal-convergence oracle inputs:
+  /// every started window must heal, no block rules may outlive the run,
+  /// and the controller's metadata liveness view must agree with the
+  /// cluster ground truth once the last partition heals.
+  std::uint64_t injected_partitions = 0;
+  std::uint64_t injected_partition_heals = 0;
+  std::uint64_t injected_zone_outages = 0;
+  std::uint64_t partitions_active_end = 0;
+  std::uint64_t heartbeats_partition_dropped = 0;
+  /// Epoch-fence accounting from the KV store: commits rejected because
+  /// the writer was fenced (zombie side) or could not reach the quorum.
+  std::uint64_t kv_stale_epoch_rejects = 0;
+  std::uint64_t kv_quorum_blocked_puts = 0;
+  /// True when every metadata worker row's liveness matches the cluster
+  /// at run end (trivially true for non-Canary strategies).
+  bool metadata_views_consistent = true;
 
   /// Open-loop traffic accounting (all zero unless
   /// ScenarioConfig::traffic.enabled). The two conservation identities —

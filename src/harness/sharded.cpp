@@ -108,6 +108,25 @@ ScenarioConfig derive_partition_config(const ScenarioConfig& config,
   }
   part.store_faults =
       round_robin_slice(config.store_faults, partition, partitions);
+  // Partition windows and zone outages are dealt like every other fault
+  // family. Explicit node sets fold into the local id range; zone-scoped
+  // faults resolve membership at fire time against the partition's own
+  // cluster slice (a zone absent from the slice makes the window/outage a
+  // counted no-op, so merged fault totals stay partition-count
+  // invariant). Cross-shard KV mirroring respects reachability for free:
+  // a quorum-blocked writer's put fails locally before the mirror
+  // observer ever fires.
+  part.partitions = round_robin_slice(config.partitions, partition, partitions);
+  for (auto& window : part.partitions) {
+    for (auto& from : window.from) {
+      from = *remap_node(from, nodes);
+    }
+    for (auto& to : window.to) {
+      to = *remap_node(to, nodes);
+    }
+  }
+  part.zone_outages =
+      round_robin_slice(config.zone_outages, partition, partitions);
 
   // Traffic streams are whole-stream partitioned: a stream's arrival
   // process, admission class, and latency accounting stay together.
@@ -166,6 +185,15 @@ RunResult merge_sharded_results(
     merged.injected_heartbeats_delayed += r.injected_heartbeats_delayed;
     merged.injected_store_drops += r.injected_store_drops;
     merged.injected_store_corruptions += r.injected_store_corruptions;
+    merged.injected_partitions += r.injected_partitions;
+    merged.injected_partition_heals += r.injected_partition_heals;
+    merged.injected_zone_outages += r.injected_zone_outages;
+    merged.partitions_active_end += r.partitions_active_end;
+    merged.heartbeats_partition_dropped += r.heartbeats_partition_dropped;
+    merged.kv_stale_epoch_rejects += r.kv_stale_epoch_rejects;
+    merged.kv_quorum_blocked_puts += r.kv_quorum_blocked_puts;
+    merged.metadata_views_consistent =
+        merged.metadata_views_consistent && r.metadata_views_consistent;
     if (r.traffic.enabled) {
       RunResult::TrafficSummary& t = merged.traffic;
       t.enabled = true;

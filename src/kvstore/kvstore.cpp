@@ -39,6 +39,43 @@ std::vector<NodeId> KvStore::choose_owners(const std::string& key) const {
   const std::size_t copies =
       std::min<std::size_t>(1 + config_.backups, cache_nodes_.size());
   const std::size_t start = std::hash<std::string>{}(key) % cache_nodes_.size();
+  if (config_.spread_fault_domains && zone_of_ && copies > 1) {
+    // Primary at the hash slot as before; each backup walks forward and
+    // takes the first node in a zone no copy occupies yet, falling back
+    // to the plain consecutive choice when every remaining node shares a
+    // zone with an existing copy. Deterministic in (key, membership).
+    owners.push_back(cache_nodes_[start]);
+    std::vector<std::uint32_t> used_zones{zone_of_(owners.front())};
+    std::size_t cursor = 1;
+    while (owners.size() < copies) {
+      NodeId pick = NodeId::invalid();
+      for (std::size_t i = cursor; i < cache_nodes_.size(); ++i) {
+        const NodeId cand = cache_nodes_[(start + i) % cache_nodes_.size()];
+        if (std::find(owners.begin(), owners.end(), cand) != owners.end()) {
+          continue;
+        }
+        if (std::find(used_zones.begin(), used_zones.end(),
+                      zone_of_(cand)) == used_zones.end()) {
+          pick = cand;
+          break;
+        }
+      }
+      if (!pick.valid()) {
+        for (std::size_t i = cursor; i < cache_nodes_.size(); ++i) {
+          const NodeId cand = cache_nodes_[(start + i) % cache_nodes_.size()];
+          if (std::find(owners.begin(), owners.end(), cand) == owners.end()) {
+            pick = cand;
+            break;
+          }
+        }
+      }
+      if (!pick.valid()) break;
+      used_zones.push_back(zone_of_(pick));
+      owners.push_back(pick);
+      ++cursor;
+    }
+    return owners;
+  }
   for (std::size_t i = 0; i < copies; ++i) {
     owners.push_back(cache_nodes_[(start + i) % cache_nodes_.size()]);
   }
@@ -80,6 +117,25 @@ Status KvStore::put(const std::string& key, std::string payload,
   }
   if (put_observer_) put_observer_(key, std::move(mirrored), size);
   return Status::ok_status();
+}
+
+Status KvStore::put(const std::string& key, std::string payload,
+                    std::optional<Bytes> logical_size, NodeId writer) {
+  if (writer.valid()) {
+    // The epoch gate first: a fenced writer stays rejected even after the
+    // partition heals and it regains quorum — its epoch is stale forever.
+    if (node_fenced(writer)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.stale_epoch_rejects;
+      return Error::unavailable("stale epoch: writer was fenced");
+    }
+    if (writer_quorum_ && !writer_quorum_(writer)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.quorum_blocked_puts;
+      return Error::unavailable("writer cannot reach the KV quorum");
+    }
+  }
+  return put(key, std::move(payload), logical_size);
 }
 
 Result<KvEntry> KvStore::get(const std::string& key) const {
@@ -225,10 +281,27 @@ void KvStore::fail_node(NodeId node) {
 
 void KvStore::restore_node(NodeId node) {
   std::unique_lock<std::shared_mutex> mlock(membership_mutex_);
+  fenced_nodes_.erase(
+      std::remove(fenced_nodes_.begin(), fenced_nodes_.end(), node),
+      fenced_nodes_.end());
   auto it = std::find(dead_nodes_.begin(), dead_nodes_.end(), node);
   if (it == dead_nodes_.end()) return;
   dead_nodes_.erase(it);
   cache_nodes_.push_back(node);
+}
+
+void KvStore::fence_node(NodeId node) {
+  std::unique_lock<std::shared_mutex> mlock(membership_mutex_);
+  if (std::find(fenced_nodes_.begin(), fenced_nodes_.end(), node) ==
+      fenced_nodes_.end()) {
+    fenced_nodes_.push_back(node);
+  }
+}
+
+bool KvStore::node_fenced(NodeId node) const {
+  std::shared_lock<std::shared_mutex> mlock(membership_mutex_);
+  return std::find(fenced_nodes_.begin(), fenced_nodes_.end(), node) !=
+         fenced_nodes_.end();
 }
 
 }  // namespace canary::kv

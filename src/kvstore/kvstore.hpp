@@ -49,6 +49,11 @@ struct KvConfig {
   /// Ignite native persistence: entries survive even if every cache node
   /// holding them dies.
   bool native_persistence = true;
+  /// Fault-domain-aware owner selection (partitioned mode): backup copies
+  /// prefer cache nodes in a *different zone* than the primary, so a zone
+  /// outage cannot destroy every copy of an entry. Requires a zone map
+  /// (set_zone_map); off by default and byte-identical when off.
+  bool spread_fault_domains = false;
 };
 
 struct KvEntry {
@@ -74,6 +79,13 @@ struct KvStats {
   std::uint64_t rejected_oversize = 0;
   std::uint64_t entries_lost = 0;       // destroyed by node/shard failures
   std::uint64_t entries_corrupted = 0;  // bit rot injected by shard faults
+  /// Writes rejected because the writer node was epoch-fenced: a zombie
+  /// on the minority side of a partition tried to commit after the
+  /// majority confirmed it dead and redeployed its work.
+  std::uint64_t stale_epoch_rejects = 0;
+  /// Writes rejected because the writer could not reach the KV quorum at
+  /// put time (mid-partition, before the detector fenced it).
+  std::uint64_t quorum_blocked_puts = 0;
 };
 
 class KvStore {
@@ -89,6 +101,15 @@ class KvStore {
   /// kResourceExhausted when `logical_size` exceeds the per-entry limit.
   Status put(const std::string& key, std::string payload,
              std::optional<Bytes> logical_size = std::nullopt);
+
+  /// Writer-attributed put: the commit path for checkpoint/state writes.
+  /// Rejected (kUnavailable) when `writer` has been epoch-fenced
+  /// (stale_epoch_rejects) or currently fails the installed quorum
+  /// predicate (quorum_blocked_puts). An invalid writer id or an
+  /// unfenced writer with no predicate installed behaves exactly like the
+  /// plain put above.
+  Status put(const std::string& key, std::string payload,
+             std::optional<Bytes> logical_size, NodeId writer);
 
   Result<KvEntry> get(const std::string& key) const;
   bool contains(const std::string& key) const;
@@ -130,7 +151,27 @@ class KvStore {
   void fail_node(NodeId node);
   /// Bring `node` back as a cache node for future puts (existing entries
   /// are not rebalanced onto it, matching Ignite's lazy rebalancing).
+  /// Restoring also clears any fence: a re-admitted node rejoins at a
+  /// fresh epoch.
   void restore_node(NodeId node);
+
+  // ---- epoch fencing (split-brain safety) -------------------------------
+  /// Advance `node`'s write epoch: every subsequent writer-attributed put
+  /// from it is a stale-epoch write and is rejected. Called when the
+  /// majority side confirms a partitioned-away worker dead — the
+  /// minority-side zombie keeps executing, but its commit is a no-op.
+  void fence_node(NodeId node);
+  bool node_fenced(NodeId node) const;
+  /// Quorum predicate consulted by writer-attributed puts; wired to
+  /// NetworkModel::reaches_majority by the harness. Unset = always true.
+  void set_writer_quorum(std::function<bool(NodeId)> predicate) {
+    writer_quorum_ = std::move(predicate);
+  }
+  /// Zone lookup for fault-domain-aware owner selection; wired to
+  /// Cluster::zone_of by the harness.
+  void set_zone_map(std::function<std::uint32_t(NodeId)> zone_of) {
+    zone_of_ = std::move(zone_of);
+  }
 
  private:
   struct Shard {
@@ -145,8 +186,13 @@ class KvStore {
 
   KvConfig config_;
   PutObserver put_observer_;
+  std::function<bool(NodeId)> writer_quorum_;
+  std::function<std::uint32_t(NodeId)> zone_of_;
   std::vector<NodeId> cache_nodes_;
   std::vector<NodeId> dead_nodes_;
+  /// Nodes whose write epoch was advanced by fence_node; guarded by
+  /// membership_mutex_.
+  std::vector<NodeId> fenced_nodes_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex stats_mutex_;
   mutable KvStats stats_;  // gets/hits/misses are counted in const reads

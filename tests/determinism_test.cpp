@@ -199,6 +199,25 @@ void add_attribution(harness::ScenarioConfig& config) {
   config.timeseries.enabled = true;
 }
 
+void add_partitions(harness::ScenarioConfig& config) {
+  // The v3 partition surface, active inside every engine slice: a zone
+  // bipartition that fences the slice's minority side, plus a correlated
+  // zone outage landing on the already-fenced nodes (skipped kills).
+  config.detection.enabled = true;
+  config.detection.heartbeat_interval = Duration::msec(250);
+  config.detection.timeout_multiplier = 2.0;
+  config.detection.confirm_multiplier = 1.0;
+  config.detection.sweep_interval = Duration::msec(100);
+  config.detection.horizon = Duration::sec(600.0);
+  config.fault_domain_spread = true;
+  harness::ScenarioConfig::PartitionFault window;
+  window.at = Duration::sec(2.0);
+  window.duration = Duration::sec(3.0);
+  window.zone = 1;
+  config.partitions.push_back(window);
+  config.zone_outages.push_back({Duration::sec(6.0), 1});
+}
+
 std::string render_sharded_report(const harness::RunResult& result,
                                   const harness::ScenarioConfig& config) {
   harness::Aggregate agg;
@@ -260,6 +279,44 @@ TEST(ShardInvarianceTest, InvariantWithHedging) {
 TEST(ShardInvarianceTest, InvariantWithAttribution) {
   expect_worker_invariant(
       [](harness::ScenarioConfig& c) { add_attribution(c); });
+}
+
+TEST(ShardInvarianceTest, InvariantWithPartitions) {
+  // Worker invariance with the partition surface ENABLED: zone cuts,
+  // logical fencing, and the correlated outage resolve inside each
+  // engine slice, so the worker count still must not change a byte.
+  expect_worker_invariant(
+      [](harness::ScenarioConfig& c) { add_partitions(c); });
+}
+
+TEST(DeterminismTest, PartitionSurfaceOffKeepsArtifactsByteIdentical) {
+  // The partition-off contract: a scenario that never schedules a
+  // partition, zone outage, or fault-domain spread produces a report and
+  // trace with zero v3-surface artifacts — the same bytes a pre-surface
+  // build would emit (CI cross-checks the figure outputs the same way).
+  const harness::ScenarioConfig config = scenario_under_test();
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const std::string report =
+      render_report(harness::run_repetitions(config, jobs, 2));
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.find("partitions_started"), std::string::npos);
+  EXPECT_EQ(report.find("zombie_commit_attempts"), std::string::npos);
+  EXPECT_EQ(report.find("stale_epoch_rejects"), std::string::npos);
+  EXPECT_EQ(report.find("nodes_fenced_logical"), std::string::npos);
+  EXPECT_EQ(report.find("heartbeats_partition_dropped"), std::string::npos);
+
+  const harness::RunResult run = harness::ScenarioRunner::run(config, jobs);
+  EXPECT_EQ(run.injected_partitions, 0u);
+  EXPECT_EQ(run.injected_zone_outages, 0u);
+  EXPECT_EQ(run.heartbeats_partition_dropped, 0u);
+  EXPECT_EQ(run.kv_stale_epoch_rejects, 0u);
+  EXPECT_EQ(run.kv_quorum_blocked_puts, 0u);
+  const std::string trace = render_trace(run);
+  EXPECT_EQ(trace.find("partition_start"), std::string::npos);
+  EXPECT_EQ(trace.find("partition_heal"), std::string::npos);
+  EXPECT_EQ(trace.find("node_fenced"), std::string::npos);
+  EXPECT_EQ(trace.find("injected_zone_outage"), std::string::npos);
 }
 
 TEST(ShardInvarianceTest, ShardedRunExercisesCrossShardChannels) {

@@ -131,6 +131,86 @@ TEST(FailureDetectorScenarioTest, FalseSuspicionCancelsCleanly) {
   expect_exactly_once(result);
 }
 
+TEST(FailureDetectorScenarioTest, AsymmetricPartitionFalseSuspicionHeals) {
+  // One-way heartbeat loss from a live worker (fault surface v3): a
+  // short asymmetric window cuts node 3's outbound traffic so its beats
+  // are dropped at send, long enough to suspect it but shorter than the
+  // confirm threshold. On heal the next beat must un-suspect it exactly
+  // once — nobody fenced, nothing re-executed.
+  auto config = detection_config(Duration::msec(500));
+  config.detection.timeout_multiplier = 2.0;  // suspect after 1s gap
+  config.detection.confirm_multiplier = 4.0;  // confirm after 3s gap
+  config.error_rate = 0.0;
+  ScenarioConfig::PartitionFault window;
+  window.at = Duration::sec(2.0);
+  window.duration = Duration::sec(2.0);  // max gap ~2.5s, between thresholds
+  window.from = {NodeId{3}};
+  for (std::size_t n = 1; n <= 8; ++n) {
+    if (n != 3) window.to.push_back(NodeId{n});
+  }
+  config.partitions.push_back(window);
+  const auto result = ScenarioRunner::run(config, small_web_jobs());
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.detector_false_suspicions, 1u);
+  EXPECT_EQ(result.detector_confirmed_dead, 0u);
+  EXPECT_GT(result.heartbeats_partition_dropped, 0u);
+  EXPECT_EQ(result.injected_partitions, 1u);
+  EXPECT_EQ(result.injected_partition_heals, 1u);
+  EXPECT_EQ(result.partitions_active_end, 0u);
+  EXPECT_EQ(result.counters.count("nodes_fenced_logical"), 0u);
+  EXPECT_TRUE(result.metadata_views_consistent);
+  expect_exactly_once(result);
+}
+
+TEST(FailureDetectorScenarioTest, AsymmetricPartitionConfirmsWithinBound) {
+  // The same one-way loss held past the confirm threshold: the victim is
+  // alive but unreachable, so the detector logically fences it. The
+  // fence must land within the analytic heartbeat bound of the window
+  // opening, and the run still resolves exactly-once (the zombie side's
+  // work never double-commits).
+  auto config = detection_config(Duration::msec(500));
+  config.detection.timeout_multiplier = 2.0;
+  config.detection.confirm_multiplier = 4.0;
+  config.error_rate = 0.0;
+  ScenarioConfig::PartitionFault window;
+  window.at = Duration::sec(2.0);
+  window.duration = Duration::sec(6.0);  // well past the 3s confirm gap
+  window.from = {NodeId{3}};
+  for (std::size_t n = 1; n <= 8; ++n) {
+    if (n != 3) window.to.push_back(NodeId{n});
+  }
+  config.partitions.push_back(window);
+  const auto result = ScenarioRunner::run(config, small_web_jobs());
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.detector_confirmed_dead, 1u);
+  const auto fenced = result.counters.find("nodes_fenced_logical");
+  ASSERT_NE(fenced, result.counters.end());
+  EXPECT_GE(fenced->second, 1.0);
+  // Fence latency from window open, against the same analytic bound as
+  // a real node death: interval * (1 + timeout + confirm) + 2 sweeps.
+  ASSERT_NE(result.events, nullptr);
+  double fence_at = -1.0;
+  for (const obs::Event& event : result.events->events()) {
+    if (event.kind == obs::EventKind::kAnnotation &&
+        event.name == "node_fenced") {
+      fence_at = event.at.to_seconds();
+      break;
+    }
+  }
+  ASSERT_GE(fence_at, 0.0);
+  const auto& det = config.detection;
+  const double bound =
+      (det.heartbeat_interval *
+           (1.0 + det.timeout_multiplier + det.confirm_multiplier) +
+       det.sweep_interval * 2.0)
+          .to_seconds();
+  const double latency = fence_at - window.at.to_seconds();
+  EXPECT_GT(latency, 0.0);
+  EXPECT_LE(latency, bound);
+  EXPECT_EQ(result.undetected_failures, 0u);
+  expect_exactly_once(result);
+}
+
 TEST(FailureDetectorScenarioTest, WatchdogReroutesStalledRecovery) {
   // A gray node stretches cold launches ~30x; recoveries dispatched onto
   // it blow the action timeout and must be rerouted elsewhere instead of

@@ -50,6 +50,18 @@ verdict is clean. With --baseline pointing at a committed hedge report
 cost_usd are additionally gated against the baseline: either growing by
 more than --max-regress fails the check.
 
+canary.partition/v1 — the partition/zone-outage/fencing comparison
+emitted by bench/fig13_partitions. Verifies the split-brain accounting
+per configuration and strategy (every double-execution attempt by a
+fenced zombie was rejected, zero commits reached the store), heal
+convergence (every partition window that started also healed), that
+domain-aware placement strictly reduced recovery time in at least one
+configuration, and that the bench's own self-check verdict is clean.
+With --baseline pointing at a committed partition report
+(bench/BENCH_partition.baseline.json), each configuration's
+domain-aware recovery_s and makespan_s are gated against the baseline:
+growing by more than --max-regress fails the check.
+
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
             report.json [report2.json ...]
 
@@ -65,6 +77,7 @@ BENCH_SCHEMA = "canary.bench/v1"
 CHAOS_SCHEMA = "canary.chaos/v1"
 TRAFFIC_SCHEMA = "canary.traffic/v1"
 HEDGE_SCHEMA = "canary.hedge/v1"
+PARTITION_SCHEMA = "canary.partition/v1"
 CHAOS_ORACLES = [
     "completion",
     "exactly_once",
@@ -74,6 +87,8 @@ CHAOS_ORACLES = [
     "no_stranded_failures",
     "conservation",
     "hedge_exactly_once",
+    "no_split_brain",
+    "heal_convergence",
 ]
 COMPONENTS = [
     "detection",
@@ -417,7 +432,8 @@ def check_chaos_report(report, path):
     expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
     for key in ("scenarios", "base_seed", "traffic_scenarios",
                 "traffic_base_seed", "hedge_scenarios", "hedge_base_seed",
-                "sharded_scenarios", "sharded_base_seed"):
+                "sharded_scenarios", "sharded_base_seed",
+                "partition_scenarios", "partition_base_seed"):
         check_number(params, key, "params")
     expect(params["scenarios"] > 0, "params.scenarios: must be positive")
     expect(params["traffic_scenarios"] >= 0,
@@ -425,6 +441,8 @@ def check_chaos_report(report, path):
     expect(params["hedge_scenarios"] >= 0, "params.hedge_scenarios: negative")
     expect(params["sharded_scenarios"] >= 0,
            "params.sharded_scenarios: negative")
+    expect(params["partition_scenarios"] >= 0,
+           "params.partition_scenarios: negative")
 
     faults = report.get("fault_totals")
     expect(isinstance(faults, dict), "fault_totals: expected an object")
@@ -469,6 +487,35 @@ def check_chaos_report(report, path):
     if params["hedge_scenarios"] > 0:
         expect(hedge["fired"] > 0,
                "hedge_totals: hedge scenarios ran but no hedge ever fired")
+
+    partition = report.get("partition_totals")
+    expect(isinstance(partition, dict), "partition_totals: expected an object")
+    for key in ("partitions_started", "partitions_healed", "zone_outages",
+                "heartbeats_partition_dropped", "stale_epoch_rejects",
+                "quorum_blocked_puts", "zombie_commit_attempts",
+                "zombie_commits_rejected"):
+        check_number(partition, key, "partition_totals")
+        expect(partition[key] >= 0, f"partition_totals.{key}: negative")
+    # Campaign-level heal convergence and split-brain accounting: every
+    # window healed, and every zombie commit attempt was rejected.
+    expect(partition["partitions_healed"] == partition["partitions_started"],
+           f"partition_totals: {partition['partitions_started']} partition(s) "
+           f"started but {partition['partitions_healed']} healed")
+    expect(partition["zombie_commit_attempts"] ==
+           partition["zombie_commits_rejected"],
+           f"partition_totals: {partition['zombie_commit_attempts']} zombie "
+           f"attempt(s) != {partition['zombie_commits_rejected']} rejected — "
+           f"a fenced commit reached the store")
+    if params["partition_scenarios"] > 0:
+        expect(partition["partitions_started"] > 0,
+               "partition_totals: partition scenarios ran but no window "
+               "ever started")
+    # At the quick campaign size and above, the zone cuts reliably fence
+    # minority-side writers mid-commit; zero rejects means the epoch gate
+    # is not being exercised.
+    if params["partition_scenarios"] >= 8:
+        expect(partition["stale_epoch_rejects"] > 0,
+               "partition_totals: no stale-epoch write was ever rejected")
 
     oracles = report.get("oracles")
     expect(isinstance(oracles, dict), "oracles: expected an object")
@@ -698,6 +745,137 @@ def check_hedge_report(report, path):
           f"{baseline['p99_ms']:.0f} ms)")
 
 
+def check_partition_strategy(obj, path):
+    """Validate one strategy block of a canary.partition/v1 report."""
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    expect(obj.get("name") in ("domain_blind", "domain_aware"),
+           f"{path}.name: expected domain_blind or domain_aware, "
+           f"got {obj.get('name')!r}")
+    for key in ("recovery_s", "makespan_s", "double_execution_attempts",
+                "zombie_commits_rejected", "zombie_commits_committed",
+                "stale_epoch_rejects", "quorum_blocked_puts",
+                "partitions_started", "partitions_healed", "zone_outages"):
+        check_number(obj, key, path)
+        expect(obj[key] >= 0, f"{path}.{key}: negative")
+    expect(obj.get("completed") is True, f"{path}: run did not complete")
+    # Split-brain safety: every double-execution attempt by a fenced
+    # zombie was rejected at the store's epoch gate.
+    expect(obj["zombie_commits_committed"] == 0,
+           f"{path}: {obj['zombie_commits_committed']} fenced commit(s) "
+           f"reached the store")
+    expect(obj["double_execution_attempts"] ==
+           obj["zombie_commits_rejected"] + obj["zombie_commits_committed"],
+           f"{path}: double_execution_attempts "
+           f"{obj['double_execution_attempts']} != rejected "
+           f"{obj['zombie_commits_rejected']} + committed "
+           f"{obj['zombie_commits_committed']}")
+    # Heal convergence: every window that started also healed.
+    expect(obj["partitions_healed"] == obj["partitions_started"],
+           f"{path}: {obj['partitions_started']} partition(s) started but "
+           f"{obj['partitions_healed']} healed")
+
+
+def check_partition_report(report, path):
+    """Validate a canary.partition/v1 report from bench/fig13_partitions."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == PARTITION_SCHEMA,
+           f"schema: expected '{PARTITION_SCHEMA}', "
+           f"got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    params = report.get("params")
+    expect(isinstance(params, dict), "params: expected an object")
+    expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
+    for key in ("nodes", "zones", "repetitions", "seed"):
+        check_number(params, key, "params")
+        expect(params[key] > 0, f"params.{key}: must be positive")
+    check_number(params, "fault_zone", "params")
+
+    configs = report.get("configurations")
+    expect(isinstance(configs, list) and configs,
+           "configurations: expected a non-empty array")
+    attempts = 0
+    for i, config in enumerate(configs):
+        p = f"configurations[{i}]"
+        expect(isinstance(config, dict) and isinstance(config.get("name"), str),
+               f"{p}: expected an object with a name")
+        strategies = config.get("strategies")
+        expect(isinstance(strategies, list) and len(strategies) == 2,
+               f"{p}.strategies: expected exactly two strategies")
+        by_name = {}
+        for j, s in enumerate(strategies):
+            check_partition_strategy(s, f"{p}.strategies[{j}]")
+            by_name[s["name"]] = s
+            attempts += s["double_execution_attempts"]
+        expect(set(by_name) == {"domain_blind", "domain_aware"},
+               f"{p}.strategies: need one domain_blind and one domain_aware")
+        check_number(config, "recovery_reduction_pct", p)
+
+    claims = report.get("claims")
+    expect(isinstance(claims, dict), "claims: expected an object")
+    for key in ("aware_strictly_faster_configs", "max_recovery_reduction_pct",
+                "double_execution_attempts", "zombie_commits_committed"):
+        check_number(claims, key, "claims")
+    # The point of the figure: fault-domain-aware placement strictly
+    # reduces correlated-loss recovery time somewhere, and no fenced
+    # commit ever landed.
+    expect(claims["aware_strictly_faster_configs"] > 0,
+           "claims: domain-aware placement never strictly reduced recovery")
+    expect(claims["zombie_commits_committed"] == 0,
+           f"claims: {claims['zombie_commits_committed']} fenced commit(s) "
+           f"reached the store")
+    expect(claims["double_execution_attempts"] > 0,
+           "claims: no double-execution attempt ever fired")
+
+    checks = report.get("checks")
+    expect(isinstance(checks, dict), "checks: expected an object")
+    expect(isinstance(checks.get("ok"), bool), "checks.ok: expected a bool")
+    check_number(checks, "violations", "checks")
+    expect(checks["ok"] and checks["violations"] == 0,
+           f"partition bench recorded {checks['violations']} self-check "
+           f"violation(s)")
+
+    print(f"{path}: OK ({PARTITION_SCHEMA}, {len(configs)} configurations, "
+          f"{claims['aware_strictly_faster_configs']:.0f} strictly faster, "
+          f"{attempts:.0f} double-execution attempts, 0 committed)")
+
+
+def compare_partition(report, baseline, max_regress, path):
+    """Gate a partition report's recovery numbers against a baseline.
+
+    Each configuration's domain-aware recovery_s and makespan_s may not
+    grow by more than max_regress versus the committed baseline (same
+    bench, same quick mode).
+    """
+    def aware_by_config(rep, which):
+        out = {}
+        for config in rep.get("configurations", []):
+            for s in config.get("strategies", []):
+                if s.get("name") == "domain_aware":
+                    out[config["name"]] = s
+        expect(out, f"{which}: no domain_aware strategies to compare")
+        return out
+
+    ours = aware_by_config(report, path)
+    base = aware_by_config(baseline, "baseline")
+    for name, base_strategy in base.items():
+        expect(name in ours, f"{path}: configuration '{name}' missing vs "
+               f"baseline")
+        for key in ("recovery_s", "makespan_s"):
+            ceiling = base_strategy[key] * (1.0 + max_regress)
+            value = ours[name][key]
+            expect(value <= ceiling,
+                   f"{path}: {name} domain_aware {key} regressed: "
+                   f"{value:.3f} > {ceiling:.3f} (baseline "
+                   f"{base_strategy[key]:.3f}, max regression "
+                   f"{max_regress:.0%})")
+            delta = ((value - base_strategy[key]) / base_strategy[key]
+                     if base_strategy[key] else 0.0)
+            print(f"{path}: {name} domain_aware {key}: {value:.3f} vs "
+                  f"baseline {base_strategy[key]:.3f} ({delta:+.1%})")
+
+
 def compare_hedge(report, baseline, max_regress, path):
     """Gate a hedge report's headline numbers against a committed baseline.
 
@@ -772,12 +950,16 @@ def main(argv):
 
     baseline_rates = None
     baseline_hedge = None
+    baseline_partition = None
     if baseline_path is not None:
         try:
             baseline = load(baseline_path)
             if baseline.get("schema") == HEDGE_SCHEMA:
                 check_hedge_report(baseline, baseline_path)
                 baseline_hedge = baseline
+            elif baseline.get("schema") == PARTITION_SCHEMA:
+                check_partition_report(baseline, baseline_path)
+                baseline_partition = baseline
             else:
                 baseline_rates = check_bench_report(baseline, baseline_path)
         except (OSError, json.JSONDecodeError) as err:
@@ -802,6 +984,11 @@ def main(argv):
                 check_hedge_report(report, path)
                 if baseline_hedge is not None:
                     compare_hedge(report, baseline_hedge, max_regress, path)
+            elif report.get("schema") == PARTITION_SCHEMA:
+                check_partition_report(report, path)
+                if baseline_partition is not None:
+                    compare_partition(report, baseline_partition, max_regress,
+                                      path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
