@@ -1,0 +1,316 @@
+// Real-vs-simulated recovery validation (the calibration bench).
+//
+// Runs the three miniature kernels (BFS, compression, census) on the
+// real-execution backend — forked worker processes SIGKILLed
+// mid-execution, heartbeat detection, epoch-fenced KV commits — then
+// configures the simulator twin from the measured step times /
+// checkpoint sizes / kill offsets and replays the same fail/recover
+// scenario in simulated time. Emits a canary.realexec/v1 report with
+// the per-component (detection / scheduling / launch / init / restore /
+// re-exec) recovery deltas; tools/check_report.py --calibrate gates the
+// real/sim ratios against the committed tolerance band in
+// bench/BENCH_realexec.baseline.json.
+//
+// Self-checks (exit 1): every scenario completes with the reference
+// checksum, kills >= 1 real worker per scenario, exactly-once holds
+// (no unfenced stale commits, no duplicates), restores only use intact
+// checkpoints.
+//
+// Usage: realexec_validate [--quick]
+// Environment: CANARY_QUICK=1 (same as --quick), CANARY_REPORT_DIR.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/calibration.hpp"
+#include "realexec/backend.hpp"
+
+using namespace canary;
+
+namespace {
+
+bool env_quick() {
+  const char* v = std::getenv("CANARY_QUICK");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+struct Case {
+  realexec::KernelKind kernel;
+  realexec::RecoveryPolicy policy;
+  std::uint64_t size_param;
+  std::uint32_t steps;
+  std::uint32_t kill_after_step;
+  std::uint32_t kills;
+};
+
+struct CaseResult {
+  Case scenario;
+  realexec::RealScenarioResult real;
+  harness::CalibrationTwinResult sim;
+};
+
+recovery::StrategyConfig strategy_for(realexec::RecoveryPolicy policy) {
+  switch (policy) {
+    case realexec::RecoveryPolicy::kRetry:
+      return recovery::StrategyConfig::retry();
+    case realexec::RecoveryPolicy::kCheckpointRestore:
+      return recovery::StrategyConfig::canary_checkpoint_only();
+    case realexec::RecoveryPolicy::kWarmSpare:
+      return recovery::StrategyConfig::active_standby();
+  }
+  return recovery::StrategyConfig::retry();
+}
+
+double num_or_zero(double v) { return v > 0 ? v : 0.0; }
+
+void write_components(std::ostream& os, const std::string& indent,
+                      double window, double detection, double scheduling,
+                      double launch, double init, double restore,
+                      double re_exec) {
+  os << indent << "\"window_s\": " << TextTable::num(window, 6) << ",\n";
+  os << indent << "\"detection_s\": " << TextTable::num(detection, 6) << ",\n";
+  os << indent << "\"scheduling_s\": " << TextTable::num(scheduling, 6)
+     << ",\n";
+  os << indent << "\"launch_s\": " << TextTable::num(launch, 6) << ",\n";
+  os << indent << "\"init_s\": " << TextTable::num(init, 6) << ",\n";
+  os << indent << "\"restore_s\": " << TextTable::num(restore, 6) << ",\n";
+  os << indent << "\"re_exec_s\": " << TextTable::num(re_exec, 6) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = env_quick();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "usage: realexec_validate [--quick]\n";
+      return 2;
+    }
+  }
+
+  const Duration heartbeat = Duration::msec(40);
+  const double timeout_multiplier = 4.0;
+
+  std::vector<Case> cases;
+  if (quick) {
+    cases = {
+        {realexec::KernelKind::kGraphBfs,
+         realexec::RecoveryPolicy::kCheckpointRestore, 4u << 20, 6, 2, 1},
+        {realexec::KernelKind::kCompression,
+         realexec::RecoveryPolicy::kCheckpointRestore, 3u << 20, 6, 2, 1},
+        {realexec::KernelKind::kCensus,
+         realexec::RecoveryPolicy::kCheckpointRestore, 200'000, 6, 2, 1},
+    };
+  } else {
+    cases = {
+        {realexec::KernelKind::kGraphBfs,
+         realexec::RecoveryPolicy::kCheckpointRestore, 8u << 20, 8, 2, 1},
+        {realexec::KernelKind::kCompression,
+         realexec::RecoveryPolicy::kCheckpointRestore, 4u << 20, 8, 2, 1},
+        {realexec::KernelKind::kCensus,
+         realexec::RecoveryPolicy::kCheckpointRestore, 300'000, 8, 2, 1},
+        {realexec::KernelKind::kGraphBfs, realexec::RecoveryPolicy::kRetry,
+         8u << 20, 8, 2, 1},
+        {realexec::KernelKind::kCompression, realexec::RecoveryPolicy::kRetry,
+         4u << 20, 8, 2, 1},
+        {realexec::KernelKind::kCensus, realexec::RecoveryPolicy::kRetry,
+         300'000, 8, 2, 1},
+        {realexec::KernelKind::kGraphBfs,
+         realexec::RecoveryPolicy::kWarmSpare, 8u << 20, 8, 2, 1},
+    };
+  }
+
+  std::cout << "\n=== realexec_validate: real vs simulated recovery ===\n"
+            << "setup: forked workers, SIGKILL mid-execution, heartbeat "
+            << heartbeat.to_msec() << "ms x" << timeout_multiplier
+            << (quick ? " (quick)" : "") << "\n\n";
+
+  std::vector<CaseResult> results;
+  std::vector<std::string> violations;
+  realexec::ControllerConfig base;
+  // Mid-BFS checkpoints carry the whole frontier (up to n/2 vertices on
+  // a binary tree) plus the visited bitmap — far beyond the store's
+  // default 4MiB entry cap, so widen it for the validation workloads.
+  base.kv.max_entry_size = Bytes::mib(64);
+  realexec::RealBackend backend(base);
+
+  for (const Case& c : cases) {
+    realexec::RealScenarioConfig rc;
+    rc.kernel = c.kernel;
+    rc.seed = 7;
+    rc.size_param = c.size_param;
+    rc.steps_total = c.steps;
+    rc.policy = c.policy;
+    rc.kill_after_commit_step = c.kill_after_step;
+    rc.kill_delay = Duration::msec(5);
+    rc.kills = c.kills;
+    rc.heartbeat_interval = heartbeat;
+    rc.timeout_multiplier = timeout_multiplier;
+
+    const std::string label = std::string(realexec::to_string(c.kernel)) +
+                              "/" + realexec::to_string(c.policy);
+    std::cerr << "[realexec] " << label << ": real run..." << std::endl;
+
+    CaseResult cr;
+    cr.scenario = c;
+    cr.real = backend.run(rc);
+    for (const auto& v : cr.real.violations) {
+      violations.push_back(label + ": " + v);
+    }
+    if (cr.real.stats.sigkills_sent < 1) {
+      violations.push_back(label + ": no real worker process was killed");
+    }
+    if (cr.real.recoveries < 1) {
+      violations.push_back(label + ": no recovery was measured");
+    }
+
+    // Configure the twin from what the real run measured.
+    harness::CalibrationWorkload twin;
+    twin.name = realexec::to_string(c.kernel);
+    twin.steps = c.steps;
+    twin.step_exec = Duration::usec(static_cast<std::int64_t>(
+        std::max(cr.real.first_step_exec_s, 1e-4) * 1e6));
+    twin.checkpoint_bytes = Bytes::of(cr.real.checkpoint_bytes);
+    twin.kill_offset = Duration::usec(static_cast<std::int64_t>(
+        std::max(cr.real.kill_offset_s, 1e-3) * 1e6));
+    twin.strategy = strategy_for(c.policy);
+    twin.heartbeat_interval = heartbeat;
+    twin.timeout_multiplier = timeout_multiplier;
+    twin.repetitions = quick ? 3 : 5;
+    std::cerr << "[realexec] " << label << ": sim twin..." << std::endl;
+    cr.sim = harness::run_calibration_twin(twin);
+    if (cr.sim.recoveries == 0) {
+      violations.push_back(label + ": sim twin produced no recovery");
+    }
+    results.push_back(std::move(cr));
+  }
+
+  TextTable table({"kernel", "policy", "real win [ms]", "sim win [ms]",
+                   "ratio", "real det [ms]", "sim det [ms]", "ckpt [KiB]"});
+  for (const auto& cr : results) {
+    const double n = std::max<double>(1.0, cr.real.recoveries);
+    const double real_window = cr.real.recovery.window_s() / n;
+    table.add_row(
+        {std::string(realexec::to_string(cr.scenario.kernel)),
+         std::string(realexec::to_string(cr.scenario.policy)),
+         TextTable::num(real_window * 1e3, 1),
+         TextTable::num(cr.sim.window_s * 1e3, 1),
+         TextTable::num(cr.sim.window_s > 0 ? real_window / cr.sim.window_s
+                                            : 0.0,
+                        2),
+         TextTable::num(cr.real.recovery.detection_s / n * 1e3, 1),
+         TextTable::num(cr.sim.detection_s * 1e3, 1),
+         TextTable::num(static_cast<double>(cr.real.checkpoint_bytes) / 1024.0,
+                        1)});
+  }
+  table.print(std::cout);
+
+  // ---- canary.realexec/v1 report ---------------------------------------
+  const char* dir = std::getenv("CANARY_REPORT_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+      "/BENCH_realexec.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"schema\": \"canary.realexec/v1\",\n";
+  os << "  \"name\": \"realexec_validate\",\n";
+  os << "  \"params\": {\n";
+  os << "    \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "    \"heartbeat_interval_ms\": " << TextTable::num(heartbeat.to_msec(), 1)
+     << ",\n";
+  os << "    \"timeout_multiplier\": " << TextTable::num(timeout_multiplier, 1)
+     << ",\n";
+  os << "    \"seed\": 7\n";
+  os << "  },\n";
+  os << "  \"scenarios\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& cr = results[i];
+    const double n = std::max<double>(1.0, cr.real.recoveries);
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"kernel\": \"" << realexec::to_string(cr.scenario.kernel)
+       << "\",\n";
+    os << "      \"policy\": \"" << realexec::to_string(cr.scenario.policy)
+       << "\",\n";
+    os << "      \"completed\": " << (cr.real.completed ? "true" : "false")
+       << ",\n";
+    os << "      \"kills\": " << cr.real.stats.sigkills_sent << ",\n";
+    os << "      \"recoveries\": " << cr.real.recoveries << ",\n";
+    os << "      \"workers_spawned\": " << cr.real.stats.workers_spawned
+       << ",\n";
+    os << "      \"commits_accepted\": " << cr.real.stats.commits_accepted
+       << ",\n";
+    os << "      \"commits_torn\": " << cr.real.stats.commits_torn << ",\n";
+    os << "      \"stale_epoch_rejects\": " << cr.real.kv_stale_epoch_rejects
+       << ",\n";
+    os << "      \"duplicate_commits\": " << cr.real.stats.duplicate_commits
+       << ",\n";
+    os << "      \"unfenced_stale_commits\": "
+       << cr.real.stats.unfenced_stale_commits << ",\n";
+    os << "      \"checkpoint_bytes\": " << cr.real.checkpoint_bytes << ",\n";
+    os << "      \"step_exec_ms\": "
+       << TextTable::num(cr.real.first_step_exec_s * 1e3, 3) << ",\n";
+    os << "      \"kill_offset_ms\": "
+       << TextTable::num(cr.real.kill_offset_s * 1e3, 3) << ",\n";
+    os << "      \"real\": {\n";
+    write_components(os, "        ", cr.real.recovery.window_s() / n,
+                     cr.real.recovery.detection_s / n,
+                     cr.real.recovery.scheduling_s / n,
+                     cr.real.recovery.launch_s / n,
+                     cr.real.recovery.init_s / n,
+                     cr.real.recovery.restore_s / n,
+                     cr.real.recovery.re_exec_s / n);
+    os << "      },\n";
+    os << "      \"sim\": {\n";
+    write_components(os, "        ", num_or_zero(cr.sim.window_s),
+                     num_or_zero(cr.sim.detection_s),
+                     num_or_zero(cr.sim.scheduling_s),
+                     num_or_zero(cr.sim.launch_s), num_or_zero(cr.sim.init_s),
+                     num_or_zero(cr.sim.restore_s),
+                     num_or_zero(cr.sim.re_exec_s));
+    os << "      }\n";
+    os << "    }";
+  }
+  os << "\n  ],\n";
+  os << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << violations[i] << "\"";
+  }
+  os << (violations.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"oracles\": {\n";
+  os << "    \"completion\": "
+     << (violations.empty() ? "true" : "false") << ",\n";
+  bool exactly_once = true;
+  for (const auto& cr : results) {
+    if (cr.real.stats.unfenced_stale_commits > 0 ||
+        cr.real.stats.duplicate_commits > 0) {
+      exactly_once = false;
+    }
+  }
+  os << "    \"exactly_once\": " << (exactly_once ? "true" : "false") << ",\n";
+  os << "    \"no_corrupt_restore\": true\n";
+  os << "  }\n";
+  os << "}\n";
+  os.close();
+  std::cout << "\nreport: " << path << "\n";
+
+  if (!violations.empty()) {
+    std::cout << "\nSELF-CHECK VIOLATIONS:\n";
+    for (const auto& v : violations) std::cout << "  - " << v << "\n";
+    return 1;
+  }
+  std::cout << "\nall recovery oracles held (exactly-once, no-corrupt-"
+               "restore, completion)\n";
+  return 0;
+}

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <set>
@@ -297,7 +298,7 @@ class Platform {
 
  private:
   static constexpr std::size_t kPurposeCount = 4;
-  static constexpr std::size_t kImageCount = 8;
+  static constexpr std::size_t kImageCount = std::size(kAllRuntimeImages);
   struct RecoveryMarker {
     Duration floor;      // nominal work to regain
     TimePoint fail_time;

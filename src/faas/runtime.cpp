@@ -26,6 +26,11 @@ constexpr RuntimeProfile kProfiles[] = {
      Duration::msec(400), Duration::msec(8), Bytes::gib(1)},
     {RuntimeImage::kGraphBfsPy, "graph-bfs-py", Duration::msec(480),
      Duration::msec(1300), Duration::msec(8), Bytes::gib(2)},
+    // Real-execution substrate: fork + hello, then in-process input
+    // synthesis. Measured scale on the validation kernels, not a
+    // container runtime's.
+    {RuntimeImage::kNativeProc, "native-proc", Duration::msec(4),
+     Duration::msec(15), Duration::msec(1), Bytes::mib(128)},
 };
 }  // namespace
 

@@ -25,6 +25,12 @@ enum class RuntimeImage {
   kSparkDiversity,  // java + Spark 3.0.0 jar
   kCompressionPy,   // python3 + zip tooling (SeBS 311.compression)
   kGraphBfsPy,      // python3 + igraph (SeBS 501.graph-bfs)
+  /// Forked native worker process (the real-execution substrate's
+  /// container stand-in). Launch is a fork + control-plane hello, init
+  /// is in-process input synthesis — milliseconds, not the hundreds of
+  /// milliseconds a container runtime pays. The calibration twin uses
+  /// this image so the simulator models the real backend's cost scale.
+  kNativeProc,
 };
 
 inline constexpr RuntimeImage kAllRuntimeImages[] = {
@@ -32,6 +38,7 @@ inline constexpr RuntimeImage kAllRuntimeImages[] = {
     RuntimeImage::kJava8,          RuntimeImage::kDlTrain,
     RuntimeImage::kDbQuery,        RuntimeImage::kSparkDiversity,
     RuntimeImage::kCompressionPy,  RuntimeImage::kGraphBfsPy,
+    RuntimeImage::kNativeProc,
 };
 
 struct RuntimeProfile {

@@ -1,0 +1,61 @@
+// Substrate seam: which implementation executes the platform's work.
+//
+// Every result in this repo used to come from one substrate — the
+// discrete-event simulator. The real-execution backend (src/realexec)
+// is a second implementation that runs invocations as forked OS worker
+// processes behind the same harness-facing surface. This header is the
+// seam both share: the backend selector parsed by experiment_cli's
+// `--backend sim|real`, and the substrate-neutral run summary that the
+// calibration report compares across the two.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace canary::faas {
+
+enum class BackendKind {
+  kSim,   // discrete-event simulator (default; deterministic)
+  kReal,  // forked OS worker processes, wall-clock time
+};
+
+inline std::string_view to_string_view(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim: return "sim";
+    case BackendKind::kReal: return "real";
+  }
+  return "unknown";
+}
+
+inline std::optional<BackendKind> parse_backend(std::string_view text) {
+  if (text == "sim") return BackendKind::kSim;
+  if (text == "real") return BackendKind::kReal;
+  return std::nullopt;
+}
+
+/// Substrate-neutral summary of one run's recovery behaviour: the
+/// quantities both backends can measure, in the units the calibration
+/// gate compares. Components follow the paper's recovery decomposition
+/// (detection + scheduling + launch + init + restore + re-exec == the
+/// failure-to-recovery window).
+struct SubstrateRunSummary {
+  std::string backend;  // "sim" | "real"
+  bool completed = false;
+  std::uint64_t invocations = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  double makespan_s = 0.0;
+  double recovery_window_s = 0.0;  // summed over recoveries
+  double detection_s = 0.0;
+  double scheduling_s = 0.0;
+  double launch_s = 0.0;
+  double init_s = 0.0;
+  double restore_s = 0.0;
+  double re_exec_s = 0.0;
+  /// Exactly-once accounting: writer-attributed commits the KV store
+  /// rejected because the writer had been epoch-fenced.
+  std::uint64_t stale_epoch_rejects = 0;
+};
+
+}  // namespace canary::faas

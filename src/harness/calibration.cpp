@@ -1,0 +1,59 @@
+#include "harness/calibration.hpp"
+
+#include "harness/experiment.hpp"
+
+namespace canary::harness {
+
+ScenarioConfig calibration_scenario(const CalibrationWorkload& workload) {
+  ScenarioConfig config;
+  config.strategy = workload.strategy;
+  config.error_rate = 0.0;  // the node kill is the only fault
+  config.cluster_nodes = 2;
+  config.seed = workload.seed;
+  config.node_failure_offsets = {workload.kill_offset};
+  config.detection.enabled = true;
+  config.detection.heartbeat_interval = workload.heartbeat_interval;
+  config.detection.timeout_multiplier = workload.timeout_multiplier;
+  // The real controller confirms on the same sweep that suspects, and
+  // sweeps continuously (poll deadlines), so the twin uses a fine sweep
+  // and no extra confirmation lag.
+  config.detection.confirm_multiplier = 0.0;
+  config.detection.sweep_interval = Duration::msec(5);
+  return config;
+}
+
+std::vector<faas::JobSpec> calibration_jobs(
+    const CalibrationWorkload& workload) {
+  faas::FunctionSpec fn;
+  fn.name = workload.name;
+  fn.runtime = faas::RuntimeImage::kNativeProc;
+  fn.states.assign(workload.steps,
+                   faas::StateSpec{workload.step_exec,
+                                   workload.checkpoint_bytes});
+  faas::JobSpec job;
+  job.name = workload.name + "-calibration";
+  job.functions = {fn};
+  return {job};
+}
+
+CalibrationTwinResult run_calibration_twin(
+    const CalibrationWorkload& workload) {
+  const Aggregate agg =
+      run_repetitions(calibration_scenario(workload),
+                      calibration_jobs(workload), workload.repetitions);
+  CalibrationTwinResult result;
+  result.recoveries = agg.breakdown.recovery_count;
+  if (result.recoveries == 0) return result;
+  const double n = static_cast<double>(result.recoveries);
+  const auto& c = agg.breakdown.recovery_components;
+  result.window_s = agg.breakdown.recovery_window_s / n;
+  result.detection_s = c[obs::PathComponent::kDetection] / n;
+  result.scheduling_s = c[obs::PathComponent::kScheduling] / n;
+  result.launch_s = c[obs::PathComponent::kLaunch] / n;
+  result.init_s = c[obs::PathComponent::kInit] / n;
+  result.restore_s = c[obs::PathComponent::kRestore] / n;
+  result.re_exec_s = c[obs::PathComponent::kReExec] / n;
+  return result;
+}
+
+}  // namespace canary::harness

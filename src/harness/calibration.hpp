@@ -1,0 +1,68 @@
+// Sim-side calibration twin for the real-execution backend.
+//
+// Predictive validation (Quaresma et al.): configure the simulator from
+// quantities *measured* on the real substrate — per-step execution
+// time, checkpoint payload size, failure-injection offset, heartbeat
+// cadence — run the same fail/recover scenario in simulated time, and
+// compare the per-component recovery decomposition. The ratio between
+// the two substrates is the calibration delta that
+// tools/check_report.py --calibrate gates against a committed band.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "harness/scenario.hpp"
+
+namespace canary::harness {
+
+/// One externally measured workload, in harness-native terms.
+struct CalibrationWorkload {
+  std::string name;  // kernel label, e.g. "graph-bfs"
+  unsigned steps = 8;
+  /// Measured mean execution time of one step on the real substrate.
+  Duration step_exec = Duration::msec(20);
+  /// Measured size of one checkpoint commit.
+  Bytes checkpoint_bytes = Bytes::zero();
+  /// Measured offset of the (first) node kill from run start.
+  Duration kill_offset = Duration::msec(60);
+  /// Recovery strategy under calibration (retry / canary-ckpt / AS).
+  recovery::StrategyConfig strategy = recovery::StrategyConfig::retry();
+  /// Real backend's detection parameters, mirrored exactly.
+  Duration heartbeat_interval = Duration::msec(40);
+  double timeout_multiplier = 4.0;
+  std::uint64_t seed = 20240501;
+  int repetitions = 5;
+};
+
+/// Per-component recovery seconds, averaged per recovery across the
+/// twin's repetitions (a run whose random victim misses the busy node
+/// contributes no recovery and is excluded by construction).
+struct CalibrationTwinResult {
+  std::uint64_t recoveries = 0;
+  double window_s = 0.0;
+  double detection_s = 0.0;
+  double scheduling_s = 0.0;
+  double launch_s = 0.0;
+  double init_s = 0.0;
+  double restore_s = 0.0;
+  double re_exec_s = 0.0;
+};
+
+/// The twin's scenario: a 2-node cluster running one kNativeProc
+/// function whose states mirror the measured steps, heartbeat detection
+/// on with the real backend's parameters, and one node failure at the
+/// measured offset.
+ScenarioConfig calibration_scenario(const CalibrationWorkload& workload);
+
+/// The single-function job matching calibration_scenario.
+std::vector<faas::JobSpec> calibration_jobs(
+    const CalibrationWorkload& workload);
+
+/// Run the twin and reduce its critical-path breakdown to per-recovery
+/// component means.
+CalibrationTwinResult run_calibration_twin(const CalibrationWorkload& workload);
+
+}  // namespace canary::harness

@@ -1,0 +1,343 @@
+#include "realexec/backend.hpp"
+
+#include <algorithm>
+
+#include "common/result.hpp"
+#include "realexec/kernel_run.hpp"
+
+namespace canary::realexec {
+
+namespace {
+constexpr WorkerId kNoWorker = 0xffffffffu;
+}
+
+const char* to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kRetry: return "retry";
+    case RecoveryPolicy::kCheckpointRestore: return "checkpoint_restore";
+    case RecoveryPolicy::kWarmSpare: return "warm_spare";
+  }
+  return "unknown";
+}
+
+void RecoveryTiming::add(const RecoveryTiming& other) {
+  detection_s += other.detection_s;
+  scheduling_s += other.scheduling_s;
+  launch_s += other.launch_s;
+  init_s += other.init_s;
+  restore_s += other.restore_s;
+  re_exec_s += other.re_exec_s;
+}
+
+faas::SubstrateRunSummary RealScenarioResult::summary() const {
+  faas::SubstrateRunSummary s;
+  s.backend = "real";
+  s.completed = completed;
+  s.invocations = 1;
+  s.failures = recoveries;
+  s.recoveries = recoveries;
+  s.makespan_s = makespan_s;
+  s.recovery_window_s = recovery.window_s();
+  s.detection_s = recovery.detection_s;
+  s.scheduling_s = recovery.scheduling_s;
+  s.launch_s = recovery.launch_s;
+  s.init_s = recovery.init_s;
+  s.restore_s = recovery.restore_s;
+  s.re_exec_s = recovery.re_exec_s;
+  s.stale_epoch_rejects = kv_stale_epoch_rejects;
+  return s;
+}
+
+RealBackend::RealBackend(ControllerConfig base) : base_(std::move(base)) {}
+
+void RealBackend::add_observer(faas::PlatformObserver* observer) {
+  observers_.push_back(observer);
+}
+
+RealScenarioResult RealBackend::run(const RealScenarioConfig& scenario) {
+  ControllerConfig config = base_;
+  config.heartbeat_interval = scenario.heartbeat_interval;
+  config.timeout_multiplier = scenario.timeout_multiplier;
+  Controller ctl(config);
+
+  RealScenarioResult result;
+  result.reference_checksum =
+      reference_checksum(scenario.kernel, scenario.seed, scenario.size_param,
+                         scenario.steps_total);
+
+  // Observer-facing invocation view, mirroring the simulated platform's.
+  faas::FunctionSpec spec;
+  spec.name = to_string(scenario.kernel);
+  spec.runtime = faas::RuntimeImage::kNativeProc;
+  spec.states.resize(scenario.steps_total);
+  faas::Invocation view;
+  view.id = FunctionId{1};
+  view.job = JobId{1};
+  view.spec = &spec;
+  auto notify_started = [&](WorkerId worker, std::uint32_t epoch) {
+    view.phase = faas::Phase::kExecuting;
+    view.attempt = static_cast<int>(epoch);
+    view.node = ctl.node_of(worker);
+    view.container = ContainerId{worker + 1};
+    for (auto* obs : observers_) obs->on_attempt_started(view);
+  };
+
+  constexpr std::uint32_t kInv = 0;
+  const TimePoint t_start = ctl.now();
+
+  // One lineage = one worker attempt at the invocation.
+  struct Lineage {
+    WorkerId worker = kNoWorker;
+    std::uint32_t epoch = 0;
+    bool is_recovery = false;
+    bool dispatched = false;
+    bool with_restore = false;
+    bool caught_up = true;  // recovery lineages flip to false
+    std::uint32_t catchup_step = 0;
+    TimePoint kill_sent_at;  // recovery only: the SIGKILL that caused it
+    TimePoint dead_at;       // recovery only: heartbeat-declared death
+    TimePoint spawn_at, hello_at, dispatch_at, ready_at, restore_done_at;
+  };
+
+  // Warm spare: forked ahead of time, idle until a death claims it.
+  WorkerId spare = kNoWorker;
+  bool spare_ready = false;
+  if (scenario.policy == RecoveryPolicy::kWarmSpare) {
+    spare = ctl.spawn();
+  }
+
+  Lineage cur;
+  cur.worker = ctl.spawn();
+  cur.spawn_at = ctl.now();
+
+  auto dispatch_lineage = [&](Lineage& lineage) {
+    TaskSpec task;
+    task.kernel = scenario.kernel;
+    task.seed = scenario.seed;
+    task.size_param = scenario.size_param;
+    task.steps_total = scenario.steps_total;
+    task.invocation = kInv;
+    if (lineage.is_recovery &&
+        scenario.policy == RecoveryPolicy::kCheckpointRestore) {
+      auto ckpt = ctl.latest_checkpoint(kInv);
+      if (ckpt.has_value()) {
+        task.start_step = ckpt->step + 1;
+        task.restore_bytes = std::move(ckpt->bytes);
+      } else if (ctl.last_committed_step(kInv) >= 0) {
+        // A commit was accepted but its bytes no longer verify: restoring
+        // would resurrect corrupt state. Falling back to scratch is the
+        // no-corrupt-restore oracle's required behaviour; flag it so the
+        // bench surfaces the (unexpected here) integrity failure.
+        result.violations.push_back("checkpoint failed integrity check");
+      }
+    }
+    lineage.with_restore = !task.restore_bytes.empty();
+    lineage.epoch = ctl.dispatch(lineage.worker, task);
+    lineage.dispatch_at = ctl.now();
+    lineage.dispatched = true;
+    notify_started(lineage.worker, lineage.epoch);
+  };
+
+  // Kill plan: arm on the trigger commit, fire after the delay.
+  std::uint32_t kills_done = 0;
+  std::uint32_t next_kill_commit = scenario.kill_after_commit_step;
+  bool kill_armed = false;
+  bool kill_outstanding = false;
+  TimePoint kill_at;
+  TimePoint kill_sent_at;
+
+  // Step-duration measurement (feeds the sim twin): inter-commit gaps
+  // of the first, unkilled lineage.
+  TimePoint last_commit_at = TimePoint::max();
+  double commit_gap_sum = 0.0;
+  std::uint64_t commit_gaps = 0;
+
+  bool done = false;
+  TimePoint t_end = t_start;
+  std::vector<ControllerEvent> events;
+  while (!done && ctl.now() - t_start < scenario.run_timeout) {
+    if (kill_armed && ctl.now() >= kill_at) {
+      ctl.sigkill(cur.worker);
+      kill_sent_at = ctl.now();
+      if (kills_done == 0) {
+        result.kill_offset_s = (kill_sent_at - t_start).to_seconds();
+      }
+      ++kills_done;
+      kill_armed = false;
+      kill_outstanding = true;
+    }
+    Duration slice = Duration::msec(5);
+    if (kill_armed) {
+      const Duration until =
+          kill_at > ctl.now() ? kill_at - ctl.now() : Duration::usec(100);
+      slice = std::min(slice, std::max(until, Duration::usec(100)));
+    }
+    events.clear();
+    ctl.poll_events(slice, &events);
+
+    for (const auto& ev : events) {
+      switch (ev.kind) {
+        case ControllerEvent::Kind::kHello: {
+          if (ev.worker == spare) {
+            spare_ready = true;
+            break;
+          }
+          if (ev.worker == cur.worker && !cur.dispatched) {
+            cur.hello_at = ev.at;
+            dispatch_lineage(cur);
+          }
+          break;
+        }
+        case ControllerEvent::Kind::kTaskReady: {
+          if (ev.worker != cur.worker || ev.epoch != cur.epoch) break;
+          cur.ready_at = ev.at;
+          if (!cur.with_restore) cur.restore_done_at = ev.at;
+          break;
+        }
+        case ControllerEvent::Kind::kRestoreDone: {
+          if (ev.worker != cur.worker || ev.epoch != cur.epoch) break;
+          cur.restore_done_at = ev.at;
+          break;
+        }
+        case ControllerEvent::Kind::kCommitAccepted: {
+          if (ev.epoch != cur.epoch) break;
+          if (!cur.is_recovery) {
+            if (last_commit_at != TimePoint::max()) {
+              commit_gap_sum += (ev.at - last_commit_at).to_seconds();
+              ++commit_gaps;
+            }
+            last_commit_at = ev.at;
+          }
+          if (cur.is_recovery && !cur.caught_up &&
+              ev.step >= cur.catchup_step) {
+            // The step that was in flight when the SIGKILL landed has
+            // been recommitted: the failure's work deficit is repaid
+            // and the recovery window closes.
+            RecoveryTiming t;
+            t.detection_s = (cur.dead_at - cur.kill_sent_at).to_seconds();
+            t.launch_s = (cur.hello_at - cur.spawn_at).to_seconds();
+            t.init_s = (cur.ready_at - cur.dispatch_at).to_seconds();
+            t.restore_s = (cur.restore_done_at - cur.ready_at).to_seconds();
+            t.re_exec_s = (ev.at - cur.restore_done_at).to_seconds();
+            const double window = (ev.at - cur.kill_sent_at).to_seconds();
+            t.scheduling_s =
+                std::max(0.0, window - t.detection_s - t.launch_s - t.init_s -
+                                  t.restore_s - t.re_exec_s);
+            result.recovery.add(t);
+            ++result.recoveries;
+            cur.caught_up = true;
+          }
+          if (kills_done < scenario.kills && !kill_armed &&
+              !kill_outstanding && ev.step >= next_kill_commit) {
+            kill_armed = true;
+            kill_at = ev.at + scenario.kill_delay;
+            next_kill_commit = ev.step + 2;
+          }
+          break;
+        }
+        case ControllerEvent::Kind::kWorkerDead: {
+          if (ev.worker != cur.worker) break;
+          view.phase = faas::Phase::kFailed;
+          view.node = ctl.node_of(ev.worker);
+          for (auto* obs : observers_) {
+            obs->on_function_failed(
+                view, {faas::FailureKind::kNodeFailure, ctl.node_of(ev.worker),
+                       ContainerId{ev.worker + 1}});
+          }
+          if (!kill_outstanding) {
+            result.violations.push_back(
+                "worker declared dead without an injected kill");
+            kill_sent_at = ev.at;  // degrade gracefully: zero detection
+          }
+          kill_outstanding = false;
+
+          Lineage next;
+          next.is_recovery = true;
+          next.caught_up = false;
+          next.kill_sent_at = kill_sent_at;
+          next.dead_at = ev.at;
+          next.catchup_step =
+              static_cast<std::uint32_t>(ctl.last_committed_step(kInv) + 1);
+          if (scenario.policy == RecoveryPolicy::kWarmSpare && spare_ready) {
+            next.worker = spare;
+            next.spawn_at = ev.at;
+            next.hello_at = ev.at;  // already forked: zero launch cost
+            spare = ctl.spawn();    // re-provision for the next failure
+            spare_ready = false;
+            cur = next;
+            dispatch_lineage(cur);
+          } else {
+            next.worker = ctl.spawn();
+            next.spawn_at = ctl.now();
+            cur = next;  // dispatch on its Hello
+          }
+          break;
+        }
+        case ControllerEvent::Kind::kComplete: {
+          if (ev.epoch != ctl.current_epoch(kInv)) break;  // zombie echo
+          result.final_checksum = ev.checksum;
+          t_end = ev.at;
+          done = true;
+          if (cur.is_recovery && !cur.caught_up) {
+            // Kill landed after the last step's commit: nothing to
+            // recommit, the window closes at completion.
+            RecoveryTiming t;
+            t.detection_s = (cur.dead_at - cur.kill_sent_at).to_seconds();
+            t.launch_s = (cur.hello_at - cur.spawn_at).to_seconds();
+            t.init_s = (cur.ready_at - cur.dispatch_at).to_seconds();
+            t.restore_s = (cur.restore_done_at - cur.ready_at).to_seconds();
+            t.re_exec_s = (ev.at - cur.restore_done_at).to_seconds();
+            const double window = (ev.at - cur.kill_sent_at).to_seconds();
+            t.scheduling_s =
+                std::max(0.0, window - t.detection_s - t.launch_s - t.init_s -
+                                  t.restore_s - t.re_exec_s);
+            result.recovery.add(t);
+            ++result.recoveries;
+            cur.caught_up = true;
+          }
+          view.phase = faas::Phase::kCompleted;
+          for (auto* obs : observers_) obs->on_function_completed(view);
+          break;
+        }
+        case ControllerEvent::Kind::kCommitStale:
+        case ControllerEvent::Kind::kCommitTorn:
+          break;  // accounted in ControllerStats
+      }
+      if (done) break;
+    }
+  }
+
+  result.completed = done;
+  result.makespan_s = (t_end - t_start).to_seconds();
+  if (commit_gaps > 0) {
+    result.first_step_exec_s =
+        commit_gap_sum / static_cast<double>(commit_gaps);
+  }
+  if (auto ckpt = ctl.latest_checkpoint(kInv)) {
+    result.checkpoint_bytes = ckpt->bytes.size();
+  }
+  result.stats = ctl.stats();
+  result.kv_stale_epoch_rejects = ctl.store().stats().stale_epoch_rejects;
+
+  // ---- oracles ----------------------------------------------------------
+  if (!done) {
+    result.violations.push_back("run timed out before completion");
+  } else if (result.final_checksum != result.reference_checksum) {
+    result.violations.push_back(
+        "completion checksum diverged from the reference run");
+  }
+  if (result.stats.unfenced_stale_commits > 0) {
+    result.violations.push_back(
+        "exactly-once: stale-lineage commit was accepted past the fence");
+  }
+  if (result.stats.duplicate_commits > 0) {
+    result.violations.push_back(
+        "exactly-once: duplicate commit accepted within one lineage");
+  }
+  if (done && result.recoveries < kills_done) {
+    result.violations.push_back("a killed lineage never finished recovering");
+  }
+  return result;
+}
+
+}  // namespace canary::realexec

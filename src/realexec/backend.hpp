@@ -1,0 +1,102 @@
+// Real-execution backend: drives the controller through the same
+// fail -> detect -> fence -> recover cycle the simulator models, with
+// genuinely asynchronous process deaths, and measures the paper's
+// per-component recovery decomposition on the wall clock.
+//
+// One scenario = one invocation of a miniature kernel, SIGKILLed
+// mid-execution `kills` times, recovered under a policy (retry from
+// scratch, checkpoint restore from the epoch-fenced KV store, or a
+// pre-forked warm spare). PlatformObservers installed on the backend
+// receive the same attempt/failure/completion callbacks the simulated
+// Platform emits, so harness-side bookkeeping is substrate-blind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "faas/events.hpp"
+#include "faas/function.hpp"
+#include "faas/substrate.hpp"
+#include "realexec/controller.hpp"
+
+namespace canary::realexec {
+
+enum class RecoveryPolicy {
+  kRetry,              // restart from scratch (the FaaS default)
+  kCheckpointRestore,  // resume from the latest intact KV checkpoint
+  kWarmSpare,          // pre-forked idle process, scratch restart (AS)
+};
+
+const char* to_string(RecoveryPolicy policy);
+
+struct RealScenarioConfig {
+  KernelKind kernel = KernelKind::kGraphBfs;
+  std::uint64_t seed = 1;
+  std::uint64_t size_param = 1 << 20;
+  std::uint32_t steps_total = 8;
+  RecoveryPolicy policy = RecoveryPolicy::kCheckpointRestore;
+  /// SIGKILL the active worker this long after the commit of step
+  /// `kill_after_commit_step` is accepted (mid-execution of the next
+  /// step). Subsequent kills re-arm two steps later each.
+  std::uint32_t kill_after_commit_step = 2;
+  Duration kill_delay = Duration::msec(5);
+  std::uint32_t kills = 1;
+  Duration heartbeat_interval = Duration::msec(40);
+  double timeout_multiplier = 4.0;
+  /// Abort (completed=false) if the scenario exceeds this wall time.
+  Duration run_timeout = Duration::sec(120.0);
+};
+
+/// Per-component recovery time, the paper's decomposition. Scheduling
+/// is the residual, so the components sum exactly to the window.
+struct RecoveryTiming {
+  double detection_s = 0.0;   // SIGKILL -> heartbeat-declared dead
+  double scheduling_s = 0.0;  // residual (drain, spawn gap, dispatch gap)
+  double launch_s = 0.0;      // fork -> Hello
+  double init_s = 0.0;        // dispatch -> TaskReady (input synthesis)
+  double restore_s = 0.0;     // TaskReady -> RestoreDone
+  double re_exec_s = 0.0;     // RestoreDone -> in-flight step recommitted
+  double window_s() const {
+    return detection_s + scheduling_s + launch_s + init_s + restore_s +
+           re_exec_s;
+  }
+  void add(const RecoveryTiming& other);
+};
+
+struct RealScenarioResult {
+  bool completed = false;
+  std::uint64_t reference_checksum = 0;
+  std::uint64_t final_checksum = 0;
+  std::uint64_t recoveries = 0;
+  RecoveryTiming recovery;  // summed over recoveries
+  double makespan_s = 0.0;
+  double first_step_exec_s = 0.0;  // mean accepted-commit inter-arrival
+  std::uint64_t checkpoint_bytes = 0;  // last accepted checkpoint's size
+  double kill_offset_s = 0.0;          // first SIGKILL, from run start
+  ControllerStats stats;
+  std::uint64_t kv_stale_epoch_rejects = 0;
+  /// Oracle violations (empty = exactly-once, no-corrupt-restore and
+  /// completion all held).
+  std::vector<std::string> violations;
+
+  faas::SubstrateRunSummary summary() const;
+};
+
+class RealBackend {
+ public:
+  explicit RealBackend(ControllerConfig base = {});
+
+  /// Observers receive faas::PlatformObserver callbacks mirroring the
+  /// simulated platform's (attempt started / failed / completed).
+  void add_observer(faas::PlatformObserver* observer);
+
+  RealScenarioResult run(const RealScenarioConfig& scenario);
+
+ private:
+  ControllerConfig base_;
+  std::vector<faas::PlatformObserver*> observers_;
+};
+
+}  // namespace canary::realexec

@@ -1,0 +1,146 @@
+#include "realexec/ipc.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/result.hpp"
+
+namespace canary::realexec {
+
+bool write_full(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, FrameType type, const std::string& payload) {
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.length = static_cast<std::uint32_t>(payload.size());
+  if (!write_full(fd, &header, sizeof(header))) return false;
+  if (!payload.empty() &&
+      !write_full(fd, payload.data(), payload.size()))
+    return false;
+  return true;
+}
+
+bool write_full_poll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, p + done, size - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool write_frame_poll(int fd, FrameType type, const std::string& payload) {
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.length = static_cast<std::uint32_t>(payload.size());
+  if (!write_full_poll(fd, &header, sizeof(header))) return false;
+  if (!payload.empty() &&
+      !write_full_poll(fd, payload.data(), payload.size()))
+    return false;
+  return true;
+}
+
+bool read_frame(int fd, FrameType* type, std::string* payload) {
+  FrameHeader header;
+  if (!read_full(fd, &header, sizeof(header))) return false;
+  if (header.magic != kFrameMagic) return false;
+  payload->resize(header.length);
+  if (header.length > 0 &&
+      !read_full(fd, payload->data(), header.length))
+    return false;
+  *type = static_cast<FrameType>(header.type);
+  return true;
+}
+
+bool FrameReader::pump() {
+  if (eof_) return false;
+  char chunk[16 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    eof_ = true;  // fatal error: treat like EOF
+    return false;
+  }
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buffer_.size() < sizeof(FrameHeader)) return std::nullopt;
+  FrameHeader header;
+  std::memcpy(&header, buffer_.data(), sizeof(header));
+  CANARY_CHECK(header.magic == kFrameMagic, "corrupt frame stream");
+  const std::size_t total = sizeof(header) + header.length;
+  if (buffer_.size() < total) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(header.type);
+  frame.payload = buffer_.substr(sizeof(header), header.length);
+  buffer_.erase(0, total);
+  return frame;
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  CANARY_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  CANARY_CHECK(::fcntl(fd, F_SETFL, flags) == 0, "fcntl(F_SETFL) failed");
+}
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace canary::realexec

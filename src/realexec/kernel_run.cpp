@@ -1,0 +1,156 @@
+#include "realexec/kernel_run.hpp"
+
+#include <span>
+
+#include "common/result.hpp"
+
+namespace canary::realexec {
+
+namespace kernels = workloads::kernels;
+
+namespace {
+constexpr std::size_t kChunkSize = 64 * 1024;
+constexpr unsigned kMicroBatches = 8;
+
+std::size_t div_ceil(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+KernelRun::KernelRun(KernelKind kind, std::uint64_t seed,
+                     std::uint64_t size_param, std::uint32_t steps_total)
+    : kind_(kind), seed_(seed), size_param_(size_param),
+      steps_total_(steps_total) {
+  CANARY_CHECK(steps_total_ > 0, "task needs at least one step");
+}
+
+void KernelRun::init() {
+  switch (kind_) {
+    case KernelKind::kGraphBfs: {
+      graph_ = std::make_unique<kernels::CsrGraph>(
+          kernels::CsrGraph::binary_tree(size_param_));
+      bfs_.emplace(kernels::BfsRunner(*graph_, 0));
+      bfs_budget_ = div_ceil(size_param_, steps_total_);
+      break;
+    }
+    case KernelKind::kCompression: {
+      comp_input_ = kernels::make_compressible_data(size_param_, seed_);
+      compressor_.emplace(kChunkSize);
+      chunks_per_step_ =
+          div_ceil(div_ceil(comp_input_.size(), kChunkSize), steps_total_);
+      break;
+    }
+    case KernelKind::kCensus: {
+      census_records_ = kernels::synthesize_census(size_param_, seed_);
+      aggregator_.emplace();
+      counties_per_step_ = div_ceil(census_records_.size(), steps_total_);
+      break;
+    }
+  }
+}
+
+void KernelRun::restore(const std::string& checkpoint_bytes) {
+  switch (kind_) {
+    case KernelKind::kGraphBfs: {
+      CANARY_CHECK(graph_ != nullptr, "restore before init");
+      bfs_.emplace(kernels::BfsRunner::restore(
+          *graph_, kernels::BfsCheckpoint::deserialize(checkpoint_bytes)));
+      break;
+    }
+    case KernelKind::kCompression:
+      compressor_.emplace(
+          kernels::ChunkedCompressor::restore(checkpoint_bytes, kChunkSize));
+      break;
+    case KernelKind::kCensus:
+      aggregator_.emplace(
+          kernels::DiversityAggregator::deserialize(checkpoint_bytes));
+      break;
+  }
+}
+
+void KernelRun::run_step(const std::function<void()>& tick) {
+  auto beat = [&] {
+    if (tick) tick();
+  };
+  switch (kind_) {
+    case KernelKind::kGraphBfs: {
+      const std::uint64_t micro = bfs_budget_ / kMicroBatches + 1;
+      std::uint64_t remaining = bfs_budget_;
+      while (remaining > 0 && !bfs_->done()) {
+        const std::uint64_t batch = remaining < micro ? remaining : micro;
+        bfs_->step(batch);
+        remaining -= batch;
+        beat();
+      }
+      break;
+    }
+    case KernelKind::kCompression: {
+      std::span<const std::uint8_t> input(comp_input_);
+      for (std::size_t i = 0; i < chunks_per_step_; ++i) {
+        if (!compressor_->compress_next_chunk(input)) break;
+        beat();
+      }
+      break;
+    }
+    case KernelKind::kCensus: {
+      const std::size_t micro = counties_per_step_ / kMicroBatches + 1;
+      std::size_t cursor = aggregator_->counties_processed();
+      const std::size_t stop =
+          std::min(cursor + counties_per_step_, census_records_.size());
+      while (cursor < stop) {
+        const std::size_t batch_end = std::min(cursor + micro, stop);
+        for (; cursor < batch_end; ++cursor) {
+          aggregator_->absorb(census_records_[cursor]);
+        }
+        beat();
+      }
+      break;
+    }
+  }
+}
+
+std::string KernelRun::checkpoint() const {
+  switch (kind_) {
+    case KernelKind::kGraphBfs: return bfs_->checkpoint().serialize();
+    case KernelKind::kCompression: return compressor_->checkpoint();
+    case KernelKind::kCensus: return aggregator_->serialize();
+  }
+  return {};
+}
+
+std::uint64_t KernelRun::checksum() const {
+  switch (kind_) {
+    case KernelKind::kGraphBfs: return bfs_->checksum();
+    case KernelKind::kCompression: {
+      const auto& out = compressor_->output();
+      return fnv1a64(out.data(), out.size()) ^ compressor_->bytes_in();
+    }
+    case KernelKind::kCensus: return fnv1a64(aggregator_->serialize());
+  }
+  return 0;
+}
+
+bool KernelRun::done() const {
+  switch (kind_) {
+    case KernelKind::kGraphBfs: return bfs_->done();
+    case KernelKind::kCompression:
+      return compressor_->finished(std::span<const std::uint8_t>(comp_input_));
+    case KernelKind::kCensus:
+      return aggregator_->counties_processed() >= census_records_.size();
+  }
+  return false;
+}
+
+std::uint64_t reference_checksum(KernelKind kind, std::uint64_t seed,
+                                 std::uint64_t size_param,
+                                 std::uint32_t steps_total) {
+  KernelRun run(kind, seed, size_param, steps_total);
+  run.init();
+  for (std::uint32_t s = 0; s < steps_total && !run.done(); ++s) {
+    run.run_step({});
+  }
+  CANARY_CHECK(run.done(), "reference run did not consume its input");
+  return run.checksum();
+}
+
+}  // namespace canary::realexec

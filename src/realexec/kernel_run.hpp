@@ -1,0 +1,81 @@
+// One executable task for the real backend: a miniature kernel from
+// src/workloads/kernels sliced into equal checkpointable steps.
+//
+// The same class runs in two places: inside forked worker processes
+// (the real execution), and in-process in the controller to compute the
+// reference checksum the completion oracle compares against. Work is
+// advanced in micro-batches with a tick callback in between so the
+// worker can interleave heartbeats with genuinely busy compute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "realexec/protocol.hpp"
+#include "workloads/kernels/census.hpp"
+#include "workloads/kernels/compress.hpp"
+#include "workloads/kernels/graph_bfs.hpp"
+
+namespace canary::realexec {
+
+class KernelRun {
+ public:
+  KernelRun(KernelKind kind, std::uint64_t seed, std::uint64_t size_param,
+            std::uint32_t steps_total);
+
+  /// Synthesize the kernel's input (the init phase: graph construction /
+  /// compressible data / census records). Must run before restore/step.
+  void init();
+
+  /// Load a checkpoint produced by checkpoint(); resumes mid-stream.
+  void restore(const std::string& checkpoint_bytes);
+
+  /// Advance one step's worth of work; `tick` fires between
+  /// micro-batches (~8 per step) for heartbeat interleaving.
+  void run_step(const std::function<void()>& tick);
+
+  /// Serialized progress checkpoint (kernel-native format).
+  std::string checkpoint() const;
+
+  /// Deterministic checksum of all work completed so far.
+  std::uint64_t checksum() const;
+
+  /// All input consumed.
+  bool done() const;
+
+  std::uint32_t steps_total() const { return steps_total_; }
+  KernelKind kind() const { return kind_; }
+
+ private:
+  KernelKind kind_;
+  std::uint64_t seed_;
+  std::uint64_t size_param_;
+  std::uint32_t steps_total_;
+
+  // graph-bfs
+  std::unique_ptr<workloads::kernels::CsrGraph> graph_;
+  std::optional<workloads::kernels::BfsRunner> bfs_;
+  std::uint64_t bfs_budget_ = 0;  // vertices per step
+
+  // compression
+  std::vector<std::uint8_t> comp_input_;
+  std::optional<workloads::kernels::ChunkedCompressor> compressor_;
+  std::size_t chunks_per_step_ = 0;
+
+  // census
+  std::vector<workloads::kernels::CountyRecord> census_records_;
+  std::optional<workloads::kernels::DiversityAggregator> aggregator_;
+  std::size_t counties_per_step_ = 0;
+};
+
+/// Reference checksum for (kind, seed, size, steps): runs the kernel
+/// in-process, no checkpoints. Deterministic.
+std::uint64_t reference_checksum(KernelKind kind, std::uint64_t seed,
+                                 std::uint64_t size_param,
+                                 std::uint32_t steps_total);
+
+}  // namespace canary::realexec

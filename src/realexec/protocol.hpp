@@ -1,0 +1,142 @@
+// Wire protocol between the real-execution controller and its forked
+// worker processes.
+//
+// Two byte streams per worker, both carrying the same length-prefixed
+// frame format:
+//   * control plane — a Unix-domain socketpair: Hello, Dispatch,
+//     Heartbeat, TaskReady, RestoreDone, Complete, Shutdown;
+//   * data plane — a pipe pair: checkpoint/state Commit frames flow up
+//     (worker -> controller), restore bytes flow down inside Dispatch.
+//
+// Frames are fixed POD headers followed by `length` payload bytes, so a
+// SIGKILL mid-write leaves a cleanly detectable torn frame (short read
+// at EOF) rather than silent corruption: the controller counts and
+// discards it — the real-world analogue of the simulator's in-flight
+// state update dying with its node.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace canary::realexec {
+
+inline constexpr std::uint32_t kFrameMagic = 0x43414e52;  // "CANR"
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,        // worker -> controller: process is up (launch done)
+  kDispatch = 2,     // controller -> worker: run a task (payload follows)
+  kTaskReady = 3,    // worker -> controller: input synthesized (init done)
+  kRestoreDone = 4,  // worker -> controller: checkpoint deserialized
+  kHeartbeat = 5,    // worker -> controller: liveness beat
+  kCommit = 6,       // worker -> controller (data plane): state commit
+  kComplete = 7,     // worker -> controller: task finished, checksum
+  kShutdown = 8,     // controller -> worker: exit cleanly
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t type = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t length = 0;  // payload bytes following the header
+};
+static_assert(sizeof(FrameHeader) == 12);
+
+/// Which miniature kernel a task runs (src/workloads/kernels).
+enum class KernelKind : std::uint32_t {
+  kGraphBfs = 0,
+  kCompression = 1,
+  kCensus = 2,
+};
+
+inline const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kGraphBfs: return "graph-bfs";
+    case KernelKind::kCompression: return "compression";
+    case KernelKind::kCensus: return "census";
+  }
+  return "unknown";
+}
+
+inline constexpr std::uint32_t kNoStep = 0xffffffffu;
+
+/// Dispatch payload (fixed part). If `restore_bytes` > 0, that many
+/// checkpoint bytes follow the fixed part inside the same frame.
+struct DispatchPayload {
+  std::uint32_t invocation = 0;   // controller-side invocation index
+  std::uint32_t epoch = 0;        // lineage number; echoed in commits
+  KernelKind kernel = KernelKind::kGraphBfs;
+  std::uint32_t steps_total = 0;
+  std::uint32_t start_step = 0;   // first step this lineage executes
+  std::uint32_t reserved = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t size_param = 0;   // vertices / bytes / counties
+  std::int64_t heartbeat_interval_usec = 40'000;
+  std::uint64_t restore_bytes = 0;
+  // ---- fault-injection hooks (tests only; kNoStep = disabled) ----
+  /// Go silent (no heartbeats) just before committing this step, for
+  /// `hold_usec`, then commit anyway: a zombie whose late write must hit
+  /// the epoch fence.
+  std::uint32_t hold_before_commit_step = kNoStep;
+  std::uint32_t reserved2 = 0;
+  std::int64_t hold_usec = 0;
+  /// Write only half of this step's commit frame, then spin forever
+  /// (the controller SIGKILLs it): produces a torn frame on the pipe.
+  std::uint32_t torn_commit_step = kNoStep;
+  std::uint32_t reserved3 = 0;
+};
+static_assert(sizeof(DispatchPayload) == 80);
+
+/// Commit payload (fixed part); `nbytes` checkpoint bytes follow.
+struct CommitPayload {
+  std::uint32_t invocation = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t step = 0;         // 0-based step index just completed
+  std::uint32_t reserved = 0;
+  std::uint64_t checksum = 0;     // kernel checksum after this step
+  std::uint64_t nbytes = 0;       // checkpoint bytes following
+};
+static_assert(sizeof(CommitPayload) == 32);
+
+/// Complete payload: final kernel checksum for the completion oracle.
+struct CompletePayload {
+  std::uint32_t invocation = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t steps_run = 0;
+};
+static_assert(sizeof(CompletePayload) == 24);
+
+/// FNV-1a64 — same hash the KV store uses for entry checksums; workers
+/// use it to checksum byte outputs without linking the store.
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+/// Serialize a POD payload into a string (wire form).
+template <typename T>
+std::string pod_bytes(const T& value) {
+  std::string out(sizeof(T), '\0');
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+/// Parse a POD payload from the front of a buffer; false if too short.
+template <typename T>
+bool pod_parse(const std::string& bytes, T* out) {
+  if (bytes.size() < sizeof(T)) return false;
+  std::memcpy(out, bytes.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace canary::realexec

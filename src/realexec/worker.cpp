@@ -1,0 +1,145 @@
+#include "realexec/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/wallclock.hpp"
+#include "realexec/ipc.hpp"
+#include "realexec/kernel_run.hpp"
+#include "realexec/protocol.hpp"
+
+namespace canary::realexec {
+
+namespace {
+
+/// Sends heartbeats on the control socket whenever the interval has
+/// elapsed; invoked between kernel micro-batches.
+class HeartbeatTicker {
+ public:
+  HeartbeatTicker(int ctrl_fd, std::int64_t interval_usec)
+      : ctrl_fd_(ctrl_fd), interval_usec_(interval_usec),
+        last_usec_(obs::monotonic_usec()) {}
+
+  void tick() {
+    const std::int64_t now = obs::monotonic_usec();
+    if (now - last_usec_ >= interval_usec_) {
+      (void)write_frame(ctrl_fd_, FrameType::kHeartbeat, {});
+      last_usec_ = now;
+    }
+  }
+
+ private:
+  int ctrl_fd_;
+  std::int64_t interval_usec_;
+  std::int64_t last_usec_;
+};
+
+void busy_sleep_usec(std::int64_t usec) {
+  const std::int64_t until = obs::monotonic_usec() + usec;
+  timespec req{0, 1'000'000};  // 1 ms naps
+  while (obs::monotonic_usec() < until) nanosleep(&req, nullptr);
+}
+
+/// Write half of a commit frame, then hang until SIGKILLed: the
+/// torn-frame fault the controller must detect and discard.
+[[noreturn]] void write_torn_commit(int data_up_fd, const CommitPayload& commit,
+                                    const std::string& ckpt) {
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(FrameType::kCommit);
+  header.length =
+      static_cast<std::uint32_t>(sizeof(CommitPayload) + ckpt.size());
+  (void)write_full(data_up_fd, &header, sizeof(header));
+  (void)write_full(data_up_fd, &commit, sizeof(commit) / 2);
+  for (;;) pause();
+}
+
+void run_task(int ctrl_fd, int data_up_fd, int data_down_fd,
+              const std::string& dispatch_bytes) {
+  DispatchPayload spec;
+  if (!pod_parse(dispatch_bytes, &spec)) _exit(3);
+
+  auto ack = [&](FrameType type) {
+    CompletePayload payload;
+    payload.invocation = spec.invocation;
+    payload.epoch = spec.epoch;
+    if (!write_frame(ctrl_fd, type, pod_bytes(payload))) _exit(0);
+  };
+
+  KernelRun run(spec.kernel, spec.seed, spec.size_param, spec.steps_total);
+  run.init();
+  ack(FrameType::kTaskReady);
+
+  if (spec.restore_bytes > 0) {
+    std::string ckpt(spec.restore_bytes, '\0');
+    if (!read_full(data_down_fd, ckpt.data(), ckpt.size())) _exit(3);
+    run.restore(ckpt);
+    ack(FrameType::kRestoreDone);
+  }
+
+  HeartbeatTicker ticker(ctrl_fd, spec.heartbeat_interval_usec);
+  std::uint64_t steps_run = 0;
+  for (std::uint32_t step = spec.start_step;
+       step < spec.steps_total && !run.done(); ++step) {
+    run.run_step([&] { ticker.tick(); });
+    ++steps_run;
+
+    CommitPayload commit;
+    commit.invocation = spec.invocation;
+    commit.epoch = spec.epoch;
+    commit.step = step;
+    commit.checksum = run.checksum();
+    const std::string ckpt = run.checkpoint();
+    commit.nbytes = ckpt.size();
+
+    if (step == spec.hold_before_commit_step) {
+      // Zombie emulation: go silent long enough to be declared dead,
+      // then push the commit anyway. The epoch fence must reject it.
+      busy_sleep_usec(spec.hold_usec);
+    }
+    if (step == spec.torn_commit_step) {
+      write_torn_commit(data_up_fd, commit, ckpt);
+    }
+    if (!write_frame(data_up_fd, FrameType::kCommit,
+                     pod_bytes(commit) + ckpt)) {
+      _exit(0);  // controller went away
+    }
+    ticker.tick();
+  }
+
+  CompletePayload done;
+  done.invocation = spec.invocation;
+  done.epoch = spec.epoch;
+  done.checksum = run.checksum();
+  done.steps_run = steps_run;
+  if (!write_frame(ctrl_fd, FrameType::kComplete, pod_bytes(done))) _exit(0);
+}
+
+}  // namespace
+
+void worker_main(int ctrl_fd, int data_up_fd, int data_down_fd) {
+  // A controller that died mid-conversation must not take the worker
+  // down with an unhandled SIGPIPE; write failures exit cleanly instead.
+  signal(SIGPIPE, SIG_IGN);
+
+  if (!write_frame(ctrl_fd, FrameType::kHello, {})) _exit(0);
+
+  for (;;) {
+    FrameType type;
+    std::string payload;
+    if (!read_frame(ctrl_fd, &type, &payload)) _exit(0);
+    switch (type) {
+      case FrameType::kDispatch:
+        run_task(ctrl_fd, data_up_fd, data_down_fd, payload);
+        break;
+      case FrameType::kShutdown:
+        _exit(0);
+      default:
+        _exit(3);  // protocol violation
+    }
+  }
+}
+
+}  // namespace canary::realexec

@@ -1,0 +1,23 @@
+// Worker-process entry point for the real-execution substrate.
+//
+// Runs in the forked child, single-threaded, and never returns: it
+// announces itself (Hello), then serves Dispatch requests — synthesize
+// input (TaskReady), optionally restore a checkpoint streamed over the
+// data-down pipe (RestoreDone), execute the kernel in steps with
+// heartbeats interleaved between micro-batches, and push a Commit frame
+// (checkpoint bytes) up the data pipe after every step. Exits via
+// _exit() so no parent-process state (stdio buffers, atexit hooks) runs
+// twice. Fault hooks in the dispatch payload emulate a zombie (silent
+// hold before a late commit) and a torn commit (half a frame, then
+// hang) — the failure modes the controller's fencing must absorb.
+#pragma once
+
+namespace canary::realexec {
+
+/// Serve the control socket until shutdown/EOF, then _exit(0).
+/// `ctrl_fd` is the worker end of the control socketpair, `data_up_fd`
+/// the write end of the commit pipe, `data_down_fd` the read end of the
+/// restore-bytes pipe.
+[[noreturn]] void worker_main(int ctrl_fd, int data_up_fd, int data_down_fd);
+
+}  // namespace canary::realexec

@@ -17,6 +17,7 @@
 #include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
 #include "obs/chrome_trace.hpp"
+#include "realexec/backend.hpp"
 #include "recovery/strategies.hpp"
 #include "workloads/workloads.hpp"
 
@@ -133,6 +134,52 @@ TEST(DeterminismTest, AttributionOffKeepsArtifactsByteIdentical) {
   // A disabled series pointer must not change a byte of the trace.
   EXPECT_EQ(two_arg.str(), four_arg.str());
   EXPECT_EQ(two_arg.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(DeterminismTest, RealBackendUnselectedLeavesSimArtifactsByteIdentical) {
+  // The substrate seam's contract: linking the real-execution backend —
+  // and even running it, forks, SIGKILLs and all — must not perturb a
+  // single byte of the simulator's artifacts. The sim side is the v3
+  // report + chrome trace this suite already pins; the figure benches
+  // (fig04/06/09/11) are the same pipeline, held byte-identical by CI's
+  // cross-run cmp against pre-generated artifacts.
+  harness::ScenarioConfig config = scenario_under_test();
+  config.tail.enabled = true;
+  config.timeseries.enabled = true;
+  const std::vector<faas::JobSpec> jobs = jobs_under_test();
+
+  const std::string report_before =
+      render_report(harness::run_repetitions(config, jobs, 2));
+  const harness::RunResult run_before = harness::ScenarioRunner::run(config, jobs);
+  const std::string trace_before = render_trace(run_before);
+
+  // Exercise the real backend in between: fork workers, kill one
+  // mid-execution, recover from a checkpoint.
+  realexec::RealScenarioConfig real;
+  real.kernel = realexec::KernelKind::kCensus;
+  real.seed = 33;
+  real.size_param = 200'000;
+  real.steps_total = 8;
+  real.policy = realexec::RecoveryPolicy::kCheckpointRestore;
+  real.kill_after_commit_step = 2;
+  real.kill_delay = Duration::msec(2);
+  real.kills = 1;
+  real.heartbeat_interval = Duration::msec(60);
+  real.timeout_multiplier = 5.0;
+  realexec::RealBackend backend;
+  const realexec::RealScenarioResult real_result = backend.run(real);
+  ASSERT_TRUE(real_result.completed);
+  ASSERT_TRUE(real_result.violations.empty());
+
+  const std::string report_after =
+      render_report(harness::run_repetitions(config, jobs, 2));
+  const harness::RunResult run_after = harness::ScenarioRunner::run(config, jobs);
+
+  EXPECT_EQ(report_before, report_after)
+      << "running the real backend perturbed the sim report";
+  EXPECT_EQ(trace_before, render_trace(run_after))
+      << "running the real backend perturbed the chrome trace";
+  EXPECT_NE(report_before.find("canary.run_report/v3"), std::string::npos);
 }
 
 // ---- sharded execution: worker-count invariance -----------------------

@@ -62,8 +62,26 @@ With --baseline pointing at a committed partition report
 domain-aware recovery_s and makespan_s are gated against the baseline:
 growing by more than --max-regress fails the check.
 
+canary.realexec/v1 — the real-vs-simulated recovery comparison emitted
+by bench/realexec_validate. Each scenario ran a miniature kernel as a
+forked worker process, SIGKILLed it mid-execution and recovered it for
+real, then replayed the same scenario on the simulator configured from
+the measured step time / checkpoint size / kill offset. The validator
+verifies every scenario completed with at least one real kill and
+recovery, that the exactly-once counters are clean (no unfenced stale
+commits, no duplicates), that each substrate's components sum to its
+recovery window, and that the bench recorded no oracle violation.
+
+With --calibrate BASELINE.json (a canary.realexec.baseline/v1 tolerance
+file), each scenario's real/sim ratio per component is additionally
+gated against the committed band: a component passes if its ratio lies
+inside [min_ratio, max_ratio] or the absolute real-sim gap is below the
+band's floor_s (absolute floors keep microsecond-scale components from
+tripping ratio checks). Any component outside its band fails the check
+— the simulator's recovery model has drifted from the real substrate.
+
 Usage:  check_report.py [--baseline BASE.json] [--max-regress 0.20] \
-            report.json [report2.json ...]
+            [--calibrate BAND.json] report.json [report2.json ...]
 
 Exits non-zero on the first invalid report. Stdlib only.
 """
@@ -78,6 +96,8 @@ CHAOS_SCHEMA = "canary.chaos/v1"
 TRAFFIC_SCHEMA = "canary.traffic/v1"
 HEDGE_SCHEMA = "canary.hedge/v1"
 PARTITION_SCHEMA = "canary.partition/v1"
+REALEXEC_SCHEMA = "canary.realexec/v1"
+REALEXEC_BASELINE_SCHEMA = "canary.realexec.baseline/v1"
 CHAOS_ORACLES = [
     "completion",
     "exactly_once",
@@ -841,6 +861,146 @@ def check_partition_report(report, path):
           f"{attempts:.0f} double-execution attempts, 0 committed)")
 
 
+REALEXEC_COMPONENTS = [
+    "detection_s",
+    "scheduling_s",
+    "launch_s",
+    "init_s",
+    "restore_s",
+    "re_exec_s",
+]
+
+
+def check_realexec_block(obj, path):
+    """Validate one substrate's component block; window must partition."""
+    expect(isinstance(obj, dict), f"{path}: expected an object")
+    check_number(obj, "window_s", path)
+    total = 0.0
+    for key in REALEXEC_COMPONENTS:
+        check_number(obj, key, path)
+        expect(obj[key] >= 0, f"{path}.{key}: negative")
+        total += obj[key]
+    expect(abs(total - obj["window_s"]) <= 2e-3,
+           f"{path}: components sum {total:.6f} != window_s "
+           f"{obj['window_s']:.6f} (tolerance 2e-3)")
+
+
+def check_realexec_report(report, path):
+    """Validate a canary.realexec/v1 report from bench/realexec_validate."""
+    expect(isinstance(report, dict), "top level: expected an object")
+    expect(report.get("schema") == REALEXEC_SCHEMA,
+           f"schema: expected '{REALEXEC_SCHEMA}', "
+           f"got {report.get('schema')!r}")
+    expect(isinstance(report.get("name"), str) and report["name"],
+           "name: expected a non-empty string")
+
+    params = report.get("params")
+    expect(isinstance(params, dict), "params: expected an object")
+    expect(isinstance(params.get("quick"), bool), "params.quick: expected a bool")
+    for key in ("heartbeat_interval_ms", "timeout_multiplier", "seed"):
+        check_number(params, key, "params")
+        expect(params[key] > 0, f"params.{key}: must be positive")
+
+    scenarios = report.get("scenarios")
+    expect(isinstance(scenarios, list) and scenarios,
+           "scenarios: expected a non-empty array")
+    kills = 0
+    for i, s in enumerate(scenarios):
+        p = f"scenarios[{i}]"
+        expect(isinstance(s, dict), f"{p}: expected an object")
+        for key in ("kernel", "policy"):
+            expect(isinstance(s.get(key), str) and s[key],
+                   f"{p}.{key}: expected a non-empty string")
+        expect(s.get("completed") is True, f"{p}: scenario did not complete")
+        for key in ("kills", "recoveries", "workers_spawned",
+                    "commits_accepted", "commits_torn", "stale_epoch_rejects",
+                    "duplicate_commits", "unfenced_stale_commits",
+                    "checkpoint_bytes", "step_exec_ms", "kill_offset_ms"):
+            check_number(s, key, p)
+            expect(s[key] >= 0, f"{p}.{key}: negative")
+        # Every scenario must have genuinely killed a live worker process
+        # and measured a real recovery, or the comparison is vacuous.
+        expect(s["kills"] >= 1, f"{p}: no real worker process was killed")
+        expect(s["recoveries"] >= 1, f"{p}: no recovery was measured")
+        expect(s["workers_spawned"] >= 2,
+               f"{p}: a recovery implies at least two worker processes")
+        # Exactly-once accounting on the real substrate.
+        expect(s["unfenced_stale_commits"] == 0,
+               f"{p}: {s['unfenced_stale_commits']} stale-lineage commit(s) "
+               f"accepted past the fence")
+        expect(s["duplicate_commits"] == 0,
+               f"{p}: {s['duplicate_commits']} duplicate commit(s) accepted")
+        kills += s["kills"]
+        check_realexec_block(s.get("real"), f"{p}.real")
+        check_realexec_block(s.get("sim"), f"{p}.sim")
+
+    violations = report.get("violations")
+    expect(isinstance(violations, list), "violations: expected an array")
+
+    oracles = report.get("oracles")
+    expect(isinstance(oracles, dict), "oracles: expected an object")
+    for key in ("completion", "exactly_once", "no_corrupt_restore"):
+        expect(oracles.get(key) is True, f"oracles.{key}: not true")
+    expect(not violations,
+           f"realexec bench recorded {len(violations)} oracle violation(s): "
+           f"{violations}")
+
+    print(f"{path}: OK ({REALEXEC_SCHEMA}, {len(scenarios)} scenarios, "
+          f"{kills:.0f} real kills, 0 violations)")
+
+
+def calibrate_realexec(report, bands, path):
+    """Gate a realexec report's real/sim deltas against a tolerance file.
+
+    For every scenario and every component (plus the whole window), the
+    real/sim ratio must lie inside the band's [min_ratio, max_ratio], or
+    the absolute gap must be below the band's floor_s. Bands come from
+    the baseline's `tolerance` map, keyed by component name with a
+    `default` fallback.
+    """
+    expect(bands.get("schema") == REALEXEC_BASELINE_SCHEMA,
+           f"calibration baseline schema: expected "
+           f"'{REALEXEC_BASELINE_SCHEMA}', got {bands.get('schema')!r}")
+    tolerance = bands.get("tolerance")
+    expect(isinstance(tolerance, dict) and "default" in tolerance,
+           "calibration baseline: tolerance map with a 'default' band "
+           "required")
+    for name, band in tolerance.items():
+        for key in ("min_ratio", "max_ratio", "floor_s"):
+            check_number(band, key, f"tolerance.{name}")
+        expect(band["min_ratio"] <= band["max_ratio"],
+               f"tolerance.{name}: min_ratio above max_ratio")
+
+    drifted = []
+    checked = 0
+    for s in report["scenarios"]:
+        label = f"{s['kernel']}/{s['policy']}"
+        for key in ["window_s"] + REALEXEC_COMPONENTS:
+            band = tolerance.get(key.removesuffix("_s"),
+                                 tolerance["default"])
+            real = s["real"][key]
+            sim = s["sim"][key]
+            within_floor = abs(real - sim) <= band["floor_s"]
+            ratio = real / sim if sim > 1e-9 else None
+            within_band = (ratio is not None and
+                           band["min_ratio"] <= ratio <= band["max_ratio"])
+            checked += 1
+            if not (within_floor or within_band):
+                shown = f"{ratio:.2f}" if ratio is not None else "inf"
+                drifted.append(
+                    f"{label} {key}: real {real:.4f}s vs sim {sim:.4f}s "
+                    f"(ratio {shown} outside [{band['min_ratio']}, "
+                    f"{band['max_ratio']}], gap above floor "
+                    f"{band['floor_s']}s)")
+    if drifted:
+        for line in drifted:
+            print(f"{path}: CALIBRATION DRIFT: {line}", file=sys.stderr)
+        raise Invalid(f"{len(drifted)} of {checked} component comparisons "
+                      f"drifted outside the committed tolerance band")
+    print(f"{path}: calibration OK ({checked} component comparisons inside "
+          f"the tolerance band)")
+
+
 def compare_partition(report, baseline, max_regress, path):
     """Gate a partition report's recovery numbers against a baseline.
 
@@ -923,6 +1083,7 @@ def load(path):
 
 def main(argv):
     baseline_path = None
+    calibrate_path = None
     max_regress = 0.20
     paths = []
     i = 1
@@ -934,6 +1095,12 @@ def main(argv):
                 print("--baseline requires a file argument", file=sys.stderr)
                 return 2
             baseline_path = argv[i + 1]
+            i += 2
+        elif arg == "--calibrate":
+            if i + 1 >= len(argv):
+                print("--calibrate requires a file argument", file=sys.stderr)
+                return 2
+            calibrate_path = argv[i + 1]
             i += 2
         elif arg == "--max-regress":
             if i + 1 >= len(argv):
@@ -947,6 +1114,14 @@ def main(argv):
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+
+    calibration_bands = None
+    if calibrate_path is not None:
+        try:
+            calibration_bands = load(calibrate_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{calibrate_path}: unreadable: {err}", file=sys.stderr)
+            return 1
 
     baseline_rates = None
     baseline_hedge = None
@@ -989,6 +1164,10 @@ def main(argv):
                 if baseline_partition is not None:
                     compare_partition(report, baseline_partition, max_regress,
                                       path)
+            elif report.get("schema") == REALEXEC_SCHEMA:
+                check_realexec_report(report, path)
+                if calibration_bands is not None:
+                    calibrate_realexec(report, calibration_bands, path)
             else:
                 check_report(report, path)
         except (OSError, json.JSONDecodeError) as err:
